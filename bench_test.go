@@ -1,0 +1,313 @@
+// Package repro's root benchmarks regenerate the paper's evaluation
+// artifacts as testing.B benchmarks and measure the framework itself:
+//
+//   - BenchmarkFig2_* — one per corpus family: the DPOR sweep behind
+//     Figure 2 (reports #HBRs, #lazy HBRs and the redundancy the lazy
+//     relation exposes, as benchmark metrics).
+//   - BenchmarkFig3_* — the caching comparison behind Figure 3
+//     (reports #lazy HBRs reached by each caching engine).
+//   - BenchmarkEngine_* — ablation across engines on a fixed workload.
+//   - BenchmarkSnapshotVsReplay — the exploration-backend ablation.
+//   - BenchmarkExecutor / BenchmarkTracker / BenchmarkVClock —
+//     microbenchmarks of the hot paths.
+//
+// Run everything with: go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/event"
+	"repro/internal/exec"
+	"repro/internal/explore"
+	"repro/internal/figures"
+	"repro/internal/goharness"
+	"repro/internal/hb"
+	"repro/internal/vclock"
+)
+
+// benchLimit keeps benchmark iterations snappy; cmd/eval regenerates
+// the figures at the paper's full 100,000-schedule limit.
+const benchLimit = 2000
+
+// fig2Families picks one representative benchmark per family for the
+// per-family Figure 2 benchmarks.
+var fig2Families = []string{
+	"coarse-disjoint-3x2",
+	"coarse-readonly-3",
+	"coarse-shared-3",
+	"coarse-tail-3x3",
+	"bank-global-3",
+	"mixed-2",
+	"indexer-2",
+	"filesystem-2",
+	"lastzero-2",
+	"account-locked-2",
+	"counter-racy-2x2",
+	"dcl-2",
+	"msgpass-2",
+	"peterson-2",
+	"philosophers-3",
+	"rw-2r1w",
+	"ticket-2",
+	"prodcons-1p1c-s1-i2",
+	"sharded-3t2s",
+	"forkjoin-2",
+	"pipeline-3",
+	"synth-09",
+}
+
+func mustBench(b *testing.B, name string) bench.Benchmark {
+	b.Helper()
+	bm, ok := bench.ByName(name)
+	if !ok {
+		b.Fatalf("missing benchmark %s", name)
+	}
+	return bm
+}
+
+// BenchmarkFig2 regenerates Figure 2 rows (DPOR; #HBRs vs #lazy HBRs)
+// for one representative of every corpus family.
+func BenchmarkFig2(b *testing.B) {
+	eng := explore.NewDPOR(false)
+	for _, name := range fig2Families {
+		bm := mustBench(b, name)
+		b.Run(name, func(b *testing.B) {
+			var last explore.Result
+			for i := 0; i < b.N; i++ {
+				last = eng.Explore(bm.Program, explore.Options{ScheduleLimit: benchLimit, MaxSteps: 2000})
+			}
+			b.ReportMetric(float64(last.Schedules), "schedules")
+			b.ReportMetric(float64(last.DistinctHBRs), "HBRs")
+			b.ReportMetric(float64(last.DistinctLazyHBRs), "lazyHBRs")
+			b.ReportMetric(float64(last.DistinctStates), "states")
+		})
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3 rows (regular vs lazy HBR caching;
+// #lazy HBRs within the budget) for the families where the limit binds.
+func BenchmarkFig3(b *testing.B) {
+	regular := explore.NewHBRCache()
+	lazy := explore.NewLazyHBRCache()
+	for _, name := range []string{"coarse-disjoint-4x2", "coarse-tail-3x3", "coarse-tail-4x3", "bank-global-4", "peterson-2", "synth-09", "coarse-shared-3"} {
+		bm := mustBench(b, name)
+		b.Run(name, func(b *testing.B) {
+			var reg, lz explore.Result
+			for i := 0; i < b.N; i++ {
+				reg = regular.Explore(bm.Program, explore.Options{ScheduleLimit: benchLimit, MaxSteps: 2000})
+				lz = lazy.Explore(bm.Program, explore.Options{ScheduleLimit: benchLimit, MaxSteps: 2000})
+			}
+			b.ReportMetric(float64(reg.DistinctLazyHBRs), "regular-lazyHBRs")
+			b.ReportMetric(float64(lz.DistinctLazyHBRs), "lazy-lazyHBRs")
+		})
+	}
+}
+
+// BenchmarkFig2FullSweep runs the complete 79-benchmark Figure 2 sweep
+// (at the reduced benchmark limit) and reports the paper's summary
+// statistics as metrics.
+func BenchmarkFig2FullSweep(b *testing.B) {
+	all := bench.All()
+	var rows []figures.Fig2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.Fig2(all, figures.Options{ScheduleLimit: benchLimit, MaxSteps: 2000})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	s := figures.SummarizeFig2(rows)
+	b.ReportMetric(float64(s.BelowDiagonal), "below-diagonal")
+	b.ReportMetric(s.RedundantPct(), "redundant-pct")
+}
+
+// BenchmarkFig3FullSweep runs the complete Figure 3 sweep at a small
+// budget and reports the summary statistics.
+func BenchmarkFig3FullSweep(b *testing.B) {
+	all := bench.All()
+	var rows []figures.Fig3Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.Fig3(all, figures.Options{ScheduleLimit: 500, MaxSteps: 2000})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	s := figures.SummarizeFig3(rows)
+	b.ReportMetric(float64(s.LazyWins), "lazy-wins")
+	b.ReportMetric(s.ExtraPct(), "extra-pct")
+}
+
+// BenchmarkEngine is the ablation across all engines on one fixed
+// coarse-locking workload — the design-choice comparison DESIGN.md
+// calls out (how much work each reduction saves on the paper's
+// motivating pattern).
+func BenchmarkEngine(b *testing.B) {
+	bm := mustBench(b, "coarse-disjoint-4x2")
+	engines := []explore.Engine{
+		explore.NewDFS(),
+		explore.NewDPOR(false),
+		explore.NewDPOR(true),
+		explore.NewHBRCache(),
+		explore.NewLazyHBRCache(),
+		explore.NewLazyDPOR(),
+		explore.NewRandomWalk(1),
+	}
+	for _, eng := range engines {
+		eng := eng
+		b.Run(eng.Name(), func(b *testing.B) {
+			var last explore.Result
+			for i := 0; i < b.N; i++ {
+				last = eng.Explore(bm.Program, explore.Options{ScheduleLimit: benchLimit, MaxSteps: 2000})
+			}
+			b.ReportMetric(float64(last.Schedules), "schedules")
+			b.ReportMetric(float64(last.Events), "events")
+		})
+	}
+}
+
+// BenchmarkSnapshotVsReplay measures the exploration-backend ablation:
+// snapshot-based backtracking against full replay.
+func BenchmarkSnapshotVsReplay(b *testing.B) {
+	bm := mustBench(b, "counter-racy-2x2")
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"snapshot", false}, {"replay", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			eng := explore.NewDPOR(false)
+			var last explore.Result
+			for i := 0; i < b.N; i++ {
+				last = eng.Explore(bm.Program, explore.Options{
+					ScheduleLimit:    benchLimit,
+					MaxSteps:         2000,
+					DisableSnapshots: mode.disable,
+				})
+			}
+			b.ReportMetric(float64(last.Events)/float64(last.Schedules), "events/schedule")
+		})
+	}
+}
+
+// BenchmarkExecutor measures raw single-schedule execution throughput
+// over the interpreter frontend.
+func BenchmarkExecutor(b *testing.B) {
+	bm := mustBench(b, "coarse-disjoint-4x2")
+	b.ReportAllocs()
+	events := 0
+	for i := 0; i < b.N; i++ {
+		out := exec.Run(bm.Program, exec.FirstEnabled{}, exec.Options{})
+		events += len(out.Trace)
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}
+
+// BenchmarkTracker measures the per-event cost of maintaining all
+// three happens-before relations plus fingerprints.
+func BenchmarkTracker(b *testing.B) {
+	evs := make([]event.Event, 0, 64)
+	for i := 0; i < 16; i++ {
+		t := event.ThreadID(i % 4)
+		evs = append(evs,
+			event.Event{Thread: t, Index: int32(i / 4 * 4), Op: event.Op{Kind: event.KindLock, Obj: 0}},
+			event.Event{Thread: t, Index: int32(i/4*4 + 1), Op: event.Op{Kind: event.KindRead, Obj: int32(i % 3)}},
+			event.Event{Thread: t, Index: int32(i/4*4 + 2), Op: event.Op{Kind: event.KindWrite, Obj: int32(i % 3), Val: int64(i)}},
+			event.Event{Thread: t, Index: int32(i/4*4 + 3), Op: event.Op{Kind: event.KindUnlock, Obj: 0}},
+		)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := hb.NewTracker(4, 3, 1)
+		for _, ev := range evs {
+			tr.Apply(ev)
+		}
+	}
+	b.ReportMetric(float64(len(evs)), "events/op")
+}
+
+// BenchmarkVClock measures the clock algebra hot path.
+func BenchmarkVClock(b *testing.B) {
+	a := vclock.New(8)
+	c := vclock.New(8)
+	for i := 0; i < 8; i++ {
+		a = a.Set(i, int32(i))
+		c = c.Set(i, int32(8-i))
+	}
+	b.Run("join", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = a.Clone().Join(c)
+		}
+	})
+	b.Run("leq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = a.Leq(c)
+		}
+	})
+	b.Run("hash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = a.Hash()
+		}
+	})
+}
+
+// BenchmarkGoroutineHarness measures the channel-handshake frontend
+// against the interpreter on the same logical program.
+func BenchmarkGoroutineHarness(b *testing.B) {
+	bm := mustBench(b, "coarse-disjoint-2x2")
+	b.Run("interpreter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			exec.Run(bm.Program, exec.FirstEnabled{}, exec.Options{})
+		}
+	})
+	b.Run("goroutines", func(b *testing.B) {
+		p := harnessCoarse()
+		for i := 0; i < b.N; i++ {
+			exec.Run(p, exec.FirstEnabled{}, exec.Options{})
+		}
+	})
+}
+
+// BenchmarkCorpusConstruction measures building all 79 programs.
+func BenchmarkCorpusConstruction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := len(bench.All()); got != bench.Count {
+			b.Fatalf("corpus size %d", got)
+		}
+	}
+}
+
+// harnessCoarse builds the goroutine-harness twin of
+// coarse-disjoint-2x2 for the frontend comparison.
+func harnessCoarse() *goharness.Program {
+	p := goharness.New("coarse-disjoint-2x2-goroutines").AutoStart()
+	g0 := p.Mutex("g")
+	cells := []goharness.Var{p.Var("own0"), p.Var("own1")}
+	for i := 0; i < 2; i++ {
+		i := i
+		p.Thread(func(g *goharness.G) {
+			g.Lock(g0)
+			for k := 0; k < 2; k++ {
+				g.Write(cells[i], g.Read(cells[i])+1)
+			}
+			g.Unlock(g0)
+		})
+	}
+	return p
+}
+
+func init() {
+	// Sanity: the family list only names real benchmarks, failing
+	// fast at benchmark startup rather than mid-run.
+	for _, name := range fig2Families {
+		if _, ok := bench.ByName(name); !ok {
+			panic(fmt.Sprintf("bench_test: unknown family representative %q", name))
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command eval regenerates the paper's evaluation (Figures 2 and 3)
+// over the 79-benchmark corpus:
+//
+//	eval -fig all -limit 100000
+//
+// For each figure it prints the per-benchmark TSV rows, an ASCII
+// log-log scatter with the diagonal, and the paper's summary
+// statistics (benchmarks below the diagonal, redundancy percentages).
+// Use -md to emit EXPERIMENTS.md-ready markdown instead of TSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/figures"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", `figure to regenerate: "2", "3" or "all"`)
+		limit   = flag.Int("limit", 100000, "schedule limit per benchmark (paper: 100000)")
+		steps   = flag.Int("maxsteps", 2000, "per-execution event bound")
+		filter  = flag.String("bench", "", "only benchmarks whose name contains this substring")
+		family  = flag.String("family", "", "only benchmarks of this family")
+		md      = flag.Bool("md", false, "emit markdown tables instead of TSV")
+		quiet   = flag.Bool("quiet", false, "suppress per-benchmark progress on stderr")
+		scatter = flag.Bool("scatter", true, "print the ASCII log-log scatter")
+		par     = flag.Int("parallel", -1, "benchmarks explored concurrently (-1 = GOMAXPROCS, 1 = sequential)")
+	)
+	flag.Parse()
+
+	var selected []bench.Benchmark
+	for _, b := range bench.All() {
+		if *filter != "" && !strings.Contains(b.Name, *filter) {
+			continue
+		}
+		if *family != "" && b.Family != *family {
+			continue
+		}
+		selected = append(selected, b)
+	}
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "eval: no benchmarks selected")
+		os.Exit(2)
+	}
+
+	opt := figures.Options{ScheduleLimit: *limit, MaxSteps: *steps, Parallelism: *par}
+	if !*quiet {
+		opt.Progress = os.Stderr
+	}
+
+	if *fig == "2" || *fig == "all" {
+		rows, err := figures.Fig2(selected, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eval:", err)
+			os.Exit(1)
+		}
+		fmt.Println("== Figure 2: DPOR — #HBRs (x) vs #lazy HBRs (y) ==")
+		if *md {
+			fmt.Print(figures.MarkdownFig2(rows, *limit))
+		} else {
+			fmt.Print(figures.TSV2(rows))
+			s := figures.SummarizeFig2(rows)
+			fmt.Printf("summary: %d/%d below diagonal; %d of %d unique HBRs (%.0f%%) redundant across them\n",
+				s.BelowDiagonal, s.Benchmarks, s.RedundantBelow, s.HBRsBelow, s.RedundantPct())
+		}
+		if *scatter {
+			fmt.Print(figures.Scatter(figures.Fig2Points(rows), 72, 24, "#HBRs", "#lazy HBRs"))
+		}
+		fmt.Println()
+	}
+
+	if *fig == "3" || *fig == "all" {
+		rows, err := figures.Fig3(selected, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eval:", err)
+			os.Exit(1)
+		}
+		fmt.Println("== Figure 3: HBR caching (x) vs lazy HBR caching (y) — #lazy HBRs ==")
+		if *md {
+			fmt.Print(figures.MarkdownFig3(rows, *limit))
+		} else {
+			fmt.Print(figures.TSV3(rows))
+			s := figures.SummarizeFig3(rows)
+			fmt.Printf("summary: lazy caching ahead on %d/%d benchmarks (+%d lazy HBRs, +%.0f%%); regular ahead on %d (must be 0)\n",
+				s.LazyWins, s.Benchmarks, s.ExtraLazyHBRs, s.ExtraPct(), s.RegularWins)
+		}
+		if *scatter {
+			fmt.Print(figures.Scatter(figures.Fig3Points(rows), 72, 24, "HBR caching #lazy HBRs", "lazy caching #lazy HBRs"))
+		}
+	}
+}

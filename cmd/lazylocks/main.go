@@ -1,0 +1,145 @@
+// Command lazylocks is the single-benchmark front door of the
+// systematic concurrency tester (named after the paper's tool):
+//
+//	lazylocks -list
+//	lazylocks -bench philosophers-3 -engine dpor
+//	lazylocks -bench counter-racy-2x2 -engine lazy-hbr-caching -limit 100000
+//
+// It explores the benchmark's schedule space with the chosen engine,
+// prints the paper's headline counters (#schedules, #HBRs, #lazy HBRs,
+// #states) and, when a safety violation is found, replays and prints
+// the violating schedule.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/explore"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list benchmarks and exit")
+		name   = flag.String("bench", "", "benchmark name (see -list)")
+		engine = flag.String("engine", "dpor", fmt.Sprintf("engine: one of %v", core.EngineNames()))
+		limit  = flag.Int("limit", 100000, "schedule limit (0 = unlimited)")
+		steps  = flag.Int("maxsteps", 2000, "per-execution event bound")
+		printT = flag.Bool("trace", true, "print the violating trace when one is found")
+		save   = flag.String("save", "", "write the violating schedule to this JSON file")
+		replay = flag.String("replay", "", "replay a schedule JSON file instead of exploring")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.All() {
+			fmt.Printf("%2d %-26s %-16s %s\n", b.ID, b.Name, b.Family, b.Notes)
+		}
+		return
+	}
+	b, ok := bench.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lazylocks: unknown benchmark %q (use -list)\n", *name)
+		os.Exit(2)
+	}
+	if *replay != "" {
+		replayFile(b, *replay, *steps)
+		return
+	}
+	rep, err := core.Check(b.Program, core.EngineName(*engine), explore.Options{
+		ScheduleLimit: *limit,
+		MaxSteps:      *steps,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lazylocks:", err)
+		os.Exit(1)
+	}
+	r := rep.Result
+	fmt.Printf("benchmark : %s (id %d, %s)\n", b.Name, b.ID, b.Family)
+	fmt.Printf("engine    : %s\n", r.Engine)
+	fmt.Printf("schedules : %d (terminals %d, pruned %d, truncated %d)%s\n",
+		r.Schedules, r.Terminals, r.Pruned, r.Truncated, hitLimitNote(r.HitLimit))
+	fmt.Printf("classes   : #HBRs=%d  #lazy HBRs=%d  #states=%d\n",
+		r.DistinctHBRs, r.DistinctLazyHBRs, r.DistinctStates)
+	fmt.Printf("safety    : deadlocks=%d assert-failures=%d lock-errors=%d races=%d\n",
+		r.Deadlocks, r.AssertFailures, r.LockErrors, r.Races)
+	if rep.Violation != nil {
+		fmt.Printf("violation : %s\n", rep.Violation)
+		if *save != "" {
+			rec := trace.FromOutcome(b.Program, rep.Violation.Outcome, rep.Violation.Kind)
+			f, err := os.Create(*save)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lazylocks:", err)
+				os.Exit(1)
+			}
+			if err := rec.Write(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lazylocks:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("saved     : %s\n", *save)
+		}
+		if *printT {
+			fmt.Println("trace:")
+			for i, ev := range rep.Violation.Outcome.Trace {
+				fmt.Printf("  %3d %v\n", i, ev)
+			}
+			for _, f := range rep.Violation.Outcome.Failures {
+				fmt.Printf("  failure: %v\n", f)
+			}
+			for _, race := range rep.Violation.Outcome.Races {
+				fmt.Printf("  race: %v\n", race)
+			}
+			if rep.Violation.Outcome.Deadlock {
+				fmt.Println("  deadlock: no enabled thread at end of trace")
+			}
+		}
+		os.Exit(3)
+	}
+}
+
+// replayFile loads a recorded schedule and re-executes it against the
+// benchmark, printing the reproduced trace.
+func replayFile(b bench.Benchmark, path string, steps int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lazylocks:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	rec, err := trace.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lazylocks:", err)
+		os.Exit(1)
+	}
+	out, err := rec.Replay(b.Program, exec.Options{MaxSteps: steps})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lazylocks:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("replayed %d events of %s (%s)\n", len(out.Trace), b.Name, rec.Kind)
+	for i, ev := range out.Trace {
+		fmt.Printf("  %3d %v\n", i, ev)
+	}
+	if out.Deadlock {
+		fmt.Println("  deadlock reproduced")
+	}
+	for _, fl := range out.Failures {
+		fmt.Printf("  failure: %v\n", fl)
+	}
+	for _, r := range out.Races {
+		fmt.Printf("  race: %v\n", r)
+	}
+}
+
+func hitLimitNote(hit bool) string {
+	if hit {
+		return "  [schedule limit hit: space not exhausted]"
+	}
+	return ""
+}

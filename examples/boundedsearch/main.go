@@ -1,0 +1,83 @@
+// Boundedsearch: CHESS-style bounded exploration in practice. Most
+// concurrency bugs need very few preemptions (Musuvathi & Qadeer), so
+// iterating the preemption bound finds them after a tiny fraction of
+// the exhaustive work — and composing the bound with the paper's lazy
+// HBR caching shrinks each round further.
+//
+//	go run ./examples/boundedsearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/goharness"
+)
+
+// workPool builds a properly-locked job pool with an atomicity bug:
+// the worker publishes done=1 in its first critical section but only
+// writes the final result in a second one. A reader scheduled between
+// the two critical sections observes done=1 with the provisional
+// result — an interleaving that requires preempting the worker between
+// its unlocks, i.e. exactly one preemption. There are no data races:
+// every access is lock-protected, so only systematic exploration (not
+// a race detector) can find this.
+func workPool(extraWorkers int) *goharness.Program {
+	p := goharness.New("workpool").AutoStart()
+	mu := p.Mutex("mu")
+	result := p.Var("result")
+	done := p.Var("done")
+	p.Thread(func(g *goharness.G) { // the buggy worker
+		g.Lock(mu)
+		g.Write(result, 21) // provisional
+		g.Write(done, 1)    // published too early: the bug
+		g.Unlock(mu)
+		g.Lock(mu)
+		g.Write(result, 42) // final
+		g.Unlock(mu)
+	})
+	p.Thread(func(g *goharness.G) { // auditor
+		g.Lock(mu)
+		d := g.Read(done)
+		r := g.Read(result)
+		g.Unlock(mu)
+		if d == 1 {
+			g.Assert(r == 42)
+		}
+	})
+	// Bystander workers enlarge the schedule space without touching
+	// the bug, making the exhaustive-vs-bounded contrast visible.
+	scratch := p.Var("scratch")
+	for i := 0; i < extraWorkers; i++ {
+		p.Thread(func(g *goharness.G) {
+			g.Lock(mu)
+			g.Write(scratch, g.Read(scratch)+1)
+			g.Unlock(mu)
+		})
+	}
+	return p
+}
+
+func main() {
+	fmt.Println("engine                      schedules  violation")
+	for _, name := range []core.EngineName{
+		"pb0-dfs", "pb1-dfs", "chess-pb4",
+		"pb1-lazy-hbr-caching",
+		"dpor", "lazy-dpor", "dfs",
+	} {
+		rep, err := core.Check(workPool(3), name, explore.Options{ScheduleLimit: 1000000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "none found"
+		if rep.Violation != nil {
+			verdict = rep.Violation.String()
+		}
+		fmt.Printf("%-26s %10d  %s\n", name, rep.Schedules, verdict)
+	}
+	fmt.Println("\nNo schedule has a data race (every access is locked); the bug is an")
+	fmt.Println("atomicity violation needing exactly one preemption. pb0 cannot see it,")
+	fmt.Println("pb1 finds it almost immediately, exhaustive DFS pays the whole space.")
+}

@@ -1,0 +1,61 @@
+// Coarselock: the paper's headline effect, live. Threads update
+// thread-private data inside one global critical section — the
+// coarse-grained style the paper's introduction motivates. Regular POR
+// must explore every lock interleaving; the lazy happens-before
+// relation sees through the mutex and collapses them all.
+//
+//	go run ./examples/coarselock
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/goharness"
+)
+
+// coarse builds n threads that each increment a private cell k times
+// inside the same global lock.
+func coarse(n, k int) *goharness.Program {
+	p := goharness.New(fmt.Sprintf("coarselock-%dx%d", n, k)).AutoStart()
+	g0 := p.Mutex("global")
+	cells := make([]goharness.Var, n)
+	for i := range cells {
+		cells[i] = p.Var(fmt.Sprintf("cell%d", i))
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		p.Thread(func(g *goharness.G) {
+			g.Lock(g0)
+			for j := 0; j < k; j++ {
+				g.Write(cells[i], g.Read(cells[i])+1)
+			}
+			g.Unlock(g0)
+		})
+	}
+	return p
+}
+
+func main() {
+	prog := coarse(4, 2)
+	engines := []core.EngineName{
+		core.EngineDFS,
+		core.EngineDPOR,
+		core.EngineHBRCache,
+		core.EngineLazyHBRCache,
+		core.EngineLazyDPOR,
+	}
+	fmt.Printf("%-18s %10s %8s %10s %8s\n", "engine", "schedules", "#HBRs", "#lazyHBRs", "#states")
+	for _, e := range engines {
+		rep, err := core.Check(prog, e, explore.Options{ScheduleLimit: 200000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %10d %8d %10d %8d\n",
+			e, rep.Schedules, rep.DistinctHBRs, rep.DistinctLazyHBRs, rep.DistinctStates)
+	}
+	fmt.Println("\nEvery engine agrees on one distinct final state; the lazy relation")
+	fmt.Println("recognises all 4! = 24 lock orders as a single equivalence class.")
+}

@@ -1,0 +1,72 @@
+// Philosophers: systematic exploration proves a deadlock reachable in
+// the naive dining-philosophers locking protocol, prints the exact
+// interleaving, and then verifies that the lock-ordering fix removes
+// every deadlock from the entire schedule space.
+//
+//	go run ./examples/philosophers
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/goharness"
+)
+
+// table builds the dining table: n philosophers, n fork mutexes. With
+// ordered=false every philosopher grabs left then right (circular wait
+// possible); with ordered=true the last philosopher grabs right then
+// left, breaking the cycle.
+func table(n int, ordered bool) *goharness.Program {
+	name := fmt.Sprintf("philosophers-%d(ordered=%v)", n, ordered)
+	p := goharness.New(name).AutoStart()
+	forks := make([]goharness.Mutex, n)
+	for i := range forks {
+		forks[i] = p.Mutex(fmt.Sprintf("fork%d", i))
+	}
+	meals := p.Var("meals")
+	for i := 0; i < n; i++ {
+		i := i
+		p.Thread(func(g *goharness.G) {
+			first, second := forks[i], forks[(i+1)%n]
+			if ordered && i == n-1 {
+				first, second = second, first
+			}
+			g.Lock(first)
+			g.Lock(second)
+			g.Write(meals, g.Read(meals)+1)
+			g.Unlock(second)
+			g.Unlock(first)
+		})
+	}
+	return p
+}
+
+func main() {
+	const n = 3
+
+	naive, err := core.Check(table(n, false), core.EngineDPOR, explore.Options{ScheduleLimit: 100000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive protocol: %d schedules explored, %d deadlocked\n", naive.Schedules, naive.Deadlocks)
+	if naive.Violation != nil {
+		fmt.Printf("reachable %s; the interleaving:\n", naive.Violation.Kind)
+		for i, ev := range naive.Violation.Outcome.Trace {
+			fmt.Printf("  %2d  %v\n", i, ev)
+		}
+	}
+
+	fixed, err := core.Check(table(n, true), core.EngineDPOR, explore.Options{ScheduleLimit: 100000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nordered protocol: %d schedules explored, %d deadlocked", fixed.Schedules, fixed.Deadlocks)
+	if fixed.HitLimit {
+		fmt.Println(" (schedule limit hit: not a proof)")
+	} else {
+		fmt.Println(" — the whole schedule space is deadlock-free")
+	}
+}

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/progdsl"
+)
+
+// accountEntries builds the shared-data families: locked and racy bank
+// accounts, racy counters, double-checked locking and flag-based
+// message passing. These exercise genuine data interference (diagonal
+// points in Figure 2) and the safety detectors (races, assertion
+// failures). 11 entries.
+func accountEntries() []entry {
+	var es []entry
+	for _, n := range []int{2, 3} {
+		n := n
+		es = append(es, entry{
+			name:   fmt.Sprintf("account-locked-%d", n),
+			family: "account",
+			notes:  fmt.Sprintf("%d threads deposit into one shared account under a lock; per-thread withdrawal accounts are private", n),
+			build:  func() model.Source { return accountLocked(n) },
+		})
+	}
+	for _, n := range []int{2, 3} {
+		n := n
+		es = append(es, entry{
+			name:   fmt.Sprintf("account-racy-%d", n),
+			family: "account",
+			notes:  fmt.Sprintf("%d threads deposit into one shared account with no locking: lost updates and data races", n),
+			build:  func() model.Source { return accountRacy(n) },
+		})
+	}
+	for _, p := range []struct{ n, k int }{{2, 1}, {2, 2}, {3, 1}} {
+		p := p
+		es = append(es, entry{
+			name:   fmt.Sprintf("counter-racy-%dx%d", p.n, p.k),
+			family: "counter",
+			notes:  fmt.Sprintf("%d threads perform %d unsynchronised increments each on a shared counter", p.n, p.k),
+			build:  func() model.Source { return counterRacy(p.n, p.k) },
+		})
+	}
+	for _, n := range []int{2, 3} {
+		n := n
+		es = append(es, entry{
+			name:   fmt.Sprintf("dcl-%d", n),
+			family: "dcl",
+			notes:  fmt.Sprintf("%d threads race through double-checked lazy initialisation (unsynchronised fast-path read)", n),
+			build:  func() model.Source { return doubleCheckedLocking(n) },
+		})
+	}
+	es = append(es,
+		entry{
+			name:   "msgpass-2",
+			family: "msgpass",
+			notes:  "flag-based message passing between two threads without synchronisation (benign under SC, racy)",
+			build:  func() model.Source { return msgPass() },
+		},
+		entry{
+			name:   "msgpass-chain-3",
+			family: "msgpass",
+			notes:  "three-stage flag-based hand-off chain without synchronisation",
+			build:  func() model.Source { return msgPassChain() },
+		},
+	)
+	return es
+}
+
+// accountLocked: each thread withdraws 10 from its private account and
+// deposits into the shared account, all under one lock. The shared
+// variable keeps even the lazy HBR from collapsing classes.
+func accountLocked(n int) model.Source {
+	b := progdsl.New(fmt.Sprintf("account-locked-%d", n)).AutoStart()
+	g := b.Mutex("g")
+	shared := b.Var("shared")
+	priv := b.VarArray("priv", n)
+	for i := 0; i < n; i++ {
+		i := i
+		t := b.Thread()
+		t.Lock(g)
+		t.Read(r0, priv.At(i))
+		t.AddConst(r0, r0, -10)
+		t.Write(priv.At(i), r0)
+		t.Read(r1, shared)
+		t.AddConst(r1, r1, 10)
+		t.Write(shared, r1)
+		t.Unlock(g)
+	}
+	return b.Build()
+}
+
+// accountRacy: the same deposits with no lock — the scheduler can lose
+// updates; each thread asserts its own deposit survived, which fails
+// under interleavings that overwrite it.
+func accountRacy(n int) model.Source {
+	b := progdsl.New(fmt.Sprintf("account-racy-%d", n)).AutoStart()
+	shared := b.Var("shared")
+	for i := 0; i < n; i++ {
+		t := b.Thread()
+		t.Read(r0, shared)
+		t.AddConst(r0, r0, 10)
+		t.Write(shared, r0)
+		t.Read(r1, shared)
+		// The deposit is visible unless a racing write clobbered
+		// it; r1 ≥ r0 detects the obvious lost-update shape.
+		t.Sub(r2, r1, r0)
+		t.AssertGe(r2, 0)
+	}
+	return b.Build()
+}
+
+// counterRacy: unsynchronised increments; the classic lost-update bug.
+func counterRacy(n, k int) model.Source {
+	b := progdsl.New(fmt.Sprintf("counter-racy-%dx%d", n, k)).AutoStart()
+	x := b.Var("x")
+	for i := 0; i < n; i++ {
+		t := b.Thread()
+		t.Repeat(k, func(int) {
+			t.Read(r0, x)
+			t.AddConst(r0, r0, 1)
+			t.Write(x, r0)
+		})
+	}
+	return b.Build()
+}
+
+// doubleCheckedLocking: the classic broken lazy-init pattern — the
+// fast-path read of the flag is unsynchronised (a data race the
+// sync-only relation flags), though under sequential consistency the
+// asserted value is still correct.
+func doubleCheckedLocking(n int) model.Source {
+	b := progdsl.New(fmt.Sprintf("dcl-%d", n)).AutoStart()
+	g := b.Mutex("g")
+	flag := b.Var("initialized")
+	data := b.Var("data")
+	for i := 0; i < n; i++ {
+		t := b.Thread()
+		t.Read(r0, flag) // unsynchronised fast path
+		t.If(progdsl.Eq(r0, 0), func() {
+			t.Lock(g)
+			t.Read(r0, flag) // second check under the lock
+			t.If(progdsl.Eq(r0, 0), func() {
+				t.WriteConst(data, 42)
+				t.WriteConst(flag, 1)
+			}, nil)
+			t.Unlock(g)
+		}, nil)
+		t.Read(r1, data)
+		t.AssertEq(r1, 42)
+	}
+	return b.Build()
+}
+
+// msgPass: sender publishes data then raises a flag; receiver checks
+// the flag and reads the data if raised. No synchronisation: a data
+// race the detector must flag, benign under sequential consistency.
+func msgPass() model.Source {
+	b := progdsl.New("msgpass-2").AutoStart()
+	data := b.Var("data")
+	flag := b.Var("flag")
+	sender := b.Thread()
+	sender.WriteConst(data, 7).WriteConst(flag, 1)
+	receiver := b.Thread()
+	receiver.Read(r0, flag)
+	receiver.If(progdsl.Eq(r0, 1), func() {
+		receiver.Read(r1, data)
+		receiver.AssertEq(r1, 7)
+	}, nil)
+	return b.Build()
+}
+
+// msgPassChain: a three-stage hand-off; stage i+1 only consumes when
+// stage i's flag is visible.
+func msgPassChain() model.Source {
+	b := progdsl.New("msgpass-chain-3").AutoStart()
+	d1 := b.Var("d1")
+	f1 := b.Var("f1")
+	d2 := b.Var("d2")
+	f2 := b.Var("f2")
+	t0 := b.Thread()
+	t0.WriteConst(d1, 5).WriteConst(f1, 1)
+	t1 := b.Thread()
+	t1.Read(r0, f1)
+	t1.If(progdsl.Eq(r0, 1), func() {
+		t1.Read(r1, d1)
+		t1.AddConst(r1, r1, 1)
+		t1.Write(d2, r1)
+		t1.WriteConst(f2, 1)
+	}, nil)
+	t2 := b.Thread()
+	t2.Read(r0, f2)
+	t2.If(progdsl.Eq(r0, 1), func() {
+		t2.Read(r1, d2)
+		t2.AssertEq(r1, 6)
+	}, nil)
+	return b.Build()
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/progdsl"
+)
+
+// classicEntries builds scaled-down versions of the classic DPOR
+// benchmarks from Flanagan & Godefroid (POPL 2005): indexer,
+// file system, and the last-zero example common in later POR
+// literature. 6 entries.
+func classicEntries() []entry {
+	var es []entry
+	for _, n := range []int{2, 3} {
+		n := n
+		es = append(es, entry{
+			name:   fmt.Sprintf("indexer-%d", n),
+			family: "indexer",
+			notes:  fmt.Sprintf("%d threads insert into a shared hash table with open addressing and per-slot locks; collisions by construction", n),
+			build:  func() model.Source { return indexer(n) },
+		})
+	}
+	for _, n := range []int{2, 3} {
+		n := n
+		es = append(es, entry{
+			name:   fmt.Sprintf("filesystem-%d", n),
+			family: "filesystem",
+			notes:  fmt.Sprintf("%d threads allocate blocks to inodes with per-inode and per-block locks (FG POPL'05, scaled down)", n),
+			build:  func() model.Source { return filesystem(n) },
+		})
+	}
+	for _, n := range []int{2, 3} {
+		n := n
+		es = append(es, entry{
+			name:   fmt.Sprintf("lastzero-%d", n),
+			family: "lastzero",
+			notes:  fmt.Sprintf("checker scans an array for its last zero while %d writers bump successive cells", n),
+			build:  func() model.Source { return lastZero(n) },
+		})
+	}
+	return es
+}
+
+// indexer: the classic DPOR benchmark, scaled. Each thread hashes its
+// key and probes the table under per-slot locks until it claims an
+// empty slot. Keys are chosen so every pair of threads collides on the
+// first probe, forcing genuine contention.
+func indexer(n int) model.Source {
+	const size = 4
+	b := progdsl.New(fmt.Sprintf("indexer-%d", n)).AutoStart()
+	table := b.VarArray("table", size)
+	locks := b.MutexArray("lock", size)
+	for i := 0; i < n; i++ {
+		i := i
+		t := b.Thread()
+		key := int64(i + 1)
+		// All keys hash to slot 0 (maximal collision pressure).
+		t.Const(r1, 0)    // r1: probe slot
+		t.Const(r2, 0)    // r2: done flag
+		t.Const(r3, size) // r3: probes remaining
+		t.While(progdsl.Eq(r2, 0), func() {
+			t.LockAt(locks, r1)
+			t.ReadAt(r0, table, r1)
+			t.If(progdsl.Eq(r0, 0), func() {
+				t.Const(r0, key)
+				t.WriteAt(table, r1, r0)
+				t.Const(r2, 1)
+			}, nil)
+			t.UnlockAt(locks, r1)
+			t.AddConst(r1, r1, 1)
+			t.ModConst(r1, r1, size)
+			t.AddConst(r3, r3, -1)
+			t.If(progdsl.Eq(r3, 0), func() { t.Const(r2, 1) }, nil)
+		})
+		_ = key
+	}
+	return b.Build()
+}
+
+// filesystem: each thread picks an inode (threads share inodes by
+// construction), and if the inode is unassigned, searches the block
+// busy-map for a free block under per-block locks — the File System
+// example of the DPOR paper, scaled to 2 inodes and 3 blocks.
+func filesystem(n int) model.Source {
+	const (
+		numInodes = 2
+		numBlocks = 3
+	)
+	b := progdsl.New(fmt.Sprintf("filesystem-%d", n)).AutoStart()
+	inode := b.VarArray("inode", numInodes)
+	busy := b.VarArray("busy", numBlocks)
+	lockI := b.MutexArray("locki", numInodes)
+	lockB := b.MutexArray("lockb", numBlocks)
+	for i := 0; i < n; i++ {
+		i := i
+		t := b.Thread()
+		ii := i % numInodes
+		t.Lock(lockI.At(ii))
+		t.Read(r0, inode.At(ii))
+		t.If(progdsl.Eq(r0, 0), func() {
+			t.Const(r1, int64((ii*2)%numBlocks)) // r1: candidate block
+			t.Const(r2, 0)                       // r2: done flag
+			t.Const(r3, numBlocks)               // r3: probes remaining
+			t.While(progdsl.Eq(r2, 0), func() {
+				t.LockAt(lockB, r1)
+				t.ReadAt(r0, busy, r1)
+				t.If(progdsl.Eq(r0, 0), func() {
+					t.Const(r0, 1)
+					t.WriteAt(busy, r1, r0)
+					t.AddConst(r0, r1, 1)
+					t.Write(inode.At(ii), r0)
+					t.Const(r2, 1)
+				}, nil)
+				t.UnlockAt(lockB, r1)
+				t.AddConst(r1, r1, 1)
+				t.ModConst(r1, r1, numBlocks)
+				t.AddConst(r3, r3, -1)
+				t.If(progdsl.Eq(r3, 0), func() { t.Const(r2, 1) }, nil)
+			})
+		}, nil)
+		t.Unlock(lockI.At(ii))
+	}
+	return b.Build()
+}
+
+// lastZero: thread 0 scans a[n..0] downwards for the last zero while
+// each writer thread i sets a[i] = a[i-1] + 1 — the canonical example
+// where read-write reorderings matter but many interleavings coincide.
+func lastZero(n int) model.Source {
+	b := progdsl.New(fmt.Sprintf("lastzero-%d", n)).AutoStart()
+	a := b.VarArray("a", n+1)
+	checker := b.Thread()
+	checker.Const(r1, -1) // r1: found index
+	for j := n; j >= 0; j-- {
+		j := j
+		checker.If(progdsl.Eq(r1, -1), func() {
+			checker.Read(r0, a.At(j))
+			checker.If(progdsl.Eq(r0, 0), func() {
+				checker.Const(r1, int64(j))
+			}, nil)
+		}, nil)
+	}
+	// a[0] is never written, so a zero must always be found.
+	checker.AssertGe(r1, 0)
+	for i := 1; i <= n; i++ {
+		i := i
+		w := b.Thread()
+		w.Read(r0, a.At(i-1))
+		w.AddConst(r0, r0, 1)
+		w.Write(a.At(i), r0)
+	}
+	return b.Build()
+}

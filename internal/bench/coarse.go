@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/progdsl"
+)
+
+// coarseEntries builds the coarse-grained-locking families — the
+// paper's motivating workloads, where every critical section contends
+// on one global mutex yet the protected data is disjoint or read-only.
+// Regular POR must explore every lock interleaving; the lazy HBR
+// recognises them as equivalent. The coarse-tail family additionally
+// appends a long genuinely-conflicting tail after each critical
+// section, blowing the schedule space past any practical limit: the
+// regime where lazy HBR caching outruns regular caching within a fixed
+// budget (the paper's Figure 3 effect). 23 entries.
+func coarseEntries() []entry {
+	var es []entry
+	for _, p := range []struct{ n, k int }{{2, 1}, {2, 2}, {2, 3}, {3, 1}, {3, 2}, {3, 3}, {4, 1}, {4, 2}} {
+		p := p
+		es = append(es, entry{
+			name:   fmt.Sprintf("coarse-disjoint-%dx%d", p.n, p.k),
+			family: "coarse-disjoint",
+			notes:  fmt.Sprintf("%d threads each increment a private counter %d times inside a shared global lock", p.n, p.k),
+			build:  func() model.Source { return coarseDisjoint(p.n, p.k) },
+		})
+	}
+	for _, n := range []int{2, 3, 4} {
+		n := n
+		es = append(es, entry{
+			name:   fmt.Sprintf("coarse-readonly-%d", n),
+			family: "coarse-readonly",
+			notes:  fmt.Sprintf("%d threads read one shared variable inside a global lock and assert its value", n),
+			build:  func() model.Source { return coarseReadonly(n) },
+		})
+	}
+	for _, n := range []int{2, 3, 4} {
+		n := n
+		es = append(es, entry{
+			name:   fmt.Sprintf("coarse-shared-%d", n),
+			family: "coarse-shared",
+			notes:  fmt.Sprintf("%d threads increment one shared counter inside a global lock (genuine data ordering: diagonal point)", n),
+			build:  func() model.Source { return coarseShared(n) },
+		})
+	}
+	for _, n := range []int{2, 3, 4} {
+		n := n
+		es = append(es, entry{
+			name:   fmt.Sprintf("bank-global-%d", n),
+			family: "bank-global",
+			notes:  fmt.Sprintf("%d threads move money between disjoint account pairs under one global lock", n),
+			build:  func() model.Source { return bankGlobal(n) },
+		})
+	}
+	for _, n := range []int{2, 3} {
+		n := n
+		es = append(es, entry{
+			name:   fmt.Sprintf("mixed-%d", n),
+			family: "mixed",
+			notes:  fmt.Sprintf("%d threads: disjoint locked updates plus one unprotected shared write each", n),
+			build:  func() model.Source { return mixed(n) },
+		})
+	}
+	for _, p := range []struct{ n, k int }{{3, 3}, {3, 4}, {4, 3}, {4, 4}} {
+		p := p
+		es = append(es, entry{
+			name:   fmt.Sprintf("coarse-tail-%dx%d", p.n, p.k),
+			family: "coarse-tail",
+			notes: fmt.Sprintf("%d threads: a private update under the global lock, then %d conflicting shared writes each — the schedule space dwarfs any budget",
+				p.n, p.k),
+			build: func() model.Source { return coarseTail(p.n, p.k) },
+		})
+	}
+	return es
+}
+
+// coarseTail: each thread updates its private cell inside the global
+// critical section, then performs k writes of distinct values to one
+// shared variable. The lock orders multiply the (already huge) tail
+// interleavings in the regular HBR but not in the lazy HBR, so within
+// a fixed schedule budget lazy caching covers strictly more lazy
+// classes — the Figure 3 regime.
+func coarseTail(n, k int) model.Source {
+	b := progdsl.New(fmt.Sprintf("coarse-tail-%dx%d", n, k)).AutoStart()
+	g := b.Mutex("g")
+	own := b.VarArray("own", n)
+	s := b.Var("s")
+	for i := 0; i < n; i++ {
+		i := i
+		t := b.Thread()
+		t.Lock(g)
+		t.Read(r0, own.At(i))
+		t.AddConst(r0, r0, 1)
+		t.Write(own.At(i), r0)
+		t.Unlock(g)
+		t.Repeat(k, func(j int) {
+			t.WriteConst(s, int64(i*10+j+1))
+		})
+	}
+	return b.Build()
+}
+
+// coarseDisjoint: n threads, each increments its own variable k times,
+// the whole loop inside one global critical section.
+func coarseDisjoint(n, k int) model.Source {
+	b := progdsl.New(fmt.Sprintf("coarse-disjoint-%dx%d", n, k)).AutoStart()
+	g := b.Mutex("g")
+	own := b.VarArray("own", n)
+	for i := 0; i < n; i++ {
+		i := i
+		t := b.Thread()
+		t.Lock(g)
+		t.Repeat(k, func(int) {
+			t.Read(r0, own.At(i))
+			t.AddConst(r0, r0, 1)
+			t.Write(own.At(i), r0)
+		})
+		t.Unlock(g)
+	}
+	return b.Build()
+}
+
+// coarseReadonly: n threads read the same variable under a global lock;
+// no modification at all, so even the regular variable edges vanish.
+func coarseReadonly(n int) model.Source {
+	b := progdsl.New(fmt.Sprintf("coarse-readonly-%d", n)).AutoStart()
+	g := b.Mutex("g")
+	x := b.VarInit("x", 42)
+	for i := 0; i < n; i++ {
+		t := b.Thread()
+		t.Lock(g).Read(r0, x).Unlock(g).AssertEq(r0, 42)
+	}
+	return b.Build()
+}
+
+// coarseShared: n threads increment one shared counter under a lock.
+// The variable edges order the critical sections even under the lazy
+// HBR, so this family sits on the Figure 2 diagonal.
+func coarseShared(n int) model.Source {
+	b := progdsl.New(fmt.Sprintf("coarse-shared-%d", n)).AutoStart()
+	g := b.Mutex("g")
+	x := b.Var("x")
+	for i := 0; i < n; i++ {
+		t := b.Thread()
+		t.Lock(g).Read(r0, x).AddConst(r0, r0, 1).Write(x, r0).Unlock(g)
+	}
+	return b.Build()
+}
+
+// bankGlobal: thread i transfers 10 units from account 2i to account
+// 2i+1, all transfers serialised by one global lock although the
+// account pairs are disjoint. Each thread asserts conservation of its
+// own pair (balances start at zero).
+func bankGlobal(n int) model.Source {
+	b := progdsl.New(fmt.Sprintf("bank-global-%d", n)).AutoStart()
+	g := b.Mutex("g")
+	acc := b.VarArray("acc", 2*n)
+	for i := 0; i < n; i++ {
+		i := i
+		t := b.Thread()
+		t.Lock(g)
+		t.Read(r0, acc.At(2*i))
+		t.AddConst(r0, r0, -10)
+		t.Write(acc.At(2*i), r0)
+		t.Read(r1, acc.At(2*i+1))
+		t.AddConst(r1, r1, 10)
+		t.Write(acc.At(2*i+1), r1)
+		t.Unlock(g)
+		t.Add(r0, r0, r1)
+		t.AssertEq(r0, 0)
+	}
+	return b.Build()
+}
+
+// mixed: each thread updates a private counter under the global lock,
+// then performs one unprotected write to a shared flag. The lock part
+// is lazy-redundant; the flag writes conflict genuinely.
+func mixed(n int) model.Source {
+	b := progdsl.New(fmt.Sprintf("mixed-%d", n)).AutoStart()
+	g := b.Mutex("g")
+	own := b.VarArray("own", n)
+	flag := b.Var("flag")
+	for i := 0; i < n; i++ {
+		i := i
+		t := b.Thread()
+		t.Lock(g)
+		t.Read(r0, own.At(i))
+		t.AddConst(r0, r0, 1)
+		t.Write(own.At(i), r0)
+		t.Unlock(g)
+		t.WriteConst(flag, int64(i+1))
+	}
+	return b.Build()
+}

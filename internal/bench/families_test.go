@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/explore"
+)
+
+// explore returns a full (or capped) DPOR exploration of the named
+// benchmark.
+func exploreBench(t *testing.T, name string, eng explore.Engine, limit int) explore.Result {
+	t.Helper()
+	b, ok := ByName(name)
+	if !ok {
+		t.Fatalf("missing benchmark %s", name)
+	}
+	res := eng.Explore(b.Program, explore.Options{ScheduleLimit: limit, MaxSteps: 2000})
+	if err := res.CheckInvariant(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return res
+}
+
+// TestCoarseFamiliesCollapseUnderLazyHBR: the paper's motivating
+// claim, pinned per family: every coarse-grained benchmark has exactly
+// one lazy HBR class and one state, while regular HBR classes grow
+// with the thread count.
+func TestCoarseFamiliesCollapseUnderLazyHBR(t *testing.T) {
+	expect := map[string]int{ // name -> expected #HBRs (n! lock orders)
+		"coarse-disjoint-2x1": 2,
+		"coarse-disjoint-3x1": 6,
+		"coarse-disjoint-4x1": 24,
+		"coarse-readonly-2":   2,
+		"coarse-readonly-3":   6,
+		"coarse-readonly-4":   24,
+		"bank-global-2":       2,
+		"bank-global-3":       6,
+		"bank-global-4":       24,
+	}
+	for name, hbrs := range expect {
+		res := exploreBench(t, name, explore.NewDPOR(false), 0)
+		if res.HitLimit {
+			t.Errorf("%s unexpectedly hit the limit", name)
+		}
+		if res.DistinctHBRs != hbrs {
+			t.Errorf("%s: #HBRs = %d, want %d", name, res.DistinctHBRs, hbrs)
+		}
+		if res.DistinctLazyHBRs != 1 || res.DistinctStates != 1 {
+			t.Errorf("%s: lazy=%d states=%d, want 1/1", name, res.DistinctLazyHBRs, res.DistinctStates)
+		}
+		if res.AssertFailures != 0 {
+			t.Errorf("%s: %d assertion failures", name, res.AssertFailures)
+		}
+	}
+}
+
+// TestCoarseSharedSitsOnDiagonal: with genuine data ordering the lazy
+// relation cannot collapse anything.
+func TestCoarseSharedSitsOnDiagonal(t *testing.T) {
+	for _, name := range []string{"coarse-shared-2", "coarse-shared-3", "coarse-shared-4"} {
+		res := exploreBench(t, name, explore.NewDPOR(false), 0)
+		if res.DistinctHBRs != res.DistinctLazyHBRs {
+			t.Errorf("%s: hbrs=%d lazy=%d, want equal (diagonal)", name, res.DistinctHBRs, res.DistinctLazyHBRs)
+		}
+		if res.DistinctStates != 1 {
+			t.Errorf("%s: locked increments must commute to one state, got %d", name, res.DistinctStates)
+		}
+	}
+}
+
+// TestRacyFamiliesExposeBugs: the unsynchronised benchmarks must
+// produce races, and the counters lose updates (≥ 2 distinct states).
+func TestRacyFamiliesExposeBugs(t *testing.T) {
+	for _, name := range []string{"counter-racy-2x1", "counter-racy-2x2", "counter-racy-3x1", "account-racy-2", "dcl-2", "msgpass-2"} {
+		res := exploreBench(t, name, explore.NewDFS(), 50000)
+		if res.Races == 0 {
+			t.Errorf("%s: no data race found", name)
+		}
+	}
+	res := exploreBench(t, "counter-racy-2x1", explore.NewDFS(), 0)
+	if res.DistinctStates < 2 {
+		t.Errorf("counter-racy-2x1: %d states, want the lost-update state too", res.DistinctStates)
+	}
+	// The racy-account asserts fire with three depositors.
+	res = exploreBench(t, "account-racy-3", explore.NewDFS(), 50000)
+	if res.AssertFailures == 0 {
+		t.Error("account-racy-3: expected lost-update assertion failures")
+	}
+}
+
+// TestMutualExclusionAlgorithms: Peterson and Dekker (correct under
+// sequential consistency) must never fail their witness assertions,
+// over the entire bounded schedule space.
+func TestMutualExclusionAlgorithms(t *testing.T) {
+	for _, name := range []string{"peterson-2", "dekker-2"} {
+		res := exploreBench(t, name, explore.NewDPOR(false), 0)
+		if res.HitLimit {
+			t.Fatalf("%s: space not exhausted; cannot certify", name)
+		}
+		if res.AssertFailures != 0 {
+			t.Errorf("%s: mutual exclusion violated %d times", name, res.AssertFailures)
+		}
+		if res.Deadlocks != 0 {
+			t.Errorf("%s: deadlocked %d times", name, res.Deadlocks)
+		}
+		// The busy-wait flags race by design (that is the point of
+		// the algorithms: they synchronise through plain variables).
+		if res.Races == 0 {
+			t.Errorf("%s: expected benign flag races to be reported", name)
+		}
+	}
+}
+
+// TestTicketLockSafety: the bounded ticket lock must preserve mutual
+// exclusion of the counter (it only loses liveness when spins expire).
+func TestTicketLockSafety(t *testing.T) {
+	res := exploreBench(t, "ticket-2", explore.NewDFS(), 0)
+	if res.HitLimit {
+		t.Fatal("ticket-2 should be exhaustively explorable")
+	}
+	if res.AssertFailures != 0 || res.Deadlocks != 0 {
+		t.Errorf("ticket-2: asserts=%d deadlocks=%d", res.AssertFailures, res.Deadlocks)
+	}
+}
+
+// TestForkJoinAggregateAlwaysCorrect: the locked sum protected by
+// spawn/join edges is deterministic — a single final state, assertion
+// never fails.
+func TestForkJoinAggregateAlwaysCorrect(t *testing.T) {
+	for _, name := range []string{"forkjoin-2", "forkjoin-3"} {
+		res := exploreBench(t, name, explore.NewDPOR(false), 0)
+		if res.AssertFailures != 0 {
+			t.Errorf("%s: %d assertion failures", name, res.AssertFailures)
+		}
+		if res.DistinctStates != 1 {
+			t.Errorf("%s: %d states, want 1", name, res.DistinctStates)
+		}
+		if res.Races != 0 {
+			t.Errorf("%s: %d races (spawn/join must order everything)", name, res.Races)
+		}
+	}
+}
+
+// TestProdConsInvariants: consumed slots always hold produced values.
+func TestProdConsInvariants(t *testing.T) {
+	for _, name := range []string{"prodcons-1p1c-s1-i1", "prodcons-1p1c-s1-i2", "prodcons-1p1c-s2-i2", "prodcons-2p1c-s1-i1"} {
+		res := exploreBench(t, name, explore.NewDPOR(false), 100000)
+		if res.AssertFailures != 0 {
+			t.Errorf("%s: %d assertion failures", name, res.AssertFailures)
+		}
+		if res.Deadlocks != 0 {
+			t.Errorf("%s: %d deadlocks (bounded retries must prevent them)", name, res.Deadlocks)
+		}
+	}
+}
+
+// TestIndexerAllInsertionsLand: every thread's key ends up in the
+// table in every schedule (the table has enough slots).
+func TestIndexerAllInsertionsLand(t *testing.T) {
+	res := exploreBench(t, "indexer-2", explore.NewDFS(), 0)
+	if res.HitLimit {
+		t.Fatal("indexer-2 should be exhaustible")
+	}
+	if res.Deadlocks != 0 || res.AssertFailures != 0 {
+		t.Errorf("indexer-2: %+v", res)
+	}
+}
+
+// TestLastZeroCheckerAlwaysFinds: the checker's assertion (a zero
+// exists) holds in every interleaving.
+func TestLastZeroCheckerAlwaysFinds(t *testing.T) {
+	for _, name := range []string{"lastzero-2", "lastzero-3"} {
+		res := exploreBench(t, name, explore.NewDPOR(false), 0)
+		if res.AssertFailures != 0 {
+			t.Errorf("%s: checker assertion failed %d times", name, res.AssertFailures)
+		}
+	}
+}
+
+// TestSyntheticDeterminism: the seeded generator must produce the
+// identical program on every call — the corpus would silently drift
+// otherwise.
+func TestSyntheticDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 22; seed++ {
+		a := synthetic(seed)
+		b := synthetic(seed)
+		ra := explore.NewDPOR(false).Explore(a, explore.Options{ScheduleLimit: 200, MaxSteps: 2000})
+		rb := explore.NewDPOR(false).Explore(b, explore.Options{ScheduleLimit: 200, MaxSteps: 2000})
+		if ra.Schedules != rb.Schedules || ra.DistinctHBRs != rb.DistinctHBRs ||
+			ra.DistinctLazyHBRs != rb.DistinctLazyHBRs || ra.DistinctStates != rb.DistinctStates {
+			t.Errorf("seed %d: generator not deterministic: %v vs %v", seed, ra.String(), rb.String())
+		}
+	}
+}
+
+// TestFamilyCoverage: the corpus spans the structural spectrum the
+// paper's does — some benchmarks strictly below the Figure 2 diagonal,
+// some exactly on it, some hitting the schedule limit.
+func TestFamilyCoverage(t *testing.T) {
+	below, diagonal, limited := 0, 0, 0
+	eng := explore.NewDPOR(false)
+	for _, b := range All() {
+		res := eng.Explore(b.Program, explore.Options{ScheduleLimit: 400, MaxSteps: 2000})
+		if err := res.CheckInvariant(); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		switch {
+		case res.DistinctLazyHBRs < res.DistinctHBRs:
+			below++
+		case res.DistinctHBRs == res.DistinctLazyHBRs && res.DistinctHBRs > 1:
+			diagonal++
+		}
+		if res.HitLimit {
+			limited++
+		}
+	}
+	if below < 15 {
+		t.Errorf("only %d benchmarks below the diagonal; the corpus must show the lazy effect broadly", below)
+	}
+	if diagonal < 10 {
+		t.Errorf("only %d benchmarks on the diagonal; need interference-heavy coverage too", diagonal)
+	}
+	if limited == 0 {
+		t.Error("no benchmark hits the schedule limit at 400; need limit-bound coverage (underlined points)")
+	}
+	t.Logf("coverage at limit 400: below=%d diagonal=%d limit-hitting=%d of %d", below, diagonal, limited, Count)
+}
+
+// TestNotesMentionThreads: metadata sanity — every note is a real
+// sentence, each family name appears in its members' names.
+func TestNotesMentionThreads(t *testing.T) {
+	for _, b := range All() {
+		if len(b.Notes) < 20 {
+			t.Errorf("%s: notes too thin: %q", b.Name, b.Notes)
+		}
+		fam := strings.SplitN(b.Family, "-", 2)[0]
+		switch b.Family {
+		case "mutex-algo", "synthetic", "rwlock":
+			// Families whose member names use their own scheme.
+		default:
+			if !strings.Contains(b.Name, fam) {
+				t.Errorf("%s: name does not reflect family %s", b.Name, b.Family)
+			}
+		}
+	}
+}

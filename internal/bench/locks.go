@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/progdsl"
+)
+
+// lockEntries builds the synchronisation-algorithm families: software
+// mutual exclusion (Peterson, Dekker — with bounded spinning to keep
+// the schedule space finite), dining philosophers (deadlocking and
+// ordered variants), a coarse readers/writer arrangement and a ticket
+// lock. 9 entries.
+func lockEntries() []entry {
+	var es []entry
+	es = append(es,
+		entry{
+			name:   "peterson-2",
+			family: "mutex-algo",
+			notes:  "Peterson's algorithm with bounded spinning; a witness variable asserts mutual exclusion",
+			build:  peterson,
+		},
+		entry{
+			name:   "dekker-2",
+			family: "mutex-algo",
+			notes:  "Dekker-style entry protocol with bounded spinning and a mutual-exclusion witness",
+			build:  dekker,
+		},
+	)
+	for _, n := range []int{2, 3} {
+		n := n
+		es = append(es, entry{
+			name:   fmt.Sprintf("philosophers-%d", n),
+			family: "philosophers",
+			notes:  fmt.Sprintf("%d dining philosophers, all grabbing left fork first: deadlock reachable", n),
+			build:  func() model.Source { return philosophers(n, false) },
+		})
+	}
+	for _, n := range []int{2, 3} {
+		n := n
+		es = append(es, entry{
+			name:   fmt.Sprintf("philosophers-ordered-%d", n),
+			family: "philosophers",
+			notes:  fmt.Sprintf("%d dining philosophers with a lock-ordering discipline: deadlock-free", n),
+			build:  func() model.Source { return philosophers(n, true) },
+		})
+	}
+	for _, nr := range []int{2, 3} {
+		nr := nr
+		es = append(es, entry{
+			name:   fmt.Sprintf("rw-%dr1w", nr),
+			family: "rwlock",
+			notes:  fmt.Sprintf("%d readers and one writer share a coarse lock; readers mostly redundant under the lazy HBR", nr),
+			build:  func() model.Source { return readersWriter(nr) },
+		})
+	}
+	es = append(es, entry{
+		name:   "ticket-2",
+		family: "ticket",
+		notes:  "two threads take tickets under a small lock, then spin (bounded) on now-serving before the critical section",
+		build:  ticketLock,
+	})
+	return es
+}
+
+// peterson: classic two-thread mutual exclusion. Spinning is bounded
+// (a thread gives up after a few attempts and skips its critical
+// section) so the schedule space stays finite; the witness variable
+// asserts that two threads are never inside simultaneously. The flag
+// and turn accesses are deliberate data races.
+func peterson() model.Source {
+	b := progdsl.New("peterson-2").AutoStart()
+	flag := b.VarArray("flag", 2)
+	turn := b.Var("turn")
+	counter := b.Var("counter")
+	witness := b.Var("witness")
+	for i := 0; i < 2; i++ {
+		i := i
+		j := 1 - i
+		t := b.Thread()
+		t.WriteConst(flag.At(i), 1)
+		t.WriteConst(turn, int64(j))
+		t.Const(r2, 3) // bounded spin budget
+		t.Const(r3, 0) // 1 = may enter
+		t.While(progdsl.Ge(r2, 1), func() {
+			t.Read(r0, flag.At(j))
+			t.If(progdsl.Eq(r0, 0), func() {
+				t.Const(r3, 1)
+				t.Const(r2, 0)
+			}, func() {
+				t.Read(r1, turn)
+				t.If(progdsl.Eq(r1, int64(i)), func() {
+					t.Const(r3, 1)
+					t.Const(r2, 0)
+				}, func() {
+					t.AddConst(r2, r2, -1)
+				})
+			})
+		})
+		t.If(progdsl.Eq(r3, 1), func() {
+			t.Read(r0, witness)
+			t.AssertEq(r0, 0) // mutual exclusion
+			t.WriteConst(witness, 1)
+			t.Read(r1, counter)
+			t.AddConst(r1, r1, 1)
+			t.Write(counter, r1)
+			t.WriteConst(witness, 0)
+		}, nil)
+		t.WriteConst(flag.At(i), 0)
+	}
+	return b.Build()
+}
+
+// dekker: the Dekker-style entry protocol (flags only, with the turn
+// variable breaking ties), bounded spin, same witness discipline.
+func dekker() model.Source {
+	b := progdsl.New("dekker-2").AutoStart()
+	flag := b.VarArray("flag", 2)
+	turn := b.Var("turn")
+	witness := b.Var("witness")
+	for i := 0; i < 2; i++ {
+		i := i
+		j := 1 - i
+		t := b.Thread()
+		t.WriteConst(flag.At(i), 1)
+		t.Const(r2, 3)
+		t.Const(r3, 1) // optimistically allowed; cleared on give-up
+		t.Read(r0, flag.At(j))
+		t.While(progdsl.Eq(r0, 1), func() {
+			t.Read(r1, turn)
+			t.If(progdsl.Ne(r1, int64(i)), func() {
+				t.WriteConst(flag.At(i), 0)
+				t.WriteConst(flag.At(i), 1)
+			}, nil)
+			t.AddConst(r2, r2, -1)
+			t.If(progdsl.Eq(r2, 0), func() {
+				t.Const(r0, 0) // leave the loop
+				t.Const(r3, 0) // gave up
+			}, func() {
+				t.Read(r0, flag.At(j))
+			})
+		})
+		t.If(progdsl.Eq(r3, 1), func() {
+			t.Read(r0, witness)
+			t.AssertEq(r0, 0)
+			t.WriteConst(witness, 1)
+			t.WriteConst(witness, 0)
+			t.WriteConst(turn, int64(j))
+		}, nil)
+		t.WriteConst(flag.At(i), 0)
+	}
+	return b.Build()
+}
+
+// philosophers: fork i sits between philosophers i-1 and i. With every
+// philosopher grabbing the left fork first the circular wait — a
+// genuine deadlock the machine reports — is reachable; the ordered
+// variant has the last philosopher grab right-then-left, which breaks
+// the cycle.
+func philosophers(n int, ordered bool) model.Source {
+	name := fmt.Sprintf("philosophers-%d", n)
+	if ordered {
+		name = fmt.Sprintf("philosophers-ordered-%d", n)
+	}
+	b := progdsl.New(name).AutoStart()
+	forks := b.MutexArray("fork", n)
+	meals := b.VarArray("meals", n)
+	for i := 0; i < n; i++ {
+		i := i
+		t := b.Thread()
+		first, second := i, (i+1)%n
+		if ordered && i == n-1 {
+			first, second = second, first
+		}
+		t.Lock(forks.At(first))
+		t.Lock(forks.At(second))
+		t.Read(r0, meals.At(i))
+		t.AddConst(r0, r0, 1)
+		t.Write(meals.At(i), r0)
+		t.Unlock(forks.At(second))
+		t.Unlock(forks.At(first))
+	}
+	return b.Build()
+}
+
+// readersWriter: one writer updates the shared datum under the coarse
+// lock; nr readers read it under the same lock and assert they saw a
+// legal value.
+func readersWriter(nr int) model.Source {
+	b := progdsl.New(fmt.Sprintf("rw-%dr1w", nr)).AutoStart()
+	g := b.Mutex("g")
+	data := b.Var("data")
+	w := b.Thread()
+	w.Lock(g).WriteConst(data, 1).Unlock(g)
+	for i := 0; i < nr; i++ {
+		t := b.Thread()
+		t.Lock(g).Read(r0, data).Unlock(g)
+		t.AssertLt(r0, 2)
+	}
+	return b.Build()
+}
+
+// ticketLock: threads draw tickets under a tiny lock, then spin
+// (bounded) on now-serving. A thread whose turn never comes within the
+// spin budget abandons its critical section without advancing
+// now-serving — so the other thread may abandon too; both outcomes are
+// legal terminal states.
+func ticketLock() model.Source {
+	b := progdsl.New("ticket-2").AutoStart()
+	tl := b.Mutex("ticket")
+	next := b.Var("next")
+	serving := b.Var("serving")
+	counter := b.Var("counter")
+	for i := 0; i < 2; i++ {
+		t := b.Thread()
+		t.Lock(tl)
+		t.Read(r0, next) // r0: my ticket
+		t.AddConst(r1, r0, 1)
+		t.Write(next, r1)
+		t.Unlock(tl)
+		t.Const(r2, 4) // spin budget
+		t.Const(r3, 0) // 1 = acquired
+		t.While(progdsl.Ge(r2, 1), func() {
+			t.Read(r1, serving)
+			t.Sub(r1, r1, r0)
+			t.If(progdsl.Eq(r1, 0), func() {
+				t.Const(r3, 1)
+				t.Const(r2, 0)
+			}, func() {
+				t.AddConst(r2, r2, -1)
+			})
+		})
+		t.If(progdsl.Eq(r3, 1), func() {
+			t.Read(r1, counter)
+			t.AddConst(r1, r1, 1)
+			t.Write(counter, r1)
+			t.AddConst(r1, r0, 1)
+			t.Write(serving, r1)
+		}, nil)
+	}
+	return b.Build()
+}

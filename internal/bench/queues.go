@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/progdsl"
+)
+
+// queueEntries builds the data-structure and thread-structure
+// families: bounded producer/consumer buffers, sharded maps with
+// per-shard locks, spawn/join fork-join phases and flag-based
+// pipelines. 12 entries.
+func queueEntries() []entry {
+	var es []entry
+	for _, p := range []struct {
+		prod, cons, size, items int
+	}{{1, 1, 1, 1}, {1, 1, 1, 2}, {1, 1, 2, 2}, {2, 1, 1, 1}} {
+		p := p
+		es = append(es, entry{
+			name:   fmt.Sprintf("prodcons-%dp%dc-s%d-i%d", p.prod, p.cons, p.size, p.items),
+			family: "prodcons",
+			notes: fmt.Sprintf("%d producers / %d consumers over a %d-slot buffer guarded by one lock, %d items each, bounded retries",
+				p.prod, p.cons, p.size, p.items),
+			build: func() model.Source { return prodCons(p.prod, p.cons, p.size, p.items) },
+		})
+	}
+	for _, p := range []struct{ threads, shards int }{{2, 2}, {3, 2}, {4, 2}, {3, 3}} {
+		p := p
+		es = append(es, entry{
+			name:   fmt.Sprintf("sharded-%dt%ds", p.threads, p.shards),
+			family: "sharded",
+			notes:  fmt.Sprintf("%d threads update a %d-shard map under per-shard locks (thread i hits shard i mod %d)", p.threads, p.shards, p.shards),
+			build:  func() model.Source { return sharded(p.threads, p.shards) },
+		})
+	}
+	for _, n := range []int{2, 3} {
+		n := n
+		es = append(es, entry{
+			name:   fmt.Sprintf("forkjoin-%d", n),
+			family: "forkjoin",
+			notes:  fmt.Sprintf("main spawns %d workers, joins them, and asserts the locked aggregate", n),
+			build:  func() model.Source { return forkJoin(n) },
+		})
+	}
+	for _, n := range []int{2, 3} {
+		n := n
+		es = append(es, entry{
+			name:   fmt.Sprintf("pipeline-%d", n),
+			family: "pipeline",
+			notes:  fmt.Sprintf("%d-stage value pipeline through shared cells without synchronisation", n),
+			build:  func() model.Source { return pipeline(n) },
+		})
+	}
+	return es
+}
+
+// prodCons: a bounded buffer (buf + count) guarded by one lock.
+// Producers try to publish `items` values and consumers to take the
+// same number; every attempt is bounded, so full/empty buffers lead to
+// abandoned work rather than unbounded spinning.
+func prodCons(prod, cons, size, items int) model.Source {
+	b := progdsl.New(fmt.Sprintf("prodcons-%dp%dc-s%d-i%d", prod, cons, size, items)).AutoStart()
+	g := b.Mutex("g")
+	buf := b.VarArray("buf", size)
+	count := b.Var("count")
+	attempts := items + 2
+	for p := 0; p < prod; p++ {
+		p := p
+		t := b.Thread()
+		t.Const(r2, int64(items))    // r2: items left to produce
+		t.Const(r3, int64(attempts)) // r3: attempts left
+		t.While(progdsl.Ge(r3, 1), func() {
+			t.Lock(g)
+			t.Read(r0, count)
+			t.If(progdsl.Lt(r0, int64(size)), func() {
+				t.Const(r1, int64(100+p))
+				t.WriteAt(buf, r0, r1)
+				t.AddConst(r0, r0, 1)
+				t.Write(count, r0)
+				t.AddConst(r2, r2, -1)
+			}, nil)
+			t.Unlock(g)
+			t.AddConst(r3, r3, -1)
+			t.If(progdsl.Eq(r2, 0), func() { t.Const(r3, 0) }, nil)
+		})
+	}
+	for c := 0; c < cons; c++ {
+		t := b.Thread()
+		t.Const(r2, int64(items))
+		t.Const(r3, int64(attempts))
+		t.While(progdsl.Ge(r3, 1), func() {
+			t.Lock(g)
+			t.Read(r0, count)
+			t.If(progdsl.Ge(r0, 1), func() {
+				t.AddConst(r0, r0, -1)
+				t.ReadAt(r1, buf, r0)
+				t.Write(count, r0)
+				t.AssertGe(r1, 100) // consumed slots hold produced values
+				t.AddConst(r2, r2, -1)
+			}, nil)
+			t.Unlock(g)
+			t.AddConst(r3, r3, -1)
+			t.If(progdsl.Eq(r2, 0), func() { t.Const(r3, 0) }, nil)
+		})
+	}
+	return b.Build()
+}
+
+// sharded: per-shard locks over disjoint shard counters; contention
+// exists only between threads mapped to the same shard, and the lazy
+// HBR additionally collapses the redundant same-shard lock orders when
+// threads write thread-private cells.
+func sharded(threads, shards int) model.Source {
+	b := progdsl.New(fmt.Sprintf("sharded-%dt%ds", threads, shards)).AutoStart()
+	locks := b.MutexArray("shardlock", shards)
+	cells := b.VarArray("cell", threads) // one output cell per thread
+	hits := b.VarArray("hits", shards)
+	for i := 0; i < threads; i++ {
+		i := i
+		s := i % shards
+		t := b.Thread()
+		t.Lock(locks.At(s))
+		t.Read(r0, hits.At(s))
+		t.AddConst(r0, r0, 1)
+		t.Write(hits.At(s), r0)
+		t.Write(cells.At(i), r0)
+		t.Unlock(locks.At(s))
+	}
+	return b.Build()
+}
+
+// forkJoin: main spawns the workers, each of which adds its
+// contribution to a locked sum; main joins all and asserts the total.
+// Exercises spawn/join edges, which both the regular and the lazy HBR
+// keep.
+func forkJoin(n int) model.Source {
+	b := progdsl.New(fmt.Sprintf("forkjoin-%d", n))
+	g := b.Mutex("g")
+	sum := b.Var("sum")
+	main := b.Thread()
+	workers := make([]*progdsl.ThreadBuilder, n)
+	for i := 0; i < n; i++ {
+		w := b.Thread()
+		w.Lock(g)
+		w.Read(r0, sum)
+		w.AddConst(r0, r0, 1)
+		w.Write(sum, r0)
+		w.Unlock(g)
+		workers[i] = w
+	}
+	for _, w := range workers {
+		main.Spawn(w)
+	}
+	for _, w := range workers {
+		main.Join(w)
+	}
+	main.Read(r0, sum)
+	main.AssertEq(r0, int64(n))
+	return b.Build()
+}
+
+// pipeline: stage 0 writes its cell; each later stage reads the
+// previous cell and forwards value+1. With no synchronisation, stages
+// may observe the initial zero — several distinct terminal states.
+func pipeline(n int) model.Source {
+	b := progdsl.New(fmt.Sprintf("pipeline-%d", n)).AutoStart()
+	cells := b.VarArray("cell", n)
+	head := b.Thread()
+	head.WriteConst(cells.At(0), 5)
+	for i := 1; i < n; i++ {
+		i := i
+		t := b.Thread()
+		t.Read(r0, cells.At(i-1))
+		t.AddConst(r0, r0, 1)
+		t.Write(cells.At(i), r0)
+	}
+	return b.Build()
+}

@@ -1,0 +1,142 @@
+// Package bench provides the 79-program corpus used to reproduce the
+// paper's evaluation (Figures 2 and 3). The paper evaluated 79
+// open-source multithreaded Java benchmarks; those are not available
+// offline, so this corpus substitutes deterministic progdsl programs
+// spanning the same structural spectrum (see DESIGN.md §2): classic
+// SCT/DPOR benchmarks, coarse-grained-locking families where the lazy
+// HBR collapses equivalence classes, interference-heavy programs that
+// sit on the diagonal, and a seeded synthetic family.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/progdsl"
+)
+
+// Convenient register names for the builders in this package.
+const (
+	r0 = progdsl.Reg(0)
+	r1 = progdsl.Reg(1)
+	r2 = progdsl.Reg(2)
+	r3 = progdsl.Reg(3)
+)
+
+// Benchmark is one corpus entry.
+type Benchmark struct {
+	// ID is the benchmark's stable 1-based identifier, used as the
+	// point label in the reproduced figures.
+	ID int
+	// Name is unique and stable, e.g. "coarse-disjoint-3x2".
+	Name string
+	// Family groups parameter variants.
+	Family string
+	// Notes describes what the benchmark exercises.
+	Notes string
+	// Program is the program under test.
+	Program model.Source
+}
+
+type entry struct {
+	name   string
+	family string
+	notes  string
+	build  func() model.Source
+}
+
+// families in registration order; each contributes a fixed number of
+// entries so IDs are stable.
+func allEntries() []entry {
+	var es []entry
+	es = append(es, coarseEntries()...)
+	es = append(es, classicEntries()...)
+	es = append(es, accountEntries()...)
+	es = append(es, lockEntries()...)
+	es = append(es, queueEntries()...)
+	es = append(es, syntheticEntries()...)
+	return es
+}
+
+// All builds the full corpus. Programs are immutable and stateless, so
+// the result can be shared; All rebuilds on each call to keep callers
+// independent.
+func All() []Benchmark {
+	es := allEntries()
+	out := make([]Benchmark, len(es))
+	for i, e := range es {
+		out[i] = Benchmark{
+			ID:      i + 1,
+			Name:    e.name,
+			Family:  e.family,
+			Notes:   e.notes,
+			Program: e.build(),
+		}
+	}
+	return out
+}
+
+// Count is the corpus size the paper mandates.
+const Count = 79
+
+// ByName returns the benchmark with the given name.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// ByID returns the benchmark with the given 1-based ID.
+func ByID(id int) (Benchmark, bool) {
+	all := All()
+	if id < 1 || id > len(all) {
+		return Benchmark{}, false
+	}
+	return all[id-1], true
+}
+
+// Families lists the distinct family names, sorted.
+func Families() []string {
+	seen := map[string]bool{}
+	for _, e := range allEntries() {
+		seen[e.family] = true
+	}
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Names lists all benchmark names in ID order.
+func Names() []string {
+	es := allEntries()
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.name
+	}
+	return out
+}
+
+func mustUnique(es []entry) {
+	seen := map[string]bool{}
+	for _, e := range es {
+		if seen[e.name] {
+			panic(fmt.Sprintf("bench: duplicate benchmark name %q", e.name))
+		}
+		seen[e.name] = true
+	}
+}
+
+func init() {
+	es := allEntries()
+	mustUnique(es)
+	if len(es) != Count {
+		panic(fmt.Sprintf("bench: corpus has %d entries, want %d", len(es), Count))
+	}
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/explore"
+)
+
+// TestCorpusSize pins the corpus to the paper's 79 benchmarks.
+func TestCorpusSize(t *testing.T) {
+	all := All()
+	if len(all) != Count {
+		t.Fatalf("corpus has %d benchmarks, want %d", len(all), Count)
+	}
+	for i, b := range all {
+		if b.ID != i+1 {
+			t.Errorf("benchmark %q has ID %d, want %d", b.Name, b.ID, i+1)
+		}
+		if b.Name == "" || b.Family == "" || b.Notes == "" || b.Program == nil {
+			t.Errorf("benchmark %d has incomplete metadata: %+v", i+1, b)
+		}
+	}
+}
+
+// TestLookup exercises ByName/ByID round trips.
+func TestLookup(t *testing.T) {
+	for _, b := range All() {
+		got, ok := ByName(b.Name)
+		if !ok || got.ID != b.ID {
+			t.Errorf("ByName(%q) = %v, %v", b.Name, got.ID, ok)
+		}
+		got, ok = ByID(b.ID)
+		if !ok || got.Name != b.Name {
+			t.Errorf("ByID(%d) = %q, %v", b.ID, got.Name, ok)
+		}
+	}
+	if _, ok := ByName("no-such-benchmark"); ok {
+		t.Error("ByName accepted a bogus name")
+	}
+	if _, ok := ByID(0); ok {
+		t.Error("ByID accepted 0")
+	}
+	if _, ok := ByID(Count + 1); ok {
+		t.Error("ByID accepted out-of-range ID")
+	}
+}
+
+// TestEveryBenchmarkRuns executes one deterministic schedule of every
+// benchmark and checks it terminates within the depth bound.
+func TestEveryBenchmarkRuns(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			out := exec.Run(b.Program, exec.FirstEnabled{}, exec.Options{MaxSteps: 2000})
+			if out.Truncated {
+				t.Fatalf("default schedule of %s truncated at %d events", b.Name, len(out.Trace))
+			}
+			if len(out.Trace) == 0 {
+				t.Fatalf("%s executed no events", b.Name)
+			}
+		})
+	}
+}
+
+// TestEveryBenchmarkReplayDeterministic checks that replaying a
+// recorded schedule reproduces the identical outcome — the property
+// every SCT result in this repository rests on.
+func TestEveryBenchmarkReplayDeterministic(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			first := exec.Run(b.Program, exec.NewRandom(42), exec.Options{MaxSteps: 2000})
+			again := exec.Replay(b.Program, first.Choices, exec.Options{MaxSteps: 2000})
+			if first.StateKey != again.StateKey {
+				t.Fatalf("replay diverged:\n first=%s\nsecond=%s", first.StateKey, again.StateKey)
+			}
+			if first.HBFP != again.HBFP || first.LazyFP != again.LazyFP {
+				t.Fatalf("replay produced different happens-before fingerprints")
+			}
+		})
+	}
+}
+
+// TestEveryBenchmarkInvariant runs a capped DPOR exploration over the
+// whole corpus and asserts the paper's inequality chain
+// #states ≤ #lazy HBRs ≤ #HBRs ≤ #schedules on every benchmark.
+func TestEveryBenchmarkInvariant(t *testing.T) {
+	eng := explore.NewDPOR(false)
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			res := eng.Explore(b.Program, explore.Options{ScheduleLimit: 300, MaxSteps: 2000})
+			if err := res.CheckInvariant(); err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+			if res.Terminals == 0 && res.Truncated == 0 {
+				t.Fatalf("%s: exploration made no progress: %+v", b.Name, res)
+			}
+		})
+	}
+}
+
+// TestDeadlockBenchmarks checks that the deadlocking philosopher
+// variants actually deadlock and the ordered ones do not.
+func TestDeadlockBenchmarks(t *testing.T) {
+	eng := explore.NewDFS()
+	cases := map[string]bool{
+		"philosophers-2":         true,
+		"philosophers-3":         true,
+		"philosophers-ordered-2": false,
+		"philosophers-ordered-3": false,
+	}
+	for name, wantDeadlock := range cases {
+		b, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing benchmark %s", name)
+		}
+		res := eng.Explore(b.Program, explore.Options{ScheduleLimit: 50000, MaxSteps: 2000})
+		if (res.Deadlocks > 0) != wantDeadlock {
+			t.Errorf("%s: deadlocks=%d, wantDeadlock=%v (%v)", name, res.Deadlocks, wantDeadlock, res.String())
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package core is the façade of the lazy happens-before reproduction:
+// one-call checking of a program under any exploration engine, plus the
+// registry of engines the evaluation sweeps over.
+//
+// The paper's contribution lives in internal/hb (the lazy
+// happens-before relation and its fingerprints) and internal/explore
+// (lazy HBR caching and the experimental lazy DPOR); this package ties
+// them to programs (internal/progdsl, internal/goharness) and reports.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/exec"
+	"repro/internal/explore"
+	"repro/internal/model"
+)
+
+// EngineName identifies an exploration engine.
+type EngineName string
+
+// The engines available to Check and the evaluation harness.
+const (
+	EngineDFS          EngineName = "dfs"
+	EngineDPOR         EngineName = "dpor"
+	EngineDPORSleep    EngineName = "dpor+sleep"
+	EngineHBRCache     EngineName = "hbr-caching"
+	EngineLazyHBRCache EngineName = "lazy-hbr-caching"
+	EngineLazyDPOR     EngineName = "lazy-dpor"
+	EngineRandom       EngineName = "random"
+)
+
+// NewEngine instantiates an engine by name. Random walks use seed 1.
+// Preemption-bounded engines are named "pb<k>-dfs", "pb<k>-hbr-caching"
+// and "pb<k>-lazy-hbr-caching" for a bound k (e.g. "pb2-dfs").
+func NewEngine(name EngineName) (explore.Engine, error) {
+	if eng, ok := parsePreemptionBounded(string(name)); ok {
+		return eng, nil
+	}
+	switch name {
+	case EngineDFS:
+		return explore.NewDFS(), nil
+	case EngineDPOR:
+		return explore.NewDPOR(false), nil
+	case EngineDPORSleep:
+		return explore.NewDPOR(true), nil
+	case EngineHBRCache:
+		return explore.NewHBRCache(), nil
+	case EngineLazyHBRCache:
+		return explore.NewLazyHBRCache(), nil
+	case EngineLazyDPOR:
+		return explore.NewLazyDPOR(), nil
+	case EngineRandom:
+		return explore.NewRandomWalk(1), nil
+	default:
+		return nil, fmt.Errorf("core: unknown engine %q (have %v)", name, EngineNames())
+	}
+}
+
+// parsePreemptionBounded recognises the bounded-engine spellings:
+// "pb<k>-dfs", "pb<k>-hbr-caching", "pb<k>-lazy-hbr-caching",
+// "db<k>-dfs" (delay bounding) and the iterative-deepening loops
+// "chess-pb<k>" / "chess-db<k>".
+func parsePreemptionBounded(name string) (explore.Engine, bool) {
+	if rest, ok := strings.CutPrefix(name, "chess-pb"); ok {
+		if bound, err := strconv.Atoi(rest); err == nil && bound >= 0 {
+			return explore.NewIterativePreemptionBounding(bound), true
+		}
+		return nil, false
+	}
+	if rest, ok := strings.CutPrefix(name, "chess-db"); ok {
+		if bound, err := strconv.Atoi(rest); err == nil && bound >= 0 {
+			return explore.NewIterativeDelayBounding(bound), true
+		}
+		return nil, false
+	}
+	kind := ""
+	switch {
+	case strings.HasPrefix(name, "pb"):
+		kind = "pb"
+	case strings.HasPrefix(name, "db"):
+		kind = "db"
+	default:
+		return nil, false
+	}
+	rest := name[2:]
+	dash := strings.IndexByte(rest, '-')
+	if dash <= 0 {
+		return nil, false
+	}
+	bound, err := strconv.Atoi(rest[:dash])
+	if err != nil || bound < 0 {
+		return nil, false
+	}
+	switch {
+	case kind == "pb" && rest[dash+1:] == "dfs":
+		return explore.NewPreemptionBounded(bound), true
+	case kind == "pb" && rest[dash+1:] == "hbr-caching":
+		return explore.NewPreemptionBoundedCache(bound, false), true
+	case kind == "pb" && rest[dash+1:] == "lazy-hbr-caching":
+		return explore.NewPreemptionBoundedCache(bound, true), true
+	case kind == "db" && rest[dash+1:] == "dfs":
+		return explore.NewDelayBounded(bound), true
+	}
+	return nil, false
+}
+
+// EngineNames lists the known engine names, sorted.
+func EngineNames() []EngineName {
+	names := []EngineName{
+		EngineDFS, EngineDPOR, EngineDPORSleep, EngineHBRCache,
+		EngineLazyHBRCache, EngineLazyDPOR, EngineRandom,
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+// Report is the user-facing outcome of a Check.
+type Report struct {
+	explore.Result
+	// Violation is non-nil when a safety violation was found; it
+	// contains a deterministic reproduction.
+	Violation *Violation
+}
+
+// Violation describes the first safety violation an exploration found.
+type Violation struct {
+	Kind string
+	// Schedule replays the violation: the thread chosen at each
+	// step. Feed it to exec.Replay against the same program.
+	Schedule []event.ThreadID
+	// Outcome is the replayed execution, with full trace.
+	Outcome exec.Outcome
+}
+
+// String summarises the violation.
+func (v *Violation) String() string {
+	return fmt.Sprintf("%s after %d steps", v.Kind, len(v.Schedule))
+}
+
+// Check explores src's schedule space with the named engine and
+// returns a report. A zero Options explores exhaustively with default
+// depth bounds.
+func Check(src model.Source, engine EngineName, opt explore.Options) (Report, error) {
+	eng, err := NewEngine(engine)
+	if err != nil {
+		return Report{}, err
+	}
+	res := eng.Explore(src, opt)
+	rep := Report{Result: res}
+	if err := res.CheckInvariant(); err != nil {
+		// A broken inequality chain indicates a framework bug,
+		// never a program-under-test bug.
+		return rep, fmt.Errorf("core: %s on %s: %w", engine, src.Name(), err)
+	}
+	if res.FirstViolation != nil {
+		out := exec.Replay(src, res.FirstViolation, exec.Options{MaxSteps: opt.MaxSteps, RecordClocks: true})
+		rep.Violation = &Violation{
+			Kind:     res.ViolationKind,
+			Schedule: res.FirstViolation,
+			Outcome:  out,
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/explore"
+	"repro/internal/progdsl"
+)
+
+func racyCounter() *progdsl.Program {
+	b := progdsl.New("racy-counter").AutoStart()
+	x := b.Var("x")
+	for i := 0; i < 2; i++ {
+		th := b.Thread()
+		th.Read(0, x).AddConst(0, 0, 1).Write(x, 0)
+	}
+	return b.Build()
+}
+
+func TestNewEngineAllNames(t *testing.T) {
+	for _, name := range EngineNames() {
+		eng, err := NewEngine(name)
+		if err != nil {
+			t.Errorf("NewEngine(%q): %v", name, err)
+			continue
+		}
+		if eng == nil {
+			t.Errorf("NewEngine(%q) returned nil", name)
+		}
+	}
+	if _, err := NewEngine("bogus"); err == nil {
+		t.Error("unknown engine must error")
+	} else if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error should name the engine: %v", err)
+	}
+}
+
+func TestEngineNamesSorted(t *testing.T) {
+	names := EngineNames()
+	if len(names) != 7 {
+		t.Fatalf("engines = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestCheckFindsAndReplaysViolation(t *testing.T) {
+	rep, err := Check(racyCounter(), EngineDPOR, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation == nil {
+		t.Fatal("racy counter must yield a violation")
+	}
+	if rep.Violation.Kind == "" || len(rep.Violation.Schedule) == 0 {
+		t.Fatalf("violation incomplete: %+v", rep.Violation)
+	}
+	if len(rep.Violation.Outcome.Trace) != len(rep.Violation.Schedule) {
+		t.Error("replayed trace must match the schedule length")
+	}
+	if !rep.Violation.Outcome.Failed() {
+		t.Error("replaying the violation schedule must reproduce the failure")
+	}
+	if !strings.Contains(rep.Violation.String(), "after") {
+		t.Errorf("violation String = %q", rep.Violation.String())
+	}
+	// The replay is independently reproducible.
+	again := exec.Replay(racyCounter(), rep.Violation.Schedule, exec.Options{})
+	if !again.Failed() {
+		t.Error("independent replay must also fail")
+	}
+}
+
+func TestCheckCleanProgram(t *testing.T) {
+	b := progdsl.New("clean").AutoStart()
+	x := b.Var("x")
+	y := b.Var("y")
+	b.Thread().WriteConst(x, 1)
+	b.Thread().WriteConst(y, 1)
+	rep, err := Check(b.Build(), EngineDFS, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation != nil {
+		t.Fatalf("clean program produced a violation: %v", rep.Violation)
+	}
+	if rep.DistinctStates != 1 || rep.HitLimit {
+		t.Errorf("unexpected result: %v", rep.Result.String())
+	}
+}
+
+func TestCheckUnknownEngine(t *testing.T) {
+	if _, err := Check(racyCounter(), "nope", explore.Options{}); err == nil {
+		t.Error("Check with unknown engine must error")
+	}
+}
+
+func TestCheckAllEnginesOnOneProgram(t *testing.T) {
+	for _, name := range EngineNames() {
+		rep, err := Check(racyCounter(), name, explore.Options{ScheduleLimit: 2000})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if rep.Schedules == 0 {
+			t.Errorf("%s made no progress", name)
+		}
+	}
+}
+
+func TestParsePreemptionBoundedEngines(t *testing.T) {
+	for name, want := range map[EngineName]string{
+		"pb0-dfs":              "pb0-dfs",
+		"pb2-dfs":              "pb2-dfs",
+		"pb3-hbr-caching":      "pb3-hbr-caching",
+		"pb1-lazy-hbr-caching": "pb1-lazy-hbr-caching",
+	} {
+		eng, err := NewEngine(name)
+		if err != nil {
+			t.Errorf("NewEngine(%q): %v", name, err)
+			continue
+		}
+		if eng.Name() != want {
+			t.Errorf("NewEngine(%q).Name() = %q", name, eng.Name())
+		}
+	}
+	for _, bad := range []EngineName{"pb-dfs", "pbx-dfs", "pb2-bogus", "pb-2-dfs"} {
+		if _, err := NewEngine(bad); err == nil {
+			t.Errorf("NewEngine(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCheckWithPreemptionBoundedEngine(t *testing.T) {
+	rep, err := Check(racyCounter(), "pb1-lazy-hbr-caching", explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DistinctStates != 2 {
+		t.Errorf("pb1 lazy caching found %d states, want 2", rep.DistinctStates)
+	}
+}

@@ -1,0 +1,147 @@
+// Package event defines the visible operations and trace events of the
+// systematic concurrency testing framework.
+//
+// A concurrent program under test is a set of threads; the only
+// scheduling points are the *visible* operations below. Everything a
+// thread does between visible operations is thread-local and therefore
+// irrelevant to partial-order reduction.
+package event
+
+import "fmt"
+
+// Kind enumerates the visible operation kinds.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind and never appears in a trace.
+	KindInvalid Kind = iota
+	// KindRead reads a shared variable (Obj = variable index).
+	KindRead
+	// KindWrite writes Val to a shared variable (Obj = variable index).
+	KindWrite
+	// KindLock acquires a mutex (Obj = mutex index); blocks while held.
+	KindLock
+	// KindUnlock releases a mutex (Obj = mutex index).
+	KindUnlock
+	// KindSpawn starts thread Obj.
+	KindSpawn
+	// KindJoin blocks until thread Obj has terminated.
+	KindJoin
+	// KindAssert checks a thread-local condition; Val==0 means failure.
+	KindAssert
+)
+
+var kindNames = [...]string{
+	KindInvalid: "invalid",
+	KindRead:    "read",
+	KindWrite:   "write",
+	KindLock:    "lock",
+	KindUnlock:  "unlock",
+	KindSpawn:   "spawn",
+	KindJoin:    "join",
+	KindAssert:  "assert",
+}
+
+// String returns the lower-case operation name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsMutexOp reports whether k is a lock or unlock operation. These are
+// exactly the operations whose inter-thread edges the lazy
+// happens-before relation discards.
+func (k Kind) IsMutexOp() bool { return k == KindLock || k == KindUnlock }
+
+// IsVarOp reports whether k accesses a shared variable.
+func (k Kind) IsVarOp() bool { return k == KindRead || k == KindWrite }
+
+// ThreadID identifies a thread; thread 0 is the initial thread.
+type ThreadID int32
+
+// Op is a pending visible operation, as announced by a thread to the
+// scheduler before it is executed.
+type Op struct {
+	Kind Kind
+	// Obj is the variable index (Read/Write), mutex index
+	// (Lock/Unlock) or target thread (Spawn/Join). Unused for Assert.
+	Obj int32
+	// Val is the value to write (Write) or the condition outcome
+	// (Assert: 0 = failed, 1 = passed). Unused otherwise.
+	Val int64
+}
+
+// String renders the op, e.g. "write(v3)=7" or "lock(m0)".
+func (o Op) String() string {
+	switch o.Kind {
+	case KindRead:
+		return fmt.Sprintf("read(v%d)", o.Obj)
+	case KindWrite:
+		return fmt.Sprintf("write(v%d)=%d", o.Obj, o.Val)
+	case KindLock:
+		return fmt.Sprintf("lock(m%d)", o.Obj)
+	case KindUnlock:
+		return fmt.Sprintf("unlock(m%d)", o.Obj)
+	case KindSpawn:
+		return fmt.Sprintf("spawn(t%d)", o.Obj)
+	case KindJoin:
+		return fmt.Sprintf("join(t%d)", o.Obj)
+	case KindAssert:
+		if o.Val == 0 {
+			return "assert(fail)"
+		}
+		return "assert(ok)"
+	}
+	return o.Kind.String()
+}
+
+// Event is an executed visible operation in a trace.
+type Event struct {
+	// Thread executed the event.
+	Thread ThreadID
+	// Index is the event's per-thread sequence number, starting at 0.
+	// (Thread, Index) identifies an HBR node across schedules.
+	Index int32
+	Op
+	// Seen is the value observed by a Read; mirrors Val for Write.
+	Seen int64
+}
+
+// String renders the event, e.g. "t1#3:read(v0)->5".
+func (e Event) String() string {
+	s := fmt.Sprintf("t%d#%d:%s", e.Thread, e.Index, e.Op)
+	if e.Kind == KindRead {
+		s += fmt.Sprintf("->%d", e.Seen)
+	}
+	return s
+}
+
+// Dependent reports whether two operations are dependent in the
+// partial-order-reduction sense: they do not commute. Operations of the
+// same thread are always dependent; this predicate addresses the
+// cross-thread case.
+func Dependent(a, b Op) bool {
+	switch {
+	case a.Kind.IsVarOp() && b.Kind.IsVarOp():
+		return a.Obj == b.Obj && (a.Kind == KindWrite || b.Kind == KindWrite)
+	case a.Kind.IsMutexOp() && b.Kind.IsMutexOp():
+		return a.Obj == b.Obj
+	default:
+		return false
+	}
+}
+
+// MayBeCoEnabled reports whether two dependent operations could be
+// simultaneously enabled in some state. A lock and an unlock of the
+// same mutex can never be co-enabled (unlock requires the mutex held by
+// the unlocker; lock requires it free), nor can two unlocks of the same
+// mutex (only the holder may unlock). DPOR uses this to avoid useless
+// backtrack points.
+func MayBeCoEnabled(a, b Op) bool {
+	if a.Kind.IsMutexOp() && b.Kind.IsMutexOp() && a.Obj == b.Obj {
+		return a.Kind == KindLock && b.Kind == KindLock
+	}
+	return true
+}

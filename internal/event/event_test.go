@@ -1,0 +1,134 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindPredicates(t *testing.T) {
+	cases := []struct {
+		k       Kind
+		mutexOp bool
+		varOp   bool
+	}{
+		{KindRead, false, true},
+		{KindWrite, false, true},
+		{KindLock, true, false},
+		{KindUnlock, true, false},
+		{KindSpawn, false, false},
+		{KindJoin, false, false},
+		{KindAssert, false, false},
+	}
+	for _, c := range cases {
+		if c.k.IsMutexOp() != c.mutexOp {
+			t.Errorf("%v.IsMutexOp() = %v", c.k, !c.mutexOp)
+		}
+		if c.k.IsVarOp() != c.varOp {
+			t.Errorf("%v.IsVarOp() = %v", c.k, !c.varOp)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindRead: "read", KindWrite: "write", KindLock: "lock",
+		KindUnlock: "unlock", KindSpawn: "spawn", KindJoin: "join",
+		KindAssert: "assert", KindInvalid: "invalid",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kinds should render their number")
+	}
+}
+
+// TestDependentMatrix pins the dependence relation over all operation
+// pairs the engines rely on.
+func TestDependentMatrix(t *testing.T) {
+	rd := func(o int32) Op { return Op{Kind: KindRead, Obj: o} }
+	wr := func(o int32) Op { return Op{Kind: KindWrite, Obj: o} }
+	lk := func(o int32) Op { return Op{Kind: KindLock, Obj: o} }
+	ul := func(o int32) Op { return Op{Kind: KindUnlock, Obj: o} }
+
+	cases := []struct {
+		a, b Op
+		want bool
+	}{
+		{rd(0), rd(0), false}, // read-read never dependent
+		{rd(0), wr(0), true},  // read-write same var
+		{wr(0), rd(0), true},  // symmetric
+		{wr(0), wr(0), true},  // write-write same var
+		{rd(0), wr(1), false}, // different vars
+		{wr(0), wr(1), false}, // different vars
+		{lk(0), lk(0), true},  // same mutex
+		{lk(0), ul(0), true},  // same mutex
+		{ul(0), ul(0), true},  // same mutex
+		{lk(0), lk(1), false}, // different mutexes
+		{lk(0), wr(0), false}, // mutex index 0 ≠ var index 0
+		{rd(0), lk(0), false}, // var vs mutex namespaces
+		{Op{Kind: KindSpawn, Obj: 1}, wr(0), false},
+		{Op{Kind: KindJoin, Obj: 1}, lk(0), false},
+		{Op{Kind: KindAssert}, Op{Kind: KindAssert}, false},
+	}
+	for _, c := range cases {
+		if got := Dependent(c.a, c.b); got != c.want {
+			t.Errorf("Dependent(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := Dependent(c.b, c.a); got != c.want {
+			t.Errorf("Dependent(%v, %v) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestMayBeCoEnabled(t *testing.T) {
+	lk := func(o int32) Op { return Op{Kind: KindLock, Obj: o} }
+	ul := func(o int32) Op { return Op{Kind: KindUnlock, Obj: o} }
+	wr := func(o int32) Op { return Op{Kind: KindWrite, Obj: o} }
+
+	if !MayBeCoEnabled(lk(0), lk(0)) {
+		t.Error("two locks of a free mutex can be co-enabled")
+	}
+	if MayBeCoEnabled(lk(0), ul(0)) || MayBeCoEnabled(ul(0), lk(0)) {
+		t.Error("lock and unlock of the same mutex can never be co-enabled")
+	}
+	if MayBeCoEnabled(ul(0), ul(0)) {
+		t.Error("two unlocks of the same mutex can never be co-enabled")
+	}
+	if !MayBeCoEnabled(lk(0), ul(1)) {
+		t.Error("mutex ops on different mutexes are unconstrained")
+	}
+	if !MayBeCoEnabled(wr(0), wr(0)) {
+		t.Error("variable accesses are always co-enableable")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[string]Op{
+		"read(v3)":     {Kind: KindRead, Obj: 3},
+		"write(v1)=7":  {Kind: KindWrite, Obj: 1, Val: 7},
+		"lock(m2)":     {Kind: KindLock, Obj: 2},
+		"unlock(m0)":   {Kind: KindUnlock, Obj: 0},
+		"spawn(t4)":    {Kind: KindSpawn, Obj: 4},
+		"join(t5)":     {Kind: KindJoin, Obj: 5},
+		"assert(ok)":   {Kind: KindAssert, Val: 1},
+		"assert(fail)": {Kind: KindAssert, Val: 0},
+	}
+	for want, op := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{Thread: 1, Index: 3, Op: Op{Kind: KindRead, Obj: 0}, Seen: 5}
+	if got := ev.String(); got != "t1#3:read(v0)->5" {
+		t.Errorf("Event.String() = %q", got)
+	}
+	w := Event{Thread: 0, Index: 0, Op: Op{Kind: KindWrite, Obj: 2, Val: 9}, Seen: 9}
+	if got := w.String(); got != "t0#0:write(v2)=9" {
+		t.Errorf("Event.String() = %q", got)
+	}
+}

@@ -1,0 +1,172 @@
+// Package exec runs one program execution under a scheduling policy
+// (Chooser) and reports the resulting trace, happens-before clocks,
+// final state and safety outcomes. Exploration engines that need
+// step-level control drive model.Machine and hb.Tracker directly; this
+// package is the single-execution entry point used for replay, random
+// testing and the examples.
+package exec
+
+import (
+	"math/rand"
+
+	"repro/internal/event"
+	"repro/internal/hb"
+	"repro/internal/model"
+	"repro/internal/vclock"
+)
+
+// DefaultMaxSteps bounds an execution's length when Options.MaxSteps is
+// zero. Executions that reach the bound are reported as truncated, the
+// standard SCT treatment of potentially diverging schedules.
+const DefaultMaxSteps = 4096
+
+// Chooser selects which enabled thread executes next.
+type Chooser interface {
+	// Choose picks one element of enabled (never empty). step is the
+	// number of events executed so far.
+	Choose(m *model.Machine, enabled []event.ThreadID, step int) event.ThreadID
+}
+
+// FirstEnabled deterministically picks the lowest-numbered enabled
+// thread. It is the canonical default continuation policy of the
+// exploration engines.
+type FirstEnabled struct{}
+
+// Choose implements Chooser.
+func (FirstEnabled) Choose(_ *model.Machine, enabled []event.ThreadID, _ int) event.ThreadID {
+	return enabled[0]
+}
+
+// Prefix replays a fixed sequence of thread choices, then delegates to
+// Fallback (FirstEnabled if nil). Replaying a recorded Outcome.Choices
+// reproduces its schedule exactly.
+type Prefix struct {
+	Choices  []event.ThreadID
+	Fallback Chooser
+}
+
+// Choose implements Chooser. If a prefix choice is not currently
+// enabled the prefix is abandoned and the fallback takes over — this
+// can only happen when replaying a schedule against a different
+// program.
+func (p *Prefix) Choose(m *model.Machine, enabled []event.ThreadID, step int) event.ThreadID {
+	if step < len(p.Choices) {
+		want := p.Choices[step]
+		for _, t := range enabled {
+			if t == want {
+				return t
+			}
+		}
+	}
+	fb := p.Fallback
+	if fb == nil {
+		fb = FirstEnabled{}
+	}
+	return fb.Choose(m, enabled, step)
+}
+
+// Random picks uniformly among enabled threads using a seeded source,
+// giving deterministic "random testing" baselines.
+type Random struct {
+	Rng *rand.Rand
+}
+
+// NewRandom returns a Random chooser with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Choose implements Chooser.
+func (r *Random) Choose(_ *model.Machine, enabled []event.ThreadID, _ int) event.ThreadID {
+	return enabled[r.Rng.Intn(len(enabled))]
+}
+
+// Options configures a single execution.
+type Options struct {
+	// MaxSteps bounds the number of events (DefaultMaxSteps if 0).
+	MaxSteps int
+	// RecordClocks retains per-event HB and lazy-HB clocks in the
+	// outcome (the tracker always runs; this only controls storage).
+	RecordClocks bool
+}
+
+// Outcome describes one completed (or truncated) execution.
+type Outcome struct {
+	// Trace lists the executed events in schedule order.
+	Trace []event.Event
+	// Choices lists the scheduled thread per step; replaying them
+	// through a Prefix chooser reproduces the schedule.
+	Choices []event.ThreadID
+	// HBClocks and LazyClocks are per-event vector clocks, present
+	// when Options.RecordClocks was set.
+	HBClocks, LazyClocks []vclock.VC
+	// HBFP and LazyFP fingerprint the terminal regular and lazy
+	// happens-before relations.
+	HBFP, LazyFP hb.Fingerprint
+	// StateKey exactly encodes the final machine state; StateHash is
+	// its 64-bit digest.
+	StateKey  string
+	StateHash uint64
+	// Deadlock is set when the execution ended with blocked threads
+	// and nothing enabled.
+	Deadlock bool
+	// Truncated is set when MaxSteps was reached.
+	Truncated bool
+	// Failures lists assertion failures and lock-discipline errors.
+	Failures []model.Failure
+	// Races lists data races detected by the sync-only relation.
+	Races []hb.Race
+}
+
+// Failed reports whether the execution violated any safety property
+// (assertion failure, lock misuse, deadlock or data race).
+func (o *Outcome) Failed() bool {
+	return len(o.Failures) > 0 || o.Deadlock || len(o.Races) > 0
+}
+
+// Run executes src to completion under ch.
+func Run(src model.Source, ch Chooser, opt Options) Outcome {
+	maxSteps := opt.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	m := model.NewMachine(src)
+	tr := hb.NewTracker(src.NumThreads(), src.NumVars(), src.NumMutexes())
+	var out Outcome
+	var enabled []event.ThreadID
+	for {
+		enabled = m.EnabledThreads(enabled)
+		if len(enabled) == 0 {
+			out.Deadlock = m.Deadlocked()
+			break
+		}
+		if len(out.Trace) >= maxSteps {
+			out.Truncated = true
+			m.Abort()
+			break
+		}
+		t := ch.Choose(m, enabled, len(out.Trace))
+		ev := m.Step(t)
+		clocks := tr.Apply(ev)
+		out.Trace = append(out.Trace, ev)
+		out.Choices = append(out.Choices, t)
+		if opt.RecordClocks {
+			out.HBClocks = append(out.HBClocks, clocks.HB)
+			out.LazyClocks = append(out.LazyClocks, clocks.Lazy)
+		}
+	}
+	out.HBFP = tr.HBFingerprint()
+	out.LazyFP = tr.LazyFingerprint()
+	out.StateKey = m.StateKey()
+	out.StateHash = m.StateHash()
+	out.Failures = m.Failures()
+	out.Races = tr.Races()
+	return out
+}
+
+// Replay re-executes a recorded schedule and returns its outcome. The
+// replayed outcome of a deterministic program is identical to the
+// original.
+func Replay(src model.Source, choices []event.ThreadID, opt Options) Outcome {
+	return Run(src, &Prefix{Choices: choices}, opt)
+}

@@ -1,0 +1,479 @@
+package explore
+
+import (
+	"repro/internal/event"
+	"repro/internal/model"
+)
+
+// dporEngine implements dynamic partial-order reduction (Flanagan &
+// Godefroid, POPL 2005) in the iterative stack formulation: execute
+// forward under a default policy, and at every visited state, for every
+// thread's pending transition, locate the most recent trace event that
+// is dependent, may-be-co-enabled and not happens-before that
+// transition; seed the backtrack set of the state preceding that event.
+// Optional sleep sets suppress re-exploration of commutative siblings.
+type dporEngine struct {
+	sleep bool
+	// lazyCS enables the experimental "lazy DPOR" of the paper's
+	// Section 4: lock-lock race reversals whose critical sections
+	// provably access disjoint data produce lazy-HBR-equivalent
+	// schedules (Theorem 2.2), so their backtrack points are
+	// skipped. The analysis is deferred to the end of the execution,
+	// when both critical sections' contents are known; any doubt
+	// (incomplete section, nested locks, spawn/join inside, the lock
+	// never executing) falls back to the classic backtrack point.
+	lazyCS bool
+}
+
+// NewDPOR returns the classic DPOR engine; sleepSets enables sleep
+// sets.
+func NewDPOR(sleepSets bool) Engine { return &dporEngine{sleep: sleepSets} }
+
+// NewLazyDPOR returns the experimental lazy DPOR engine (the paper's
+// Section 4 future work): DPOR whose lock-lock backtrack points are
+// suppressed when the two critical sections provably commute under the
+// lazy happens-before relation. Empirically validated against
+// exhaustive state enumeration in the test suite; not accompanied by a
+// proof (the paper leaves the algorithm open).
+func NewLazyDPOR() Engine { return &dporEngine{lazyCS: true} }
+
+// Name implements Engine.
+func (e *dporEngine) Name() string {
+	switch {
+	case e.lazyCS && e.sleep:
+		return "lazy-dpor+sleep"
+	case e.lazyCS:
+		return "lazy-dpor"
+	case e.sleep:
+		return "dpor+sleep"
+	default:
+		return "dpor"
+	}
+}
+
+// deferredLL is a postponed lock-lock backtrack decision: thread p,
+// whose pending lock raced with trace event i, will (under the default
+// continuation) lock the mutex at or after trace position at.
+type deferredLL struct {
+	i  int
+	p  event.ThreadID
+	mu int32
+	at int
+}
+
+// csSummary describes one critical section's contents.
+type csSummary struct {
+	reads, writes map[int32]struct{}
+	clean         bool // complete, no nested sync, no spawn/join
+}
+
+// summarizeCS scans the critical section opened by the lock event at
+// trace position lockIdx (events of the locking thread only, up to the
+// matching unlock).
+func summarizeCS(trace []event.Event, lockIdx int) csSummary {
+	lock := trace[lockIdx]
+	cs := csSummary{reads: map[int32]struct{}{}, writes: map[int32]struct{}{}}
+	for j := lockIdx + 1; j < len(trace); j++ {
+		ev := trace[j]
+		if ev.Thread != lock.Thread {
+			continue
+		}
+		switch ev.Kind {
+		case event.KindRead:
+			cs.reads[ev.Obj] = struct{}{}
+		case event.KindWrite:
+			cs.writes[ev.Obj] = struct{}{}
+		case event.KindUnlock:
+			if ev.Obj == lock.Obj {
+				cs.clean = true
+				return cs
+			}
+			return cs // unlock of a different mutex: nested sync
+		case event.KindLock, event.KindSpawn, event.KindJoin:
+			return cs // nested sync or thread structure: not clean
+		case event.KindAssert:
+			// Thread-local; harmless.
+		}
+	}
+	return cs // trace ended inside the section
+}
+
+// ladderOK reports whether, after trace position i, every thread's
+// remaining events form exactly one clean critical section on mutex mu
+// (possibly followed by nothing), or no events at all. Under this
+// "lock ladder" shape the remaining schedule space is exactly the set
+// of permutations of atomic blocks serialised by mu: every permutation
+// is feasible, and two permutations that differ only in the order of
+// data-disjoint blocks have the same lazy HBR and hence the same state
+// (Theorem 2.2). Lock-lock reversals of disjoint blocks are then
+// genuinely redundant — this is the soundness condition of the
+// experimental lazy DPOR. (Pairwise disjointness alone is NOT enough:
+// the lock order gates which subtrees exist, not just the final state;
+// the test suite demonstrates this with random programs.)
+func ladderOK(trace []event.Event, i int, mu int32) bool {
+	type threadScan struct {
+		state int // 0 = before lock, 1 = inside CS, 2 = after unlock
+	}
+	scans := map[event.ThreadID]*threadScan{}
+	for j := i; j < len(trace); j++ {
+		ev := trace[j]
+		sc := scans[ev.Thread]
+		if sc == nil {
+			sc = &threadScan{}
+			scans[ev.Thread] = sc
+		}
+		switch sc.state {
+		case 0:
+			if ev.Kind != event.KindLock || ev.Obj != mu {
+				return false
+			}
+			sc.state = 1
+		case 1:
+			switch ev.Kind {
+			case event.KindRead, event.KindWrite, event.KindAssert:
+				// Plain data or thread-local work inside the block.
+			case event.KindUnlock:
+				if ev.Obj != mu {
+					return false
+				}
+				sc.state = 2
+			default:
+				return false
+			}
+		case 2:
+			return false // tail events after the block
+		}
+	}
+	for _, sc := range scans {
+		if sc.state != 2 {
+			return false // incomplete block (still holding mu)
+		}
+	}
+	return true
+}
+
+// disjoint reports whether two clean critical sections commute under
+// the lazy HBR: neither writes anything the other touches.
+func disjoint(a, b csSummary) bool {
+	for v := range a.writes {
+		if _, ok := b.writes[v]; ok {
+			return false
+		}
+		if _, ok := b.reads[v]; ok {
+			return false
+		}
+	}
+	for v := range b.writes {
+		if _, ok := a.reads[v]; ok {
+			return false
+		}
+	}
+	return true
+}
+
+// dnode is one state on the current DPOR stack.
+type dnode struct {
+	enabled    []event.ThreadID
+	enabledSet tset
+	// steps[q] is the number of events thread q had executed when
+	// this state was reached; used for the ∃j>i ∧ j→next(p) test.
+	steps []int32
+	// pend[q] is thread q's pending operation at this state (valid
+	// where pendSet has q); used by sleep-set dependence checks.
+	pend    []event.Op
+	pendSet tset
+
+	backtrack tset
+	done      tset
+	sleep     tset
+	chosen    event.ThreadID
+}
+
+// dporState bundles the cursor with per-object access logs that make
+// the "most recent dependent event" lookup O(1) amortised: conflicting
+// writes (and lock events per mutex) are totally ordered by the regular
+// HBR, so only a bounded suffix of each log needs inspection.
+type dporState struct {
+	c         *cursor
+	varWrites [][]int32
+	varReads  [][]int32
+	muLocks   [][]int32
+}
+
+func newDPORState(src model.Source, opt Options) *dporState {
+	return &dporState{
+		c:         newCursor(src, opt),
+		varWrites: make([][]int32, src.NumVars()),
+		varReads:  make([][]int32, src.NumVars()),
+		muLocks:   make([][]int32, src.NumMutexes()),
+	}
+}
+
+// step executes thread t and indexes the produced event.
+func (s *dporState) step(t event.ThreadID) {
+	idx := int32(s.c.depth())
+	ev := s.c.step(t)
+	switch ev.Kind {
+	case event.KindWrite:
+		s.varWrites[ev.Obj] = append(s.varWrites[ev.Obj], idx)
+	case event.KindRead:
+		s.varReads[ev.Obj] = append(s.varReads[ev.Obj], idx)
+	case event.KindLock:
+		s.muLocks[ev.Obj] = append(s.muLocks[ev.Obj], idx)
+	}
+}
+
+// resetTo truncates the execution and the access logs to depth d.
+func (s *dporState) resetTo(d int) {
+	s.c.resetTo(d)
+	trunc := func(logs [][]int32) {
+		for i, log := range logs {
+			n := len(log)
+			for n > 0 && log[n-1] >= int32(d) {
+				n--
+			}
+			logs[i] = log[:n]
+		}
+	}
+	trunc(s.varWrites)
+	trunc(s.varReads)
+	trunc(s.muLocks)
+}
+
+// lastDep returns the index of the most recent trace event that is
+// dependent with, may-be-co-enabled with, and not happens-before,
+// thread p's pending operation op; -1 if none. Only the cases that can
+// yield candidates are inspected:
+//
+//   - pending read: the last write to the variable (earlier writes
+//     happen-before it);
+//   - pending write: the most recent not-ordered read after the last
+//     write, else the last write;
+//   - pending lock: the last lock of the mutex (lock events of one
+//     mutex are totally ordered; unlocks are never co-enabled with
+//     locks).
+func (s *dporState) lastDep(p event.ThreadID, op event.Op) int {
+	notHB := func(i int32) bool { return !s.c.tr.HappensBeforeNext(s.c.trace[i], p) }
+	switch op.Kind {
+	case event.KindRead:
+		if ws := s.varWrites[op.Obj]; len(ws) > 0 && notHB(ws[len(ws)-1]) {
+			return int(ws[len(ws)-1])
+		}
+	case event.KindWrite:
+		lastW := int32(-1)
+		if ws := s.varWrites[op.Obj]; len(ws) > 0 {
+			lastW = ws[len(ws)-1]
+		}
+		rs := s.varReads[op.Obj]
+		for k := len(rs) - 1; k >= 0 && rs[k] > lastW; k-- {
+			if notHB(rs[k]) {
+				return int(rs[k])
+			}
+		}
+		if lastW >= 0 && notHB(lastW) {
+			return int(lastW)
+		}
+	case event.KindLock:
+		if ls := s.muLocks[op.Obj]; len(ls) > 0 && notHB(ls[len(ls)-1]) {
+			return int(ls[len(ls)-1])
+		}
+	}
+	return -1
+}
+
+// Explore implements Engine.
+func (e *dporEngine) Explore(src model.Source, opt Options) Result {
+	st := newDPORState(src, opt)
+	c := st.c
+	defer c.close()
+	rec := newRecorder(src, e.Name(), opt)
+	nthreads := src.NumThreads()
+
+	var nodes []*dnode
+
+	// addBacktrack seeds the backtrack set of the state preceding
+	// trace event i on behalf of thread p's pending transition,
+	// following Flanagan–Godefroid: add p itself if enabled there;
+	// otherwise any enabled thread with a later event ordered before
+	// p's transition; otherwise every enabled thread.
+	addBacktrack := func(i int, p event.ThreadID) {
+		n := nodes[i]
+		if n.backtrack.has(p) {
+			return
+		}
+		if n.enabledSet.has(p) {
+			n.backtrack.add(p)
+			return
+		}
+		for _, q := range n.enabled {
+			// ∃ j > i executed by q with j → next(p): p's clock
+			// includes an event of q beyond those executed when
+			// state i was reached.
+			if c.tr.ThreadClock(p).Get(int(q)) >= n.steps[q]+1 {
+				n.backtrack.add(q)
+				return
+			}
+		}
+		for _, q := range n.enabled {
+			n.backtrack.add(q)
+		}
+	}
+
+	var deferred []deferredLL
+
+	// updates runs the race-reversal analysis at the current state
+	// for every running thread's pending transition. In lazy mode,
+	// lock-lock reversals are deferred until the execution completes
+	// and both critical sections can be summarised.
+	updates := func() {
+		for q := 0; q < nthreads; q++ {
+			p := event.ThreadID(q)
+			op, ok := c.m.Pending(p)
+			if !ok {
+				continue
+			}
+			i := st.lastDep(p, op)
+			if i < 0 {
+				continue
+			}
+			if e.lazyCS && op.Kind == event.KindLock {
+				deferred = append(deferred, deferredLL{i: i, p: p, mu: op.Obj, at: c.depth()})
+				continue
+			}
+			addBacktrack(i, p)
+		}
+	}
+
+	// resolveDeferred settles the postponed lock-lock decisions at
+	// the end of an execution: skip the backtrack point only when
+	// both critical sections are clean and access disjoint data, so
+	// the reversed schedule has the same lazy HBR (Theorem 2.2).
+	resolveDeferred := func() {
+		for _, d := range deferred {
+			if d.i >= len(nodes) {
+				// The raced state was truncated by an earlier
+				// resolution pass on a previous execution;
+				// stale entry.
+				continue
+			}
+			pLock := -1
+			for _, li := range st.muLocks[d.mu] {
+				if int(li) >= d.at && c.trace[li].Thread == d.p {
+					pLock = int(li)
+					break
+				}
+			}
+			if pLock < 0 {
+				addBacktrack(d.i, d.p) // lock never ran: be conservative
+				continue
+			}
+			a := summarizeCS(c.trace, d.i)
+			b := summarizeCS(c.trace, pLock)
+			if a.clean && b.clean && disjoint(a, b) && ladderOK(c.trace, d.i, d.mu) {
+				continue
+			}
+			addBacktrack(d.i, d.p)
+		}
+		deferred = deferred[:0]
+	}
+
+	makeNode := func() *dnode {
+		en := c.enabled()
+		n := &dnode{
+			enabled: append([]event.ThreadID(nil), en...),
+			steps:   make([]int32, nthreads),
+			pend:    make([]event.Op, nthreads),
+		}
+		for _, t := range en {
+			n.enabledSet.add(t)
+		}
+		for q := 0; q < nthreads; q++ {
+			t := event.ThreadID(q)
+			n.steps[q] = c.m.Steps(t)
+			if op, ok := c.m.Pending(t); ok {
+				n.pend[q] = op
+				n.pendSet.add(t)
+			}
+		}
+		if e.sleep && len(nodes) > 0 {
+			parent := nodes[len(nodes)-1]
+			execOp := c.trace[len(c.trace)-1].Op
+			inherit := parent.sleep | (parent.done &^ (1 << uint(parent.chosen)))
+			for q := 0; q < nthreads; q++ {
+				t := event.ThreadID(q)
+				if inherit.has(t) && parent.pendSet.has(t) && !event.Dependent(parent.pend[q], execOp) {
+					n.sleep.add(t)
+				}
+			}
+		}
+		return n
+	}
+
+	// extend runs the current execution forward to a terminal,
+	// truncation or sleep-block, applying DPOR updates at every
+	// state. It returns false when the schedule limit fires.
+	extend := func() bool {
+		for {
+			if c.truncated() {
+				rec.res.Truncated++
+				resolveDeferred()
+				return !rec.schedule()
+			}
+			updates()
+			en := c.enabled()
+			if len(en) == 0 {
+				rec.terminal(c)
+				resolveDeferred()
+				return !rec.schedule()
+			}
+			n := makeNode()
+			pick := event.ThreadID(-1)
+			for _, t := range en {
+				if !e.sleep || !n.sleep.has(t) {
+					pick = t
+					break
+				}
+			}
+			if pick < 0 {
+				// Every enabled thread is asleep: this
+				// execution is redundant.
+				nodes = append(nodes, n)
+				rec.res.SleepBlocked++
+				resolveDeferred()
+				return !rec.schedule()
+			}
+			n.backtrack.add(pick)
+			n.done.add(pick)
+			n.chosen = pick
+			nodes = append(nodes, n)
+			st.step(pick)
+		}
+	}
+
+	if !extend() {
+		return rec.finish(c)
+	}
+	for len(nodes) > 0 {
+		d := len(nodes) - 1
+		n := nodes[d]
+		// Sleeping backtrack candidates are covered elsewhere;
+		// retire them without exploration.
+		if e.sleep {
+			n.done |= n.backtrack & n.sleep
+		}
+		cand := n.backtrack &^ n.done
+		if cand.empty() {
+			nodes = nodes[:d]
+			continue
+		}
+		p := cand.first()
+		n.done.add(p)
+		n.chosen = p
+		st.resetTo(d)
+		st.step(p)
+		if !extend() {
+			break
+		}
+	}
+	return rec.finish(c)
+}

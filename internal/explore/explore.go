@@ -1,0 +1,377 @@
+// Package explore implements the systematic schedule-exploration
+// engines evaluated in the paper:
+//
+//   - exhaustive depth-first enumeration (the baseline search);
+//   - dynamic partial-order reduction (DPOR, Flanagan & Godefroid,
+//     POPL 2005), with optional sleep sets;
+//   - HBR caching and lazy HBR caching (Musuvathi & Qadeer,
+//     MSR-TR-2007-12; lazy variant per the paper's Section 2);
+//   - an experimental "lazy DPOR" (the paper's Section 4 future work);
+//   - seeded random walk, as a non-systematic baseline.
+//
+// Every engine reports the quantities the paper's evaluation plots:
+// schedules executed, distinct terminal HBRs, distinct terminal lazy
+// HBRs and distinct terminal states, which obey
+//
+//	#states ≤ #lazy HBRs ≤ #HBRs ≤ #schedules.
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/exec"
+	"repro/internal/hb"
+	"repro/internal/model"
+)
+
+// MaxThreads bounds the thread universe of explored programs (thread
+// sets are bitmask-encoded).
+const MaxThreads = 64
+
+// Options configures an exploration.
+type Options struct {
+	// ScheduleLimit stops exploration after this many executions
+	// (terminal, pruned or truncated). 0 means unlimited. The
+	// paper's evaluation uses 100,000.
+	ScheduleLimit int
+	// MaxSteps bounds each execution's event count
+	// (exec.DefaultMaxSteps if 0); executions hitting the bound are
+	// counted as truncated.
+	MaxSteps int
+	// DisableSnapshots forces replay-based backtracking even for
+	// snapshotable programs (ablation knob).
+	DisableSnapshots bool
+	// SleepSets enables sleep sets in the DPOR engine.
+	SleepSets bool
+	// RecordStates retains the sorted set of distinct terminal state
+	// keys in Result.States — a diagnostic for cross-engine
+	// agreement checks; costly on large spaces.
+	RecordStates bool
+}
+
+func (o Options) maxSteps() int {
+	if o.MaxSteps <= 0 {
+		return exec.DefaultMaxSteps
+	}
+	return o.MaxSteps
+}
+
+func (o Options) limitReached(schedules int) bool {
+	return o.ScheduleLimit > 0 && schedules >= o.ScheduleLimit
+}
+
+// Result summarises one exploration.
+type Result struct {
+	Program string
+	Engine  string
+
+	// Schedules counts executions performed: Terminals + Pruned +
+	// Truncated + SleepBlocked.
+	Schedules int
+	// Terminals counts executions that ran to a terminal state
+	// (everything finished, or deadlock).
+	Terminals int
+	// Pruned counts executions cut short by HBR/lazy-HBR caching.
+	Pruned int
+	// Truncated counts executions that hit MaxSteps.
+	Truncated int
+	// SleepBlocked counts executions abandoned because every enabled
+	// thread was in the sleep set (DPOR with sleep sets only).
+	SleepBlocked int
+
+	// DistinctHBRs counts distinct terminal regular happens-before
+	// relations; DistinctLazyHBRs the lazy ones; DistinctStates the
+	// distinct terminal machine states.
+	DistinctHBRs     int
+	DistinctLazyHBRs int
+	DistinctStates   int
+
+	// Deadlocks, AssertFailures, LockErrors and Races count terminal
+	// executions exhibiting each violation class.
+	Deadlocks      int
+	AssertFailures int
+	LockErrors     int
+	Races          int
+
+	// HitLimit is set when ScheduleLimit stopped the search; an
+	// unset flag means the schedule space was exhausted (the paper
+	// plots such benchmarks without underlining).
+	HitLimit bool
+
+	// MaxDepth is the longest execution seen; Events counts every
+	// event executed, including replays.
+	MaxDepth int
+	Events   int64
+
+	// FirstViolation replays the first safety violation found
+	// (thread choice per step); ViolationKind names it.
+	FirstViolation []event.ThreadID
+	ViolationKind  string
+
+	// States holds the sorted distinct terminal state keys when
+	// Options.RecordStates was set.
+	States []string
+}
+
+// CheckInvariant validates the paper's Section 3 inequality chain.
+func (r *Result) CheckInvariant() error {
+	if !(r.DistinctStates <= r.DistinctLazyHBRs &&
+		r.DistinctLazyHBRs <= r.DistinctHBRs &&
+		r.DistinctHBRs <= r.Schedules) {
+		return fmt.Errorf("invariant violated: states=%d lazy=%d hbr=%d schedules=%d",
+			r.DistinctStates, r.DistinctLazyHBRs, r.DistinctHBRs, r.Schedules)
+	}
+	return nil
+}
+
+// String renders the headline numbers.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s: schedules=%d terminals=%d hbrs=%d lazy=%d states=%d deadlocks=%d asserts=%d races=%d hitLimit=%v",
+		r.Program, r.Engine, r.Schedules, r.Terminals, r.DistinctHBRs, r.DistinctLazyHBRs,
+		r.DistinctStates, r.Deadlocks, r.AssertFailures, r.Races, r.HitLimit)
+}
+
+// Engine is a schedule-exploration strategy.
+type Engine interface {
+	// Name identifies the engine in reports.
+	Name() string
+	// Explore searches src's schedule space under opt.
+	Explore(src model.Source, opt Options) Result
+}
+
+// tset is a bitmask-encoded set of thread IDs (< MaxThreads).
+type tset uint64
+
+func (s tset) has(t event.ThreadID) bool { return s&(1<<uint(t)) != 0 }
+func (s *tset) add(t event.ThreadID)     { *s |= 1 << uint(t) }
+func (s tset) empty() bool               { return s == 0 }
+
+// first returns the lowest thread in s; s must be non-empty.
+func (s tset) first() event.ThreadID {
+	for t := 0; t < MaxThreads; t++ {
+		if s.has(event.ThreadID(t)) {
+			return event.ThreadID(t)
+		}
+	}
+	panic("explore: first of empty tset")
+}
+
+func checkThreadCount(src model.Source) {
+	if src.NumThreads() > MaxThreads {
+		panic(fmt.Sprintf("explore: program %q has %d threads; limit is %d",
+			src.Name(), src.NumThreads(), MaxThreads))
+	}
+}
+
+// recorder accumulates a Result plus the distinctness sets behind its
+// counters.
+type recorder struct {
+	res    Result
+	opt    Options
+	hbrs   map[hb.Fingerprint]struct{}
+	lazies map[hb.Fingerprint]struct{}
+	states map[string]struct{}
+}
+
+func newRecorder(src model.Source, engine string, opt Options) *recorder {
+	return &recorder{
+		res:    Result{Program: src.Name(), Engine: engine},
+		opt:    opt,
+		hbrs:   map[hb.Fingerprint]struct{}{},
+		lazies: map[hb.Fingerprint]struct{}{},
+		states: map[string]struct{}{},
+	}
+}
+
+// schedule counts one finished execution attempt and reports whether
+// the schedule limit has now been reached.
+func (r *recorder) schedule() bool {
+	r.res.Schedules++
+	if r.opt.limitReached(r.res.Schedules) {
+		r.res.HitLimit = true
+		return true
+	}
+	return false
+}
+
+// terminal records a terminal execution's statistics from the cursor.
+func (r *recorder) terminal(c *cursor) {
+	r.res.Terminals++
+	if d := len(c.trace); d > r.res.MaxDepth {
+		r.res.MaxDepth = d
+	}
+	hfp := c.tr.HBFingerprint()
+	lfp := c.tr.LazyFingerprint()
+	if _, ok := r.hbrs[hfp]; !ok {
+		r.hbrs[hfp] = struct{}{}
+		r.res.DistinctHBRs = len(r.hbrs)
+	}
+	if _, ok := r.lazies[lfp]; !ok {
+		r.lazies[lfp] = struct{}{}
+		r.res.DistinctLazyHBRs = len(r.lazies)
+	}
+	key := c.m.StateKey()
+	if _, ok := r.states[key]; !ok {
+		r.states[key] = struct{}{}
+		r.res.DistinctStates = len(r.states)
+	}
+
+	violation := ""
+	if c.m.Deadlocked() {
+		r.res.Deadlocks++
+		violation = "deadlock"
+	}
+	asserts, lockErrs := 0, 0
+	for _, f := range c.m.Failures() {
+		switch f.Kind {
+		case model.FailAssert:
+			asserts++
+		default:
+			lockErrs++
+		}
+	}
+	if asserts > 0 {
+		r.res.AssertFailures++
+		violation = "assertion failure"
+	}
+	if lockErrs > 0 {
+		r.res.LockErrors++
+		if violation == "" {
+			violation = "lock misuse"
+		}
+	}
+	if len(c.tr.Races()) > 0 {
+		r.res.Races++
+		if violation == "" {
+			violation = "data race"
+		}
+	}
+	if violation != "" && r.res.FirstViolation == nil {
+		r.res.FirstViolation = append([]event.ThreadID(nil), c.choices...)
+		r.res.ViolationKind = violation
+	}
+}
+
+func (r *recorder) finish(c *cursor) Result {
+	r.res.Events = c.events
+	if r.opt.RecordStates {
+		r.res.States = make([]string, 0, len(r.states))
+		for k := range r.states {
+			r.res.States = append(r.res.States, k)
+		}
+		sort.Strings(r.res.States)
+	}
+	return r.res
+}
+
+// snapPair is one stored exploration snapshot.
+type snapPair struct {
+	m  *model.Machine
+	tr *hb.Tracker
+}
+
+// cursor is the engines' shared execution walker: it maintains one live
+// execution (machine + happens-before tracker + trace) and supports
+// truncation to an earlier depth, via state snapshots when the program
+// supports them and deterministic replay otherwise.
+type cursor struct {
+	src      model.Source
+	maxSteps int
+	useSnap  bool
+
+	m       *model.Machine
+	tr      *hb.Tracker
+	trace   []event.Event
+	choices []event.ThreadID
+	snaps   []snapPair
+
+	enabledBuf []event.ThreadID
+	events     int64
+}
+
+func newCursor(src model.Source, opt Options) *cursor {
+	checkThreadCount(src)
+	c := &cursor{
+		src:      src,
+		maxSteps: opt.maxSteps(),
+		m:        model.NewMachine(src),
+		tr:       hb.NewTracker(src.NumThreads(), src.NumVars(), src.NumMutexes()),
+	}
+	if !opt.DisableSnapshots {
+		if snap, ok := c.m.Snapshot(); ok {
+			c.useSnap = true
+			c.snaps = append(c.snaps, snapPair{m: snap, tr: c.tr.Clone()})
+		}
+	}
+	return c
+}
+
+func (c *cursor) depth() int { return len(c.trace) }
+
+// enabled returns the currently enabled threads; the slice is reused by
+// subsequent calls.
+func (c *cursor) enabled() []event.ThreadID {
+	c.enabledBuf = c.m.EnabledThreads(c.enabledBuf)
+	return c.enabledBuf
+}
+
+func (c *cursor) terminal() bool  { return len(c.enabled()) == 0 }
+func (c *cursor) truncated() bool { return len(c.trace) >= c.maxSteps }
+
+// step executes thread t and folds the event into the trackers.
+func (c *cursor) step(t event.ThreadID) event.Event {
+	ev := c.m.Step(t)
+	c.tr.Apply(ev)
+	c.trace = append(c.trace, ev)
+	c.choices = append(c.choices, t)
+	c.events++
+	if c.useSnap {
+		snap, ok := c.m.Snapshot()
+		if !ok {
+			panic("explore: snapshot support vanished mid-exploration")
+		}
+		c.snaps = append(c.snaps, snapPair{m: snap, tr: c.tr.Clone()})
+	}
+	return ev
+}
+
+// resetTo truncates the execution back to depth d (0 ≤ d ≤ depth()).
+func (c *cursor) resetTo(d int) {
+	if d > len(c.trace) {
+		panic(fmt.Sprintf("explore: resetTo(%d) beyond depth %d", d, len(c.trace)))
+	}
+	if d == len(c.trace) {
+		return
+	}
+	if c.useSnap {
+		base := c.snaps[d]
+		restored, ok := base.m.Snapshot()
+		if !ok {
+			panic("explore: snapshot restore failed")
+		}
+		c.m = restored
+		c.tr = base.tr.Clone()
+		c.snaps = c.snaps[:d+1]
+	} else {
+		c.m.Abort()
+		c.m = model.NewMachine(c.src)
+		c.tr = hb.NewTracker(c.src.NumThreads(), c.src.NumVars(), c.src.NumMutexes())
+		for i := 0; i < d; i++ {
+			ev := c.m.Step(c.choices[i])
+			c.tr.Apply(ev)
+			c.events++
+		}
+	}
+	c.trace = c.trace[:d]
+	c.choices = c.choices[:d]
+}
+
+// close releases any external resources of the live execution; the
+// cursor must not be used afterwards.
+func (c *cursor) close() {
+	if !c.useSnap {
+		c.m.Abort()
+	}
+}

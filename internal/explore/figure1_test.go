@@ -1,0 +1,81 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/progdsl"
+)
+
+// figure1 builds the paper's Figure 1 program: T1 locks m, reads x,
+// unlocks m, writes y; T2 writes z, locks m, reads x, unlocks m.
+func figure1() *progdsl.Program {
+	b := progdsl.New("paper-figure1").AutoStart()
+	x := b.Var("x")
+	y := b.Var("y")
+	z := b.Var("z")
+	m := b.Mutex("m")
+	t1 := b.Thread()
+	t1.Lock(m).Read(0, x).Unlock(m).WriteConst(y, 1)
+	t2 := b.Thread()
+	t2.WriteConst(z, 1).Lock(m).Read(0, x).Unlock(m)
+	return b.Build()
+}
+
+// TestFigure1Exhaustive checks the worked example of the paper's
+// Section 2: the schedule space collapses to exactly two regular HBR
+// classes (who locks m first), one lazy HBR class, and one final state.
+func TestFigure1Exhaustive(t *testing.T) {
+	res := NewDFS().Explore(figure1(), Options{})
+	if err := res.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if res.HitLimit {
+		t.Fatal("figure1 should be exhaustively explorable")
+	}
+	if res.DistinctHBRs != 2 {
+		t.Errorf("DistinctHBRs = %d, want 2 (T1-first and T2-first lock orders)", res.DistinctHBRs)
+	}
+	if res.DistinctLazyHBRs != 1 {
+		t.Errorf("DistinctLazyHBRs = %d, want 1 (lazy HBR ignores the mutex edge)", res.DistinctLazyHBRs)
+	}
+	if res.DistinctStates != 1 {
+		t.Errorf("DistinctStates = %d, want 1", res.DistinctStates)
+	}
+	if res.Deadlocks != 0 || res.Races != 0 || res.AssertFailures != 0 {
+		t.Errorf("unexpected violations: %+v", res)
+	}
+	t.Logf("figure1: %v", res.String())
+}
+
+// TestFigure1DPOR checks that DPOR needs only two schedules for the
+// example, as the paper states ("a POR technique would only need to
+// consider two schedules").
+func TestFigure1DPOR(t *testing.T) {
+	res := NewDPOR(false).Explore(figure1(), Options{})
+	if err := res.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if res.DistinctHBRs != 2 || res.DistinctLazyHBRs != 1 || res.DistinctStates != 1 {
+		t.Errorf("DPOR classes: hbr=%d lazy=%d states=%d, want 2/1/1", res.DistinctHBRs, res.DistinctLazyHBRs, res.DistinctStates)
+	}
+	if res.Schedules < 2 {
+		t.Errorf("DPOR explored %d schedules, must cover both lock orders", res.Schedules)
+	}
+	t.Logf("figure1 dpor: schedules=%d (dfs explores %d)", res.Schedules, NewDFS().Explore(figure1(), Options{}).Schedules)
+}
+
+// TestFigure1LazyCaching checks that lazy HBR caching needs only a
+// single completed schedule for the example.
+func TestFigure1LazyCaching(t *testing.T) {
+	res := NewLazyHBRCache().Explore(figure1(), Options{})
+	if res.DistinctLazyHBRs != 1 || res.DistinctStates != 1 {
+		t.Errorf("lazy caching: lazy=%d states=%d, want 1/1", res.DistinctLazyHBRs, res.DistinctStates)
+	}
+	if res.Terminals != 1 {
+		t.Errorf("lazy caching completed %d schedules, want exactly 1", res.Terminals)
+	}
+	hbr := NewHBRCache().Explore(figure1(), Options{})
+	if hbr.Terminals != 2 {
+		t.Errorf("regular HBR caching completed %d schedules, want 2", hbr.Terminals)
+	}
+}

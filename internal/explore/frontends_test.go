@@ -1,0 +1,65 @@
+package explore
+
+import (
+	"repro/internal/goharness"
+	"repro/internal/model"
+	"repro/internal/progdsl"
+)
+
+// buildDSLVariant constructs a small parametric program in the
+// interpreter frontend: each thread increments either one shared
+// counter or its private cell, optionally under a global lock.
+func buildDSLVariant(name string, threads int, locked, shared bool) model.Source {
+	b := progdsl.New(name + "-dsl").AutoStart()
+	g := b.Mutex("g")
+	sh := b.Var("shared")
+	priv := b.VarArray("priv", threads)
+	for i := 0; i < threads; i++ {
+		i := i
+		th := b.Thread()
+		v := priv.At(i)
+		if shared {
+			v = sh
+		}
+		if locked {
+			th.Lock(g)
+		}
+		th.Read(0, v)
+		th.AddConst(0, 0, 1)
+		th.Write(v, 0)
+		if locked {
+			th.Unlock(g)
+		}
+	}
+	return b.Build()
+}
+
+// buildHarnessVariant constructs the identical logical program in the
+// goroutine frontend. The two must induce the same schedule space —
+// same threads, same visible operations, same blocking structure.
+func buildHarnessVariant(name string, threads int, locked, shared bool) model.Source {
+	p := goharness.New(name + "-gh").AutoStart()
+	g := p.Mutex("g")
+	sh := p.Var("shared")
+	priv := make([]goharness.Var, threads)
+	for i := range priv {
+		priv[i] = p.Var("priv")
+	}
+	for i := 0; i < threads; i++ {
+		i := i
+		p.Thread(func(gg *goharness.G) {
+			v := priv[i]
+			if shared {
+				v = sh
+			}
+			if locked {
+				gg.Lock(g)
+			}
+			gg.Write(v, gg.Read(v)+1)
+			if locked {
+				gg.Unlock(g)
+			}
+		})
+	}
+	return p
+}

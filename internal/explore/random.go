@@ -1,0 +1,54 @@
+package explore
+
+import (
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// randomEngine samples schedules uniformly at each choice point — the
+// non-systematic baseline ("random testing"). It offers no coverage
+// guarantee; the paper's techniques exist to beat it.
+type randomEngine struct {
+	seed int64
+}
+
+// NewRandomWalk returns a seeded random-walk engine; the schedule
+// budget comes from Options.ScheduleLimit (required).
+func NewRandomWalk(seed int64) Engine { return &randomEngine{seed: seed} }
+
+// Name implements Engine.
+func (e *randomEngine) Name() string { return "random" }
+
+// Explore implements Engine.
+func (e *randomEngine) Explore(src model.Source, opt Options) Result {
+	if opt.ScheduleLimit <= 0 {
+		opt.ScheduleLimit = 1000
+	}
+	c := newCursor(src, opt)
+	defer c.close()
+	rec := newRecorder(src, e.Name(), opt)
+	rng := rand.New(rand.NewSource(e.seed))
+	for {
+		for !c.truncated() {
+			en := c.enabled()
+			if len(en) == 0 {
+				break
+			}
+			c.step(en[rng.Intn(len(en))])
+		}
+		if c.truncated() && !c.terminal() {
+			rec.res.Truncated++
+		} else {
+			rec.terminal(c)
+		}
+		if rec.schedule() {
+			break
+		}
+		c.resetTo(0)
+	}
+	// Random walks revisit schedules, so the invariant chain over
+	// *distinct* quantities still holds but HitLimit is the normal
+	// exit; nothing more to do.
+	return rec.finish(c)
+}

@@ -1,0 +1,207 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// smallCorpus picks a representative slice of the corpus: coarse-lock
+// (below diagonal), shared-data (diagonal) and a racy benchmark.
+func smallCorpus(t *testing.T) []bench.Benchmark {
+	t.Helper()
+	names := []string{
+		"coarse-disjoint-3x1",
+		"coarse-readonly-3",
+		"coarse-shared-3",
+		"bank-global-2",
+		"counter-racy-2x1",
+		"philosophers-2",
+	}
+	out := make([]bench.Benchmark, 0, len(names))
+	for _, n := range names {
+		b, ok := bench.ByName(n)
+		if !ok {
+			t.Fatalf("missing benchmark %s", n)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestFig2SmallSweep(t *testing.T) {
+	rows, err := Fig2(smallCorpus(t), Options{ScheduleLimit: 5000, MaxSteps: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Fig2Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if !(r.States <= r.LazyHBRs && r.LazyHBRs <= r.HBRs && r.HBRs <= r.Schedules) {
+			t.Errorf("%s: inequality chain broken: %+v", r.Name, r)
+		}
+	}
+	// Coarse-lock benchmarks collapse to a single lazy class.
+	for _, n := range []string{"coarse-disjoint-3x1", "coarse-readonly-3", "bank-global-2"} {
+		if r := byName[n]; r.LazyHBRs != 1 || r.HBRs <= 1 {
+			t.Errorf("%s: expected below-diagonal point, got hbrs=%d lazy=%d", n, r.HBRs, r.LazyHBRs)
+		}
+	}
+	// Shared-data benchmark sits on the diagonal.
+	if r := byName["coarse-shared-3"]; r.HBRs != r.LazyHBRs {
+		t.Errorf("coarse-shared-3: expected diagonal point, got hbrs=%d lazy=%d", r.HBRs, r.LazyHBRs)
+	}
+
+	s := SummarizeFig2(rows)
+	if s.BelowDiagonal < 3 {
+		t.Errorf("below diagonal = %d, want ≥ 3", s.BelowDiagonal)
+	}
+	if s.RedundantPct() <= 0 || s.RedundantPct() > 100 {
+		t.Errorf("redundancy pct = %f", s.RedundantPct())
+	}
+}
+
+func TestFig3SmallSweep(t *testing.T) {
+	rows, err := Fig3(smallCorpus(t), Options{ScheduleLimit: 50, MaxSteps: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The paper's guarantee: regular caching never reaches MORE
+		// lazy classes than lazy caching within the same budget.
+		if r.RegularCaching > r.LazyCaching {
+			t.Errorf("%s: regular caching ahead (%d > %d) — impossible", r.Name, r.RegularCaching, r.LazyCaching)
+		}
+	}
+	s := SummarizeFig3(rows)
+	if s.RegularWins != 0 {
+		t.Errorf("RegularWins = %d, must be 0", s.RegularWins)
+	}
+	if s.ExtraPct() < 0 {
+		t.Errorf("ExtraPct = %f", s.ExtraPct())
+	}
+}
+
+func TestRendering(t *testing.T) {
+	rows2 := []Fig2Row{
+		{ID: 1, Name: "a", Schedules: 100, HBRs: 50, LazyHBRs: 10, States: 2, HitLimit: true},
+		{ID: 2, Name: "b", Schedules: 10, HBRs: 5, LazyHBRs: 5, States: 5},
+	}
+	tsv := TSV2(rows2)
+	if !strings.Contains(tsv, "a\t100\t50\t10\t2\ttrue") {
+		t.Errorf("TSV2 malformed:\n%s", tsv)
+	}
+	md := MarkdownFig2(rows2, 1000)
+	if !strings.Contains(md, "| 1 | a | 100 | 50 | 10 | 2 | true |") {
+		t.Errorf("MarkdownFig2 malformed:\n%s", md)
+	}
+	if !strings.Contains(md, "1/2 benchmarks below the diagonal") {
+		t.Errorf("summary line missing:\n%s", md)
+	}
+
+	rows3 := []Fig3Row{
+		{ID: 1, Name: "a", RegularCaching: 3, LazyCaching: 9},
+		{ID: 2, Name: "b", RegularCaching: 4, LazyCaching: 4},
+	}
+	tsv3 := TSV3(rows3)
+	if !strings.Contains(tsv3, "a\t3\t9") {
+		t.Errorf("TSV3 malformed:\n%s", tsv3)
+	}
+	md3 := MarkdownFig3(rows3, 1000)
+	if !strings.Contains(md3, "1/2 benchmarks") {
+		t.Errorf("MarkdownFig3 summary wrong:\n%s", md3)
+	}
+
+	sc := Scatter(Fig2Points(rows2), 40, 12, "x", "y")
+	if !strings.Contains(sc, "1") || !strings.Contains(sc, ".") {
+		t.Errorf("scatter missing point or diagonal:\n%s", sc)
+	}
+	sc3 := Scatter(Fig3Points(rows3), 40, 12, "x", "y")
+	if len(strings.Split(sc3, "\n")) < 12 {
+		t.Error("scatter too short")
+	}
+	// Degenerate sizes are clamped, single point at origin works.
+	_ = Scatter([]Point{{ID: 7, X: 1, Y: 1}}, 1, 1, "x", "y")
+}
+
+func TestSummaryArithmetic(t *testing.T) {
+	s := SummarizeFig2([]Fig2Row{
+		{HBRs: 100, LazyHBRs: 20},
+		{HBRs: 10, LazyHBRs: 10},
+		{HBRs: 50, LazyHBRs: 40},
+	})
+	if s.BelowDiagonal != 2 || s.HBRsBelow != 150 || s.RedundantBelow != 90 {
+		t.Errorf("summary = %+v", s)
+	}
+	if got := s.RedundantPct(); got != 60 {
+		t.Errorf("pct = %f, want 60", got)
+	}
+	empty := SummarizeFig2(nil)
+	if empty.RedundantPct() != 0 {
+		t.Error("empty summary pct must be 0")
+	}
+
+	s3 := SummarizeFig3([]Fig3Row{
+		{RegularCaching: 10, LazyCaching: 15},
+		{RegularCaching: 5, LazyCaching: 5},
+	})
+	if s3.LazyWins != 1 || s3.ExtraLazyHBRs != 5 || s3.ExtraPct() != 50 {
+		t.Errorf("fig3 summary = %+v", s3)
+	}
+}
+
+// TestParallelSweepMatchesSequential: the parallel sweep must produce
+// byte-identical rows in the same order as the sequential one.
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	corpus := smallCorpus(t)
+	seqOpt := Options{ScheduleLimit: 300, MaxSteps: 500, Parallelism: 1}
+	parOpt := Options{ScheduleLimit: 300, MaxSteps: 500, Parallelism: 4}
+
+	seq2, err := Fig2(corpus, seqOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par2, err := Fig2(corpus, parOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq2) != len(par2) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq2), len(par2))
+	}
+	for i := range seq2 {
+		if seq2[i] != par2[i] {
+			t.Errorf("fig2 row %d differs:\n seq=%+v\n par=%+v", i, seq2[i], par2[i])
+		}
+	}
+
+	seq3, err := Fig3(corpus, seqOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par3, err := Fig3(corpus, parOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq3 {
+		if seq3[i] != par3[i] {
+			t.Errorf("fig3 row %d differs:\n seq=%+v\n par=%+v", i, seq3[i], par3[i])
+		}
+	}
+}
+
+// TestParallelismDefaults pins the worker-count resolution.
+func TestParallelismDefaults(t *testing.T) {
+	if got := (Options{Parallelism: 0}).workers(); got != 1 {
+		t.Errorf("Parallelism 0 → %d workers, want 1", got)
+	}
+	if got := (Options{Parallelism: 3}).workers(); got != 3 {
+		t.Errorf("Parallelism 3 → %d workers", got)
+	}
+	if got := (Options{Parallelism: -1}).workers(); got < 1 {
+		t.Errorf("Parallelism -1 → %d workers", got)
+	}
+}

@@ -1,0 +1,34 @@
+package goharness_test
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/goharness"
+)
+
+// Example runs a two-thread message hand-off written as plain Go
+// closures under a deterministic schedule.
+func Example() {
+	p := goharness.New("handoff").AutoStart()
+	data := p.Var("data")
+	flag := p.Var("flag")
+
+	p.Thread(func(g *goharness.G) { // sender
+		g.Write(data, 7)
+		g.Write(flag, 1)
+	})
+	p.Thread(func(g *goharness.G) { // receiver
+		if g.Read(flag) == 1 {
+			g.Assert(g.Read(data) == 7)
+		}
+	})
+
+	out := exec.Run(p, exec.FirstEnabled{}, exec.Options{})
+	fmt.Println("events:", len(out.Trace), "failed:", len(out.Failures) > 0)
+	// The unsynchronised flag is a data race the tracker reports:
+	fmt.Println("races:", len(out.Races))
+	// Output:
+	// events: 5 failed: false
+	// races: 2
+}

@@ -1,0 +1,294 @@
+// Package goharness runs real Go closures under the systematic
+// concurrency tester. Each thread of the program under test is a
+// goroutine that announces every visible operation (shared reads and
+// writes, lock/unlock, spawn/join, assertions) to the scheduler over a
+// channel handshake and blocks until the scheduler grants it. Only one
+// goroutine makes progress between scheduling decisions at a visible
+// operation, so the interleaving of visible operations — the only
+// interleaving that matters — is fully controlled and deterministic,
+// even though the Go runtime schedules the goroutines themselves.
+//
+// This is the Go analogue of LAZYLOCKS' Java bytecode instrumentation:
+// the program text stays ordinary Go, and the harness supplies the
+// scheduling points.
+//
+// Thread bodies must be deterministic: all cross-thread communication
+// must go through the harness (G.Read/G.Write/G.Lock/...), and bodies
+// must not consult ambient nondeterminism (time, maps iteration order,
+// package-level mutable state shared across executions).
+package goharness
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/model"
+)
+
+// Var names a shared variable of a harness program.
+type Var int32
+
+// Mutex names a mutex of a harness program.
+type Mutex int32
+
+// ThreadRef names a declared thread.
+type ThreadRef event.ThreadID
+
+// Body is the code of one thread.
+type Body func(g *G)
+
+// Program is a program under test built from Go closures. It
+// implements model.Source; build it with New, Var, Mutex and Thread,
+// then hand it to an exploration engine.
+type Program struct {
+	name      string
+	varNames  []string
+	muNames   []string
+	bodies    []Body
+	init      map[Var]int64
+	autoStart bool
+}
+
+var (
+	_ model.Source     = (*Program)(nil)
+	_ model.InitStorer = (*Program)(nil)
+)
+
+// New returns an empty harness program.
+func New(name string) *Program {
+	return &Program{name: name, init: map[Var]int64{}}
+}
+
+// AutoStart makes all declared threads runnable initially (no explicit
+// Spawn needed).
+func (p *Program) AutoStart() *Program {
+	p.autoStart = true
+	return p
+}
+
+// Var declares a shared variable initialised to zero.
+func (p *Program) Var(name string) Var {
+	p.varNames = append(p.varNames, name)
+	return Var(len(p.varNames) - 1)
+}
+
+// VarInit declares a shared variable with an initial value.
+func (p *Program) VarInit(name string, x int64) Var {
+	v := p.Var(name)
+	p.init[v] = x
+	return v
+}
+
+// Mutex declares a mutex.
+func (p *Program) Mutex(name string) Mutex {
+	p.muNames = append(p.muNames, name)
+	return Mutex(len(p.muNames) - 1)
+}
+
+// Thread declares a thread running body. The first thread declared is
+// the initial thread.
+func (p *Program) Thread(body Body) ThreadRef {
+	p.bodies = append(p.bodies, body)
+	return ThreadRef(len(p.bodies) - 1)
+}
+
+// Name implements model.Source.
+func (p *Program) Name() string { return p.name }
+
+// NumThreads implements model.Source.
+func (p *Program) NumThreads() int { return len(p.bodies) }
+
+// NumVars implements model.Source.
+func (p *Program) NumVars() int { return len(p.varNames) }
+
+// NumMutexes implements model.Source.
+func (p *Program) NumMutexes() int { return len(p.muNames) }
+
+// InitStore implements model.InitStorer.
+func (p *Program) InitStore(store []int64) {
+	for v, x := range p.init {
+		store[v] = x
+	}
+}
+
+// InitiallyRunning implements model.Source.
+func (p *Program) InitiallyRunning() []event.ThreadID {
+	if !p.autoStart {
+		return []event.ThreadID{0}
+	}
+	out := make([]event.ThreadID, len(p.bodies))
+	for i := range out {
+		out[i] = event.ThreadID(i)
+	}
+	return out
+}
+
+// Start implements model.Source: it launches the thread body as a
+// goroutine parked at its first visible operation.
+func (p *Program) Start(t event.ThreadID) model.Coroutine {
+	c := &coroutine{
+		req:   make(chan event.Op),
+		grant: make(chan grant),
+		done:  make(chan struct{}),
+	}
+	body := p.bodies[t]
+	go func() {
+		defer close(c.done)
+		defer close(c.req)
+		defer func() {
+			// Swallow only the harness's own abort signal;
+			// genuine panics in thread bodies propagate.
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSignal); !ok {
+					panic(r)
+				}
+			}
+		}()
+		body(&G{c: c, id: t})
+	}()
+	return c
+}
+
+type abortSignal struct{}
+
+type grant struct {
+	val   int64
+	abort bool
+}
+
+// coroutine adapts the channel handshake to the model.Coroutine
+// peek/resume protocol.
+type coroutine struct {
+	req     chan event.Op
+	grant   chan grant
+	done    chan struct{}
+	pending event.Op
+	have    bool
+	closed  bool
+}
+
+var _ model.Abortable = (*coroutine)(nil)
+
+// Peek implements model.Coroutine. It blocks until the thread goroutine
+// announces its next visible operation or terminates; the wait is
+// bounded by the thread's local computation, never by another thread.
+func (c *coroutine) Peek() (event.Op, bool) {
+	if c.closed {
+		return event.Op{}, false
+	}
+	if c.have {
+		return c.pending, true
+	}
+	op, ok := <-c.req
+	if !ok {
+		c.closed = true
+		return event.Op{}, false
+	}
+	c.pending = op
+	c.have = true
+	return op, true
+}
+
+// Resume implements model.Coroutine.
+func (c *coroutine) Resume(result int64) {
+	if !c.have {
+		panic("goharness: Resume without pending operation")
+	}
+	c.have = false
+	c.grant <- grant{val: result}
+}
+
+// Abort implements model.Abortable: it unwinds the thread goroutine at
+// its current visible operation and waits for it to exit, so abandoned
+// executions leak nothing.
+func (c *coroutine) Abort() {
+	if c.closed {
+		return
+	}
+	if !c.have {
+		// The goroutine is either about to announce an operation
+		// or about to terminate; consume whichever happens.
+		op, ok := <-c.req
+		if !ok {
+			c.closed = true
+			return
+		}
+		c.pending = op
+		c.have = true
+	}
+	c.have = false
+	c.grant <- grant{abort: true}
+	<-c.done
+	c.closed = true
+}
+
+// G is the handle a thread body uses for all visible operations.
+type G struct {
+	c  *coroutine
+	id event.ThreadID
+}
+
+// ID returns the thread's identifier.
+func (g *G) ID() event.ThreadID { return g.id }
+
+func (g *G) visible(op event.Op) int64 {
+	g.c.req <- op
+	gr := <-g.c.grant
+	if gr.abort {
+		panic(abortSignal{})
+	}
+	return gr.val
+}
+
+// Read returns the current value of v (a visible operation).
+func (g *G) Read(v Var) int64 {
+	return g.visible(event.Op{Kind: event.KindRead, Obj: int32(v)})
+}
+
+// Write stores x into v (a visible operation).
+func (g *G) Write(v Var, x int64) {
+	g.visible(event.Op{Kind: event.KindWrite, Obj: int32(v), Val: x})
+}
+
+// Lock acquires m, blocking while another thread holds it.
+func (g *G) Lock(m Mutex) {
+	g.visible(event.Op{Kind: event.KindLock, Obj: int32(m)})
+}
+
+// Unlock releases m; releasing a mutex the thread does not hold is
+// recorded as a failure by the machine.
+func (g *G) Unlock(m Mutex) {
+	g.visible(event.Op{Kind: event.KindUnlock, Obj: int32(m)})
+}
+
+// Spawn starts the declared thread t.
+func (g *G) Spawn(t ThreadRef) {
+	g.visible(event.Op{Kind: event.KindSpawn, Obj: int32(t)})
+}
+
+// Join blocks until thread t has terminated.
+func (g *G) Join(t ThreadRef) {
+	g.visible(event.Op{Kind: event.KindJoin, Obj: int32(t)})
+}
+
+// Assert records ok as a visible assertion; a false value is a safety
+// violation the exploration engines report.
+func (g *G) Assert(ok bool) {
+	v := int64(0)
+	if ok {
+		v = 1
+	}
+	g.visible(event.Op{Kind: event.KindAssert, Val: v})
+}
+
+// Assertf is Assert with a formatted annotation for local debugging;
+// the message is evaluated eagerly but only used when the assertion
+// fails.
+func (g *G) Assertf(ok bool, format string, args ...any) {
+	if !ok {
+		// The machine records the failure; the message aids local
+		// debugging through the panic path of tests.
+		_ = fmt.Sprintf(format, args...)
+	}
+	g.Assert(ok)
+}

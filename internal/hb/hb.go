@@ -1,0 +1,323 @@
+// Package hb computes happens-before relations over execution traces,
+// online, one event at a time. It is the core of the reproduction of
+// "The Lazy Happens-Before Relation" (Thomson & Donaldson, PPoPP 2015).
+//
+// Three relations are tracked simultaneously, as vector clocks:
+//
+//   - The regular happens-before relation (HBR): program order; edges
+//     between conflicting variable accesses (same variable, at least
+//     one write); a total order per mutex over all lock/unlock events;
+//     spawn/join edges. This is condition (a)+(b)+(c) of the paper's
+//     Section 2 definition.
+//   - The lazy happens-before relation (lazy HBR): identical except
+//     that lock and unlock events induce no inter-thread edges (the
+//     paper's modified condition (b)). The events remain nodes of the
+//     partial order and still carry program-order and transitive edges.
+//   - The sync-only relation: program order plus mutex and spawn/join
+//     edges but no variable edges. Conflicting variable accesses that
+//     are unordered by this relation constitute data races; the tracker
+//     reports them FastTrack-style.
+//
+// Each partial order is summarised by a canonical Fingerprint that is
+// invariant under linearization, so two schedules have equal
+// fingerprints iff they have equal (lazy) HBRs (up to hash collision
+// over 128 bits). Fingerprints of every prefix are available, which is
+// what HBR caching and lazy HBR caching consume.
+package hb
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/vclock"
+)
+
+// Fingerprint canonically summarises a partial order of labelled
+// events. It combines per-event hashes with commutative operations
+// (64-bit sum and xor of an independently mixed copy), so the result is
+// independent of the order in which events are added.
+type Fingerprint [2]uint64
+
+// Add folds one event hash into the fingerprint.
+func (f *Fingerprint) Add(h uint64) {
+	f[0] += h
+	f[1] ^= mix64(h)
+}
+
+// IsZero reports whether no event has been added.
+func (f Fingerprint) IsZero() bool { return f == Fingerprint{} }
+
+// String renders the fingerprint in hex.
+func (f Fingerprint) String() string { return fmt.Sprintf("%016x-%016x", f[0], f[1]) }
+
+// mix64 is the splitmix64 finalizer, used to decorrelate the xor
+// accumulator from the sum accumulator.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Race reports a pair of conflicting variable accesses unordered by the
+// sync-only relation.
+type Race struct {
+	Var int32
+	// Access is the later access (the one at which the race was
+	// detected).
+	Access event.Event
+	// Prev is a representative earlier conflicting access.
+	Prev event.Event
+}
+
+// String renders the race for reports.
+func (r Race) String() string {
+	return fmt.Sprintf("data race on v%d: %v vs %v", r.Var, r.Prev, r.Access)
+}
+
+// Clocks carries the per-event results of Tracker.Apply.
+type Clocks struct {
+	// HB is the event's regular happens-before vector clock.
+	HB vclock.VC
+	// Lazy is the event's lazy happens-before vector clock.
+	Lazy vclock.VC
+}
+
+// Tracker computes the three relations online. It is not safe for
+// concurrent use; explorations are single-threaded by construction.
+type Tracker struct {
+	nthreads int
+
+	// Per-thread clocks of the last executed event (bottom before
+	// the first event). For spawned threads these are seeded with
+	// the parent's spawn-event clock.
+	hbT, lazyT, syncT []vclock.VC
+
+	// Regular-HB variable metadata: clock of the last write, and the
+	// join of the clocks of all reads since that write.
+	wHB, rHB []vclock.VC
+	// Lazy-HB variable metadata (identical structure; variable edges
+	// are kept by the lazy relation).
+	wLazy, rLazy []vclock.VC
+	// Sync-only variable metadata, for race detection only.
+	wSync, rSync []vclock.VC
+
+	// Per-mutex clock of the last lock/unlock event, for the regular
+	// and sync relations. The lazy relation has no mutex state.
+	mHB, mSync []vclock.VC
+
+	// Last-access events per variable, for race reports.
+	lastWriteEv, lastReadEv []event.Event
+	hasWriteEv, hasReadEv   []bool
+
+	hbFP, lazyFP Fingerprint
+	races        []Race
+	events       int
+}
+
+// NewTracker creates a tracker for a program universe of the given
+// sizes.
+func NewTracker(nthreads, nvars, nmutexes int) *Tracker {
+	return &Tracker{
+		nthreads:    nthreads,
+		hbT:         make([]vclock.VC, nthreads),
+		lazyT:       make([]vclock.VC, nthreads),
+		syncT:       make([]vclock.VC, nthreads),
+		wHB:         make([]vclock.VC, nvars),
+		rHB:         make([]vclock.VC, nvars),
+		wLazy:       make([]vclock.VC, nvars),
+		rLazy:       make([]vclock.VC, nvars),
+		wSync:       make([]vclock.VC, nvars),
+		rSync:       make([]vclock.VC, nvars),
+		mHB:         make([]vclock.VC, nmutexes),
+		mSync:       make([]vclock.VC, nmutexes),
+		lastWriteEv: make([]event.Event, nvars),
+		lastReadEv:  make([]event.Event, nvars),
+		hasWriteEv:  make([]bool, nvars),
+		hasReadEv:   make([]bool, nvars),
+	}
+}
+
+// Events returns the number of events applied so far.
+func (tr *Tracker) Events() int { return tr.events }
+
+// HBFingerprint returns the fingerprint of the regular HBR of the
+// event prefix applied so far.
+func (tr *Tracker) HBFingerprint() Fingerprint { return tr.hbFP }
+
+// LazyFingerprint returns the fingerprint of the lazy HBR of the event
+// prefix applied so far.
+func (tr *Tracker) LazyFingerprint() Fingerprint { return tr.lazyFP }
+
+// Races returns the data races detected so far.
+func (tr *Tracker) Races() []Race { return tr.races }
+
+// ThreadClock returns thread t's regular-HB clock after its last event.
+// The returned slice must not be modified.
+func (tr *Tracker) ThreadClock(t event.ThreadID) vclock.VC { return tr.hbT[t] }
+
+// LazyThreadClock returns thread t's lazy-HB clock after its last
+// event. The returned slice must not be modified.
+func (tr *Tracker) LazyThreadClock(t event.ThreadID) vclock.VC { return tr.lazyT[t] }
+
+// HappensBeforeNext reports whether an already-executed event e (with
+// per-thread index e.Index, executed by e.Thread) happens-before the
+// *next* transition of thread p under the regular HBR. This is the
+// i →(S) p test of Flanagan–Godefroid DPOR: e is ordered before
+// whatever p does next iff p's last event already knows e.Index+1
+// events of e.Thread (or p is e's own thread).
+func (tr *Tracker) HappensBeforeNext(e event.Event, p event.ThreadID) bool {
+	if e.Thread == p {
+		return true
+	}
+	return tr.hbT[p].Get(int(e.Thread)) >= e.Index+1
+}
+
+// Apply folds one executed event into all three relations and returns
+// the event's regular and lazy clocks. The returned clocks are owned by
+// the caller.
+func (tr *Tracker) Apply(ev event.Event) Clocks {
+	t := int(ev.Thread)
+
+	// Start from the thread's program-order predecessor and tick.
+	hb := tr.hbT[t].Clone().Inc(t)
+	lazy := tr.lazyT[t].Clone().Inc(t)
+	sync := tr.syncT[t].Clone().Inc(t)
+
+	switch ev.Kind {
+	case event.KindRead:
+		v := ev.Obj
+		hb = hb.Join(tr.wHB[v])
+		lazy = lazy.Join(tr.wLazy[v])
+		if tr.hasWriteEv[v] && !tr.wSync[v].Leq(sync) {
+			tr.races = append(tr.races, Race{Var: v, Access: ev, Prev: tr.lastWriteEv[v]})
+		}
+		tr.rHB[v] = tr.rHB[v].Join(hb)
+		tr.rLazy[v] = tr.rLazy[v].Join(lazy)
+		tr.rSync[v] = tr.rSync[v].Join(sync)
+		tr.lastReadEv[v] = ev
+		tr.hasReadEv[v] = true
+
+	case event.KindWrite:
+		v := ev.Obj
+		hb = hb.Join(tr.wHB[v]).Join(tr.rHB[v])
+		lazy = lazy.Join(tr.wLazy[v]).Join(tr.rLazy[v])
+		if tr.hasWriteEv[v] && !tr.wSync[v].Leq(sync) {
+			tr.races = append(tr.races, Race{Var: v, Access: ev, Prev: tr.lastWriteEv[v]})
+		} else if tr.hasReadEv[v] && !tr.rSync[v].Leq(sync) {
+			tr.races = append(tr.races, Race{Var: v, Access: ev, Prev: tr.lastReadEv[v]})
+		}
+		tr.wHB[v] = hb.Clone()
+		tr.rHB[v] = nil
+		tr.wLazy[v] = lazy.Clone()
+		tr.rLazy[v] = nil
+		tr.wSync[v] = sync.Clone()
+		tr.rSync[v] = nil
+		tr.lastWriteEv[v] = ev
+		tr.hasWriteEv[v] = true
+		tr.hasReadEv[v] = false
+
+	case event.KindLock, event.KindUnlock:
+		mu := ev.Obj
+		// Mutex edges exist in the regular and sync relations
+		// only: this is the entire difference that defines the
+		// lazy HBR.
+		hb = hb.Join(tr.mHB[mu])
+		sync = sync.Join(tr.mSync[mu])
+		tr.mHB[mu] = hb.Clone()
+		tr.mSync[mu] = sync.Clone()
+
+	case event.KindSpawn:
+		// The child's first event must order after this spawn, in
+		// all three relations (spawn edges are not mutex edges).
+		c := int(ev.Obj)
+		tr.hbT[c] = tr.hbT[c].Join(hb)
+		tr.lazyT[c] = tr.lazyT[c].Join(lazy)
+		tr.syncT[c] = tr.syncT[c].Join(sync)
+
+	case event.KindJoin:
+		c := int(ev.Obj)
+		hb = hb.Join(tr.hbT[c])
+		lazy = lazy.Join(tr.lazyT[c])
+		sync = sync.Join(tr.syncT[c])
+
+	case event.KindAssert:
+		// Thread-local: program order only.
+	}
+
+	tr.hbT[t] = hb
+	tr.lazyT[t] = lazy
+	tr.syncT[t] = sync
+
+	tr.hbFP.Add(eventHash(ev, hb))
+	tr.lazyFP.Add(eventHash(ev, lazy))
+	tr.events++
+
+	return Clocks{HB: hb.Clone(), Lazy: lazy.Clone()}
+}
+
+// eventHash hashes an HBR node: its schedule-independent label
+// (thread, per-thread index, kind, object, written/asserted value) and
+// its incoming edges, which the vector clock captures exactly.
+func eventHash(ev event.Event, vc vclock.VC) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mixByte := func(b byte) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	mix32 := func(x uint32) {
+		mixByte(byte(x))
+		mixByte(byte(x >> 8))
+		mixByte(byte(x >> 16))
+		mixByte(byte(x >> 24))
+	}
+	mix32(uint32(ev.Thread))
+	mix32(uint32(ev.Index))
+	mixByte(byte(ev.Kind))
+	mix32(uint32(ev.Obj))
+	if ev.Kind == event.KindWrite || ev.Kind == event.KindAssert {
+		mix32(uint32(uint64(ev.Val)))
+		mix32(uint32(uint64(ev.Val) >> 32))
+	}
+	// Fold in the clock; mix64 decorrelates from the label hash.
+	return h ^ mix64(vc.Hash())
+}
+
+// Clone returns a deep copy of the tracker, enabling snapshot-based
+// exploration.
+func (tr *Tracker) Clone() *Tracker {
+	cp := &Tracker{
+		nthreads:    tr.nthreads,
+		hbT:         cloneVCs(tr.hbT),
+		lazyT:       cloneVCs(tr.lazyT),
+		syncT:       cloneVCs(tr.syncT),
+		wHB:         cloneVCs(tr.wHB),
+		rHB:         cloneVCs(tr.rHB),
+		wLazy:       cloneVCs(tr.wLazy),
+		rLazy:       cloneVCs(tr.rLazy),
+		wSync:       cloneVCs(tr.wSync),
+		rSync:       cloneVCs(tr.rSync),
+		mHB:         cloneVCs(tr.mHB),
+		mSync:       cloneVCs(tr.mSync),
+		lastWriteEv: append([]event.Event(nil), tr.lastWriteEv...),
+		lastReadEv:  append([]event.Event(nil), tr.lastReadEv...),
+		hasWriteEv:  append([]bool(nil), tr.hasWriteEv...),
+		hasReadEv:   append([]bool(nil), tr.hasReadEv...),
+		hbFP:        tr.hbFP,
+		lazyFP:      tr.lazyFP,
+		races:       append([]Race(nil), tr.races...),
+		events:      tr.events,
+	}
+	return cp
+}
+
+func cloneVCs(in []vclock.VC) []vclock.VC {
+	out := make([]vclock.VC, len(in))
+	for i, v := range in {
+		out[i] = v.Clone()
+	}
+	return out
+}

@@ -1,0 +1,356 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// scriptSource is a minimal hand-rolled Source for machine tests: each
+// thread is a fixed list of operations.
+type scriptSource struct {
+	name    string
+	vars    int
+	mutexes int
+	threads [][]event.Op
+	initial []event.ThreadID
+	init    map[int32]int64
+}
+
+func (s *scriptSource) Name() string    { return s.name }
+func (s *scriptSource) NumThreads() int { return len(s.threads) }
+func (s *scriptSource) NumVars() int    { return s.vars }
+func (s *scriptSource) NumMutexes() int { return s.mutexes }
+func (s *scriptSource) InitiallyRunning() []event.ThreadID {
+	return s.initial
+}
+func (s *scriptSource) InitStore(store []int64) {
+	for v, x := range s.init {
+		store[v] = x
+	}
+}
+func (s *scriptSource) Start(t event.ThreadID) Coroutine {
+	return &scriptCoroutine{ops: s.threads[t]}
+}
+
+type scriptCoroutine struct {
+	ops []event.Op
+	pc  int
+}
+
+func (c *scriptCoroutine) Peek() (event.Op, bool) {
+	if c.pc >= len(c.ops) {
+		return event.Op{}, false
+	}
+	return c.ops[c.pc], true
+}
+
+func (c *scriptCoroutine) Resume(int64) { c.pc++ }
+
+func (c *scriptCoroutine) Snapshot() Coroutine {
+	cp := *c
+	return &cp
+}
+
+func rd(v int32) event.Op          { return event.Op{Kind: event.KindRead, Obj: v} }
+func wr(v int32, x int64) event.Op { return event.Op{Kind: event.KindWrite, Obj: v, Val: x} }
+func lk(m int32) event.Op          { return event.Op{Kind: event.KindLock, Obj: m} }
+func ul(m int32) event.Op          { return event.Op{Kind: event.KindUnlock, Obj: m} }
+func sp(t event.ThreadID) event.Op { return event.Op{Kind: event.KindSpawn, Obj: int32(t)} }
+func jn(t event.ThreadID) event.Op { return event.Op{Kind: event.KindJoin, Obj: int32(t)} }
+func as(ok int64) event.Op         { return event.Op{Kind: event.KindAssert, Val: ok} }
+
+func allThreads(n int) []event.ThreadID {
+	out := make([]event.ThreadID, n)
+	for i := range out {
+		out[i] = event.ThreadID(i)
+	}
+	return out
+}
+
+func TestReadWriteSemantics(t *testing.T) {
+	src := &scriptSource{
+		name: "rw", vars: 2,
+		threads: [][]event.Op{{wr(0, 5), rd(0), rd(1)}},
+		initial: allThreads(1),
+		init:    map[int32]int64{1: 9},
+	}
+	m := NewMachine(src)
+	ev := m.Step(0)
+	if ev.Kind != event.KindWrite || m.Load(0) != 5 {
+		t.Fatalf("write failed: %v store=%d", ev, m.Load(0))
+	}
+	ev = m.Step(0)
+	if ev.Seen != 5 {
+		t.Fatalf("read saw %d, want 5", ev.Seen)
+	}
+	ev = m.Step(0)
+	if ev.Seen != 9 {
+		t.Fatalf("initialised variable read %d, want 9", ev.Seen)
+	}
+	if !m.Terminated() || m.Deadlocked() {
+		t.Error("machine must terminate cleanly")
+	}
+}
+
+func TestLockBlocksAndUnlockFrees(t *testing.T) {
+	src := &scriptSource{
+		name: "lock", mutexes: 1,
+		threads: [][]event.Op{
+			{lk(0), ul(0)},
+			{lk(0), ul(0)},
+		},
+		initial: allThreads(2),
+	}
+	m := NewMachine(src)
+	if !m.Enabled(0) || !m.Enabled(1) {
+		t.Fatal("both locks enabled on a free mutex")
+	}
+	m.Step(0)
+	if m.Owner(0) != 0 {
+		t.Fatalf("owner = %d, want 0", m.Owner(0))
+	}
+	if m.Enabled(1) {
+		t.Fatal("lock of a held mutex must be disabled")
+	}
+	if !m.Enabled(0) {
+		t.Fatal("unlock by owner must be enabled")
+	}
+	m.Step(0)
+	if m.Owner(0) != NoOwner {
+		t.Fatal("unlock must free the mutex")
+	}
+	if !m.Enabled(1) {
+		t.Fatal("blocked lock must re-enable after unlock")
+	}
+	m.Step(1)
+	m.Step(1)
+	if !m.Terminated() {
+		t.Fatal("machine should be terminal")
+	}
+}
+
+func TestUnlockByNonOwnerIsFailure(t *testing.T) {
+	src := &scriptSource{
+		name: "badunlock", mutexes: 1,
+		threads: [][]event.Op{{ul(0)}},
+		initial: allThreads(1),
+	}
+	m := NewMachine(src)
+	m.Step(0)
+	fs := m.Failures()
+	if len(fs) != 1 || fs[0].Kind != FailLockMisuse {
+		t.Fatalf("failures = %v, want one lock-misuse", fs)
+	}
+	if !strings.Contains(fs[0].String(), "unlock") {
+		t.Errorf("failure message %q should mention unlock", fs[0].String())
+	}
+}
+
+func TestSpawnJoinLifecycle(t *testing.T) {
+	src := &scriptSource{
+		name: "spawnjoin", vars: 1,
+		threads: [][]event.Op{
+			{sp(1), jn(1), rd(0)},
+			{wr(0, 7)},
+		},
+		// Only thread 0 runs initially (default).
+	}
+	m := NewMachine(src)
+	if m.Status(1) != NotStarted {
+		t.Fatal("thread 1 must await spawn")
+	}
+	if !m.Enabled(0) {
+		t.Fatal("spawn must be enabled")
+	}
+	m.Step(0) // spawn
+	if m.Status(1) != Running {
+		t.Fatal("spawn must start the child")
+	}
+	if m.Enabled(0) {
+		t.Fatal("join of a live thread must block")
+	}
+	m.Step(1) // child writes and terminates
+	if m.Status(1) != Done {
+		t.Fatal("child must be done after its last op")
+	}
+	if !m.Enabled(0) {
+		t.Fatal("join must unblock once the child is done")
+	}
+	m.Step(0) // join
+	ev := m.Step(0)
+	if ev.Seen != 7 {
+		t.Fatalf("read after join saw %d, want 7", ev.Seen)
+	}
+}
+
+func TestSpawnTwiceIsFailure(t *testing.T) {
+	src := &scriptSource{
+		name: "respawn",
+		threads: [][]event.Op{
+			{sp(1), sp(1)},
+			{},
+		},
+	}
+	m := NewMachine(src)
+	m.Step(0)
+	m.Step(0)
+	fs := m.Failures()
+	if len(fs) != 1 || fs[0].Kind != FailSpawnMisuse {
+		t.Fatalf("failures = %v, want one spawn-misuse", fs)
+	}
+}
+
+func TestAssertFailureRecorded(t *testing.T) {
+	src := &scriptSource{
+		name:    "assert",
+		threads: [][]event.Op{{as(1), as(0)}},
+		initial: allThreads(1),
+	}
+	m := NewMachine(src)
+	m.Step(0)
+	if len(m.Failures()) != 0 {
+		t.Fatal("passing assert must not record a failure")
+	}
+	m.Step(0)
+	fs := m.Failures()
+	if len(fs) != 1 || fs[0].Kind != FailAssert {
+		t.Fatalf("failures = %v, want one assert", fs)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	src := &scriptSource{
+		name: "deadlock", mutexes: 2,
+		threads: [][]event.Op{
+			{lk(0), lk(1), ul(1), ul(0)},
+			{lk(1), lk(0), ul(0), ul(1)},
+		},
+		initial: allThreads(2),
+	}
+	m := NewMachine(src)
+	m.Step(0) // t0 locks m0
+	m.Step(1) // t1 locks m1
+	if m.Enabled(0) || m.Enabled(1) {
+		t.Fatal("both threads must now be blocked")
+	}
+	if !m.Deadlocked() {
+		t.Fatal("machine must report deadlock")
+	}
+	if m.Terminated() {
+		t.Fatal("deadlocked machine is not terminated")
+	}
+}
+
+func TestStepPanicsOnDisabledThread(t *testing.T) {
+	src := &scriptSource{
+		name: "panic", mutexes: 1,
+		threads: [][]event.Op{
+			{lk(0), ul(0)},
+			{lk(0), ul(0)},
+		},
+		initial: allThreads(2),
+	}
+	m := NewMachine(src)
+	m.Step(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Step of a blocked thread must panic")
+		}
+	}()
+	m.Step(1)
+}
+
+func TestEnabledThreadsOrdering(t *testing.T) {
+	src := &scriptSource{
+		name: "enabled", vars: 1,
+		threads: [][]event.Op{
+			{rd(0)}, {rd(0)}, {rd(0)},
+		},
+		initial: allThreads(3),
+	}
+	m := NewMachine(src)
+	en := m.EnabledThreads(nil)
+	if len(en) != 3 || en[0] != 0 || en[1] != 1 || en[2] != 2 {
+		t.Fatalf("enabled = %v, want [0 1 2]", en)
+	}
+	m.Step(1)
+	en = m.EnabledThreads(en)
+	if len(en) != 2 || en[0] != 0 || en[1] != 2 {
+		t.Fatalf("enabled = %v, want [0 2]", en)
+	}
+}
+
+func TestSnapshotIndependence(t *testing.T) {
+	src := &scriptSource{
+		name: "snap", vars: 1, mutexes: 1,
+		threads: [][]event.Op{
+			{lk(0), wr(0, 1), ul(0)},
+			{lk(0), wr(0, 2), ul(0)},
+		},
+		initial: allThreads(2),
+	}
+	m := NewMachine(src)
+	m.Step(0) // t0 locks
+	snap, ok := m.Snapshot()
+	if !ok {
+		t.Fatal("script coroutines are snapshotable")
+	}
+	// Diverge the original.
+	m.Step(0)
+	m.Step(0)
+	if snap.Load(0) != 0 || snap.Owner(0) != 0 {
+		t.Fatal("snapshot must be frozen at the snapshot point")
+	}
+	// The snapshot can take the other branch.
+	snap.Step(0)
+	snap.Step(0)
+	snap.Step(1)
+	snap.Step(1)
+	snap.Step(1)
+	if snap.Load(0) != 2 {
+		t.Fatalf("snapshot run ended with store=%d, want 2", snap.Load(0))
+	}
+	if m.Load(0) != 1 {
+		t.Fatalf("original run disturbed: store=%d, want 1", m.Load(0))
+	}
+}
+
+func TestStateKeyAndHashAgree(t *testing.T) {
+	mk := func(x int64) *Machine {
+		src := &scriptSource{
+			name: "key", vars: 1,
+			threads: [][]event.Op{{wr(0, x)}},
+			initial: allThreads(1),
+		}
+		m := NewMachine(src)
+		m.Step(0)
+		return m
+	}
+	a, b, c := mk(1), mk(1), mk(2)
+	if a.StateKey() != b.StateKey() || a.StateHash() != b.StateHash() {
+		t.Error("identical states must agree on key and hash")
+	}
+	if a.StateKey() == c.StateKey() {
+		t.Error("different states must produce different keys")
+	}
+	if a.StateHash() == c.StateHash() {
+		t.Error("different states should produce different hashes")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if NotStarted.String() != "notstarted" || Running.String() != "running" || Done.String() != "done" {
+		t.Error("status strings wrong")
+	}
+	if !strings.Contains(Status(9).String(), "9") {
+		t.Error("unknown status should render its number")
+	}
+}
+
+func TestFailKindString(t *testing.T) {
+	if FailAssert.String() != "assert" || FailLockMisuse.String() != "lock-misuse" || FailSpawnMisuse.String() != "spawn-misuse" {
+		t.Error("failure kind strings wrong")
+	}
+}

@@ -1,0 +1,456 @@
+// Package model defines the abstract machine executed by the
+// systematic concurrency tester: a shared store of integer variables, a
+// set of mutexes with ownership semantics, and a set of threads whose
+// code is supplied by a Source as cooperative coroutines.
+//
+// The machine is the single point of truth for enabledness: a thread is
+// enabled when it is running and its pending visible operation can
+// execute in the current state (a Lock of a held mutex and a Join of a
+// live thread block). Exploration engines drive the machine one visible
+// operation at a time and therefore control the interleaving completely
+// — the Go runtime scheduler never influences the schedule.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// Coroutine is one thread's code, exposed as a peek/resume state
+// machine. Implementations must be deterministic: Peek must be
+// idempotent (it may compute thread-local work once, then cache) and
+// the announced operation must depend only on values delivered by
+// earlier Resume calls.
+type Coroutine interface {
+	// Peek returns the thread's pending visible operation, or
+	// ok=false once the thread has terminated.
+	Peek() (op event.Op, ok bool)
+	// Resume consumes the pending operation. result carries the
+	// value observed by a Read and is zero otherwise.
+	Resume(result int64)
+}
+
+// Abortable is implemented by coroutines that hold external resources
+// (e.g. a goroutine) that must be released when an execution is
+// abandoned before the thread terminates.
+type Abortable interface {
+	Abort()
+}
+
+// Snapshottable is implemented by coroutines whose full state can be
+// copied, enabling incremental (non-replay) exploration.
+type Snapshottable interface {
+	Snapshot() Coroutine
+}
+
+// Source describes a program under test: a fixed universe of threads,
+// shared variables and mutexes, plus a factory for thread coroutines.
+// Sources must be stateless with respect to executions: Start may be
+// called many times for the same thread across schedules.
+type Source interface {
+	// Name identifies the program in reports.
+	Name() string
+	// NumThreads returns the number of threads (IDs 0..n-1).
+	NumThreads() int
+	// NumVars returns the number of shared variables.
+	NumVars() int
+	// NumMutexes returns the number of mutexes.
+	NumMutexes() int
+	// Start creates a fresh coroutine for thread t.
+	Start(t event.ThreadID) Coroutine
+	// InitiallyRunning lists the threads that are runnable at the
+	// initial state; the rest must be started via Spawn. A nil or
+	// empty result means {0}.
+	InitiallyRunning() []event.ThreadID
+}
+
+// InitStorer is optionally implemented by Sources whose shared
+// variables start at non-zero values.
+type InitStorer interface {
+	InitStore(store []int64)
+}
+
+// Status is a thread's lifecycle state.
+type Status uint8
+
+const (
+	// NotStarted threads await a Spawn.
+	NotStarted Status = iota
+	// Running threads have a coroutine (possibly blocked).
+	Running
+	// Done threads have terminated.
+	Done
+)
+
+// String returns "notstarted", "running" or "done".
+func (s Status) String() string {
+	switch s {
+	case NotStarted:
+		return "notstarted"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// NoOwner marks a free mutex.
+const NoOwner event.ThreadID = -1
+
+// FailKind classifies a safety violation.
+type FailKind uint8
+
+const (
+	// FailAssert is a failed program assertion.
+	FailAssert FailKind = iota
+	// FailLockMisuse is an unlock of a mutex not held by the caller.
+	FailLockMisuse
+	// FailSpawnMisuse is a spawn of an already-started thread.
+	FailSpawnMisuse
+)
+
+// String names the failure class.
+func (k FailKind) String() string {
+	switch k {
+	case FailAssert:
+		return "assert"
+	case FailLockMisuse:
+		return "lock-misuse"
+	case FailSpawnMisuse:
+		return "spawn-misuse"
+	}
+	return fmt.Sprintf("failkind(%d)", uint8(k))
+}
+
+// Failure records a safety violation observed during an execution.
+type Failure struct {
+	Kind   FailKind
+	Thread event.ThreadID
+	Index  int32 // per-thread event index at which the failure fired
+	Msg    string
+}
+
+// String renders the failure for reports.
+func (f Failure) String() string {
+	return fmt.Sprintf("t%d#%d: %s", f.Thread, f.Index, f.Msg)
+}
+
+// Machine is one live execution instance of a Source.
+type Machine struct {
+	src      Source
+	store    []int64
+	owner    []event.ThreadID
+	status   []Status
+	cor      []Coroutine
+	steps    []int32
+	pending  []event.Op
+	havePend []bool
+	failures []Failure
+	executed int
+}
+
+// NewMachine creates a machine at the initial state of src.
+func NewMachine(src Source) *Machine {
+	n := src.NumThreads()
+	m := &Machine{
+		src:      src,
+		store:    make([]int64, src.NumVars()),
+		owner:    make([]event.ThreadID, src.NumMutexes()),
+		status:   make([]Status, n),
+		cor:      make([]Coroutine, n),
+		steps:    make([]int32, n),
+		pending:  make([]event.Op, n),
+		havePend: make([]bool, n),
+	}
+	for i := range m.owner {
+		m.owner[i] = NoOwner
+	}
+	if is, ok := src.(InitStorer); ok {
+		is.InitStore(m.store)
+	}
+	initial := src.InitiallyRunning()
+	if len(initial) == 0 {
+		initial = []event.ThreadID{0}
+	}
+	for _, t := range initial {
+		m.startThread(t)
+	}
+	return m
+}
+
+func (m *Machine) startThread(t event.ThreadID) {
+	m.status[t] = Running
+	m.cor[t] = m.src.Start(t)
+	m.refresh(t)
+}
+
+// refresh re-peeks thread t's pending operation and settles Done state.
+func (m *Machine) refresh(t event.ThreadID) {
+	if m.status[t] != Running {
+		m.havePend[t] = false
+		return
+	}
+	op, ok := m.cor[t].Peek()
+	if !ok {
+		m.status[t] = Done
+		m.havePend[t] = false
+		m.cor[t] = nil
+		return
+	}
+	m.pending[t] = op
+	m.havePend[t] = true
+}
+
+// Source returns the program this machine executes.
+func (m *Machine) Source() Source { return m.src }
+
+// NumThreads returns the thread-universe size.
+func (m *Machine) NumThreads() int { return len(m.status) }
+
+// Executed returns the number of visible operations executed so far.
+func (m *Machine) Executed() int { return m.executed }
+
+// Steps returns how many events thread t has executed.
+func (m *Machine) Steps(t event.ThreadID) int32 { return m.steps[t] }
+
+// Status returns thread t's lifecycle state.
+func (m *Machine) Status(t event.ThreadID) Status { return m.status[t] }
+
+// Load returns the current value of variable v.
+func (m *Machine) Load(v int32) int64 { return m.store[v] }
+
+// Owner returns the holder of mutex mu, or NoOwner.
+func (m *Machine) Owner(mu int32) event.ThreadID { return m.owner[mu] }
+
+// Failures returns the safety violations recorded so far.
+func (m *Machine) Failures() []Failure { return m.failures }
+
+// Pending returns thread t's announced next operation; ok is false if t
+// is not running (not started or terminated).
+func (m *Machine) Pending(t event.ThreadID) (event.Op, bool) {
+	if !m.havePend[t] {
+		return event.Op{}, false
+	}
+	return m.pending[t], true
+}
+
+// Enabled reports whether thread t can execute its pending operation in
+// the current state.
+func (m *Machine) Enabled(t event.ThreadID) bool {
+	op, ok := m.Pending(t)
+	if !ok {
+		return false
+	}
+	switch op.Kind {
+	case event.KindLock:
+		return m.owner[op.Obj] == NoOwner
+	case event.KindJoin:
+		return m.status[op.Obj] == Done
+	default:
+		return true
+	}
+}
+
+// EnabledThreads appends the IDs of all enabled threads to buf (in
+// ascending order) and returns it.
+func (m *Machine) EnabledThreads(buf []event.ThreadID) []event.ThreadID {
+	buf = buf[:0]
+	for t := range m.status {
+		if m.Enabled(event.ThreadID(t)) {
+			buf = append(buf, event.ThreadID(t))
+		}
+	}
+	return buf
+}
+
+// Terminated reports whether every thread in the universe has either
+// finished or was never started and is unreachable (no pending spawn).
+// For simplicity a machine is terminal when no thread is enabled and no
+// thread is blocked; Deadlocked distinguishes the stuck case.
+func (m *Machine) Terminated() bool {
+	for t := range m.status {
+		if m.status[t] == Running {
+			return false
+		}
+	}
+	return true
+}
+
+// Deadlocked reports whether some thread is running (hence blocked,
+// since deadlock is only meaningful when nothing is enabled) while no
+// thread is enabled.
+func (m *Machine) Deadlocked() bool {
+	any := false
+	for t := range m.status {
+		tt := event.ThreadID(t)
+		if m.status[t] == Running {
+			any = true
+			if m.Enabled(tt) {
+				return false
+			}
+		}
+	}
+	return any
+}
+
+// Step executes thread t's pending operation and returns the resulting
+// trace event. It panics if t is not enabled: exploration engines must
+// only step enabled threads.
+func (m *Machine) Step(t event.ThreadID) event.Event {
+	if !m.Enabled(t) {
+		panic(fmt.Sprintf("model: Step(%d) on non-enabled thread (status=%v)", t, m.status[t]))
+	}
+	op := m.pending[t]
+	var result int64
+	switch op.Kind {
+	case event.KindRead:
+		result = m.store[op.Obj]
+	case event.KindWrite:
+		m.store[op.Obj] = op.Val
+	case event.KindLock:
+		m.owner[op.Obj] = t
+	case event.KindUnlock:
+		if m.owner[op.Obj] != t {
+			m.fail(t, FailLockMisuse, fmt.Sprintf("unlock of mutex m%d not held by unlocker (owner=%d)", op.Obj, m.owner[op.Obj]))
+		}
+		m.owner[op.Obj] = NoOwner
+	case event.KindSpawn:
+		c := event.ThreadID(op.Obj)
+		if m.status[c] != NotStarted {
+			m.fail(t, FailSpawnMisuse, fmt.Sprintf("spawn of already-started thread t%d", c))
+		} else {
+			m.startThread(c)
+		}
+	case event.KindJoin:
+		// Enabledness already guarantees the target is Done.
+	case event.KindAssert:
+		if op.Val == 0 {
+			m.fail(t, FailAssert, "assertion failure")
+		}
+	}
+	ev := event.Event{Thread: t, Index: m.steps[t], Op: op, Seen: result}
+	if op.Kind == event.KindWrite {
+		ev.Seen = op.Val
+	}
+	m.steps[t]++
+	m.executed++
+	m.havePend[t] = false
+	m.cor[t].Resume(result)
+	m.refresh(t)
+	return ev
+}
+
+func (m *Machine) fail(t event.ThreadID, kind FailKind, msg string) {
+	m.failures = append(m.failures, Failure{Kind: kind, Thread: t, Index: m.steps[t], Msg: msg})
+}
+
+// Abort releases external resources of all still-running coroutines.
+// The machine must not be used afterwards.
+func (m *Machine) Abort() {
+	for t, c := range m.cor {
+		if m.status[t] == Running {
+			if a, ok := c.(Abortable); ok {
+				a.Abort()
+			}
+		}
+	}
+}
+
+// Snapshot returns a deep copy of the machine, or ok=false if any live
+// coroutine does not support snapshotting.
+func (m *Machine) Snapshot() (*Machine, bool) {
+	cp := &Machine{
+		src:      m.src,
+		store:    append([]int64(nil), m.store...),
+		owner:    append([]event.ThreadID(nil), m.owner...),
+		status:   append([]Status(nil), m.status...),
+		cor:      make([]Coroutine, len(m.cor)),
+		steps:    append([]int32(nil), m.steps...),
+		pending:  append([]event.Op(nil), m.pending...),
+		havePend: append([]bool(nil), m.havePend...),
+		failures: append([]Failure(nil), m.failures...),
+		executed: m.executed,
+	}
+	for t, c := range m.cor {
+		if c == nil {
+			continue
+		}
+		s, ok := c.(Snapshottable)
+		if !ok {
+			return nil, false
+		}
+		cp.cor[t] = s.Snapshot()
+	}
+	return cp, true
+}
+
+// sortedFailures returns the failures in a canonical order — by
+// (thread, index, kind) — so that state identity does not depend on
+// the schedule-dependent order in which concurrent failures were
+// recorded.
+func (m *Machine) sortedFailures() []Failure {
+	if len(m.failures) < 2 {
+		return m.failures
+	}
+	fs := append([]Failure(nil), m.failures...)
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Thread != b.Thread {
+			return a.Thread < b.Thread
+		}
+		if a.Index != b.Index {
+			return a.Index < b.Index
+		}
+		return a.Kind < b.Kind
+	})
+	return fs
+}
+
+// StateKey returns an exact, human-readable encoding of the machine
+// state: shared store, mutex owners, thread statuses and failures
+// (canonically ordered). Equal keys mean equal states. Used by
+// equivalence tests and state counting.
+func (m *Machine) StateKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "store=%v owners=%v status=%v", m.store, m.owner, m.status)
+	if len(m.failures) > 0 {
+		fmt.Fprintf(&b, " failures=%v", m.sortedFailures())
+	}
+	return b.String()
+}
+
+// StateHash folds StateKey's content into a 64-bit FNV-1a digest
+// without allocating the string.
+func (m *Machine) StateHash() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime
+			x >>= 8
+		}
+	}
+	for _, v := range m.store {
+		mix(uint64(v))
+	}
+	for _, o := range m.owner {
+		mix(uint64(uint32(o)))
+	}
+	for _, s := range m.status {
+		mix(uint64(s))
+	}
+	mix(uint64(len(m.failures)))
+	for _, f := range m.sortedFailures() {
+		mix(uint64(uint32(f.Thread)))
+		mix(uint64(uint32(f.Index)))
+		for i := 0; i < len(f.Msg); i++ {
+			mix(uint64(f.Msg[i]))
+		}
+	}
+	return h
+}

@@ -1,0 +1,629 @@
+package progdsl
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/model"
+)
+
+// Builder assembles a Program. Obtain one with New, declare variables,
+// mutexes and threads, then call Build.
+type Builder struct {
+	name      string
+	varNames  []string
+	muNames   []string
+	threads   []*ThreadBuilder
+	initStore map[Var]int64
+	autoStart bool
+	err       error
+}
+
+// New returns an empty program builder.
+func New(name string) *Builder {
+	return &Builder{name: name, initStore: map[Var]int64{}}
+}
+
+// AutoStart makes every declared thread runnable at the initial state,
+// removing the need for explicit Spawn/Join in the main thread. This
+// matches the common SCT benchmark convention where all threads are
+// live from the start.
+func (b *Builder) AutoStart() *Builder {
+	b.autoStart = true
+	return b
+}
+
+// Var declares a shared variable initialised to zero.
+func (b *Builder) Var(name string) Var {
+	b.varNames = append(b.varNames, name)
+	return Var(len(b.varNames) - 1)
+}
+
+// VarInit declares a shared variable with an initial value.
+func (b *Builder) VarInit(name string, init int64) Var {
+	v := b.Var(name)
+	b.initStore[v] = init
+	return v
+}
+
+// Mutex declares a mutex, initially free.
+func (b *Builder) Mutex(name string) Mutex {
+	b.muNames = append(b.muNames, name)
+	return Mutex(len(b.muNames) - 1)
+}
+
+// VarArray is a contiguous block of shared variables addressable with a
+// runtime index.
+type VarArray struct {
+	base Var
+	n    int
+}
+
+// Len returns the array length.
+func (a VarArray) Len() int { return a.n }
+
+// At returns the variable at compile-time index i.
+func (a VarArray) At(i int) Var {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("progdsl: VarArray index %d out of range [0,%d)", i, a.n))
+	}
+	return a.base + Var(i)
+}
+
+// VarArray declares n shared variables name[0..n-1], all zero.
+func (b *Builder) VarArray(name string, n int) VarArray {
+	if n <= 0 {
+		b.fail("VarArray %q length %d", name, n)
+		n = 1
+	}
+	base := Var(len(b.varNames))
+	for i := 0; i < n; i++ {
+		b.varNames = append(b.varNames, fmt.Sprintf("%s[%d]", name, i))
+	}
+	return VarArray{base: base, n: n}
+}
+
+// MutexArray is a contiguous block of mutexes addressable with a
+// runtime index.
+type MutexArray struct {
+	base Mutex
+	n    int
+}
+
+// Len returns the array length.
+func (a MutexArray) Len() int { return a.n }
+
+// At returns the mutex at compile-time index i.
+func (a MutexArray) At(i int) Mutex {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("progdsl: MutexArray index %d out of range [0,%d)", i, a.n))
+	}
+	return a.base + Mutex(i)
+}
+
+// MutexArray declares n mutexes name[0..n-1].
+func (b *Builder) MutexArray(name string, n int) MutexArray {
+	if n <= 0 {
+		b.fail("MutexArray %q length %d", name, n)
+		n = 1
+	}
+	base := Mutex(len(b.muNames))
+	for i := 0; i < n; i++ {
+		b.muNames = append(b.muNames, fmt.Sprintf("%s[%d]", name, i))
+	}
+	return MutexArray{base: base, n: n}
+}
+
+// Thread declares a new thread and returns its builder. The first
+// declared thread is thread 0, the initial thread.
+func (b *Builder) Thread() *ThreadBuilder {
+	t := &ThreadBuilder{prog: b, id: event.ThreadID(len(b.threads))}
+	b.threads = append(b.threads, t)
+	return t
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("progdsl[%s]: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Build validates and freezes the program. It panics on malformed
+// programs: builders run at test/benchmark setup time where a panic is
+// the clearest failure mode.
+func (b *Builder) Build() *Program {
+	if len(b.threads) == 0 {
+		b.fail("no threads declared")
+	}
+	for _, t := range b.threads {
+		if t.openBlocks != 0 {
+			b.fail("thread %d: unclosed control block", t.id)
+		}
+		for pc, in := range t.instrs {
+			b.validate(t, pc, in)
+		}
+	}
+	if b.err != nil {
+		panic(b.err)
+	}
+	p := &Program{
+		name:      b.name,
+		nvars:     len(b.varNames),
+		nmutexes:  len(b.muNames),
+		varNames:  append([]string(nil), b.varNames...),
+		muNames:   append([]string(nil), b.muNames...),
+		autoStart: b.autoStart,
+	}
+	for v, x := range b.initStore {
+		if p.init == nil {
+			p.init = make(map[int32]int64)
+		}
+		p.init[int32(v)] = x
+	}
+	for _, t := range b.threads {
+		p.code = append(p.code, threadCode{
+			instrs: append([]instr(nil), t.instrs...),
+			nregs:  t.maxReg + 1,
+		})
+	}
+	return p
+}
+
+func (b *Builder) validate(t *ThreadBuilder, pc int, in instr) {
+	checkReg := func(r int32) {
+		if r < 0 || r > t.maxReg {
+			b.fail("thread %d pc %d: register r%d out of range", t.id, pc, r)
+		}
+	}
+	checkVar := func(v int32) {
+		if v < 0 || int(v) >= len(b.varNames) {
+			b.fail("thread %d pc %d: variable v%d undeclared", t.id, pc, v)
+		}
+	}
+	checkMu := func(m int32) {
+		if m < 0 || int(m) >= len(b.muNames) {
+			b.fail("thread %d pc %d: mutex m%d undeclared", t.id, pc, m)
+		}
+	}
+	checkTarget := func(x int32) {
+		if x < 0 || int(x) > len(t.instrs) {
+			b.fail("thread %d pc %d: jump target %d out of range", t.id, pc, x)
+		}
+	}
+	switch in.kind {
+	case iRead:
+		checkReg(in.a)
+		checkVar(in.b)
+	case iReadD:
+		checkReg(in.a)
+		checkReg(in.c)
+		checkVar(in.b)
+		checkVar(in.b + int32(in.imm) - 1)
+	case iWriteD:
+		checkReg(in.a)
+		checkReg(in.c)
+		checkVar(in.b)
+		checkVar(in.b + int32(in.imm) - 1)
+	case iLockD, iUnlockD:
+		checkReg(in.c)
+		checkMu(in.b)
+		checkMu(in.b + int32(in.imm) - 1)
+	case iWrite:
+		checkVar(in.a)
+		checkReg(in.b)
+	case iWriteI:
+		checkVar(in.a)
+	case iLock, iUnlock:
+		checkMu(in.a)
+	case iSpawn, iJoin:
+		if in.a < 0 || int(in.a) >= len(b.threads) {
+			b.fail("thread %d pc %d: thread t%d undeclared", t.id, pc, in.a)
+		}
+		if event.ThreadID(in.a) == t.id {
+			b.fail("thread %d pc %d: self %s", t.id, pc, map[instrKind]string{iSpawn: "spawn", iJoin: "join"}[in.kind])
+		}
+	case iAssertC:
+		checkReg(in.a)
+		if in.useReg {
+			checkReg(in.c)
+		}
+	case iConst:
+		checkReg(in.a)
+	case iMov:
+		checkReg(in.a)
+		checkReg(in.b)
+	case iAdd, iSub, iMul:
+		checkReg(in.a)
+		checkReg(in.b)
+		checkReg(in.c)
+	case iAddI:
+		checkReg(in.a)
+		checkReg(in.b)
+	case iMod:
+		checkReg(in.a)
+		checkReg(in.b)
+		if in.imm <= 0 {
+			b.fail("thread %d pc %d: mod by %d", t.id, pc, in.imm)
+		}
+	case iJmp:
+		checkTarget(in.a)
+	case iJcc:
+		checkTarget(in.a)
+		checkReg(in.b)
+		if in.useReg {
+			checkReg(in.c)
+		}
+	default:
+		b.fail("thread %d pc %d: invalid instruction", t.id, pc)
+	}
+}
+
+// ThreadBuilder appends instructions to one thread's code.
+type ThreadBuilder struct {
+	prog       *Builder
+	id         event.ThreadID
+	instrs     []instr
+	maxReg     int32
+	openBlocks int
+}
+
+// ID returns the thread's identifier.
+func (t *ThreadBuilder) ID() event.ThreadID { return t.id }
+
+func (t *ThreadBuilder) emit(in instr) int {
+	t.instrs = append(t.instrs, in)
+	return len(t.instrs) - 1
+}
+
+func (t *ThreadBuilder) touch(rs ...Reg) {
+	for _, r := range rs {
+		if int32(r) > t.maxReg {
+			t.maxReg = int32(r)
+		}
+	}
+}
+
+// ReadAt appends "dst = load(arr[idx mod len])", a visible operation
+// with a runtime-computed address.
+func (t *ThreadBuilder) ReadAt(dst Reg, arr VarArray, idx Reg) *ThreadBuilder {
+	t.touch(dst, idx)
+	t.emit(instr{kind: iReadD, a: int32(dst), b: int32(arr.base), c: int32(idx), imm: int64(arr.n)})
+	return t
+}
+
+// WriteAt appends "store(arr[idx mod len]) = src", a visible operation
+// with a runtime-computed address.
+func (t *ThreadBuilder) WriteAt(arr VarArray, idx Reg, src Reg) *ThreadBuilder {
+	t.touch(src, idx)
+	t.emit(instr{kind: iWriteD, a: int32(src), b: int32(arr.base), c: int32(idx), imm: int64(arr.n)})
+	return t
+}
+
+// LockAt appends "lock(arr[idx mod len])".
+func (t *ThreadBuilder) LockAt(arr MutexArray, idx Reg) *ThreadBuilder {
+	t.touch(idx)
+	t.emit(instr{kind: iLockD, b: int32(arr.base), c: int32(idx), imm: int64(arr.n)})
+	return t
+}
+
+// UnlockAt appends "unlock(arr[idx mod len])".
+func (t *ThreadBuilder) UnlockAt(arr MutexArray, idx Reg) *ThreadBuilder {
+	t.touch(idx)
+	t.emit(instr{kind: iUnlockD, b: int32(arr.base), c: int32(idx), imm: int64(arr.n)})
+	return t
+}
+
+// Read appends "dst = load(v)", a visible operation.
+func (t *ThreadBuilder) Read(dst Reg, v Var) *ThreadBuilder {
+	t.touch(dst)
+	t.emit(instr{kind: iRead, a: int32(dst), b: int32(v)})
+	return t
+}
+
+// Write appends "store(v) = src", a visible operation.
+func (t *ThreadBuilder) Write(v Var, src Reg) *ThreadBuilder {
+	t.touch(src)
+	t.emit(instr{kind: iWrite, a: int32(v), b: int32(src)})
+	return t
+}
+
+// WriteConst appends "store(v) = imm", a visible operation.
+func (t *ThreadBuilder) WriteConst(v Var, imm int64) *ThreadBuilder {
+	t.emit(instr{kind: iWriteI, a: int32(v), imm: imm})
+	return t
+}
+
+// Lock appends a mutex acquisition (blocks while held elsewhere).
+func (t *ThreadBuilder) Lock(m Mutex) *ThreadBuilder {
+	t.emit(instr{kind: iLock, a: int32(m)})
+	return t
+}
+
+// Unlock appends a mutex release.
+func (t *ThreadBuilder) Unlock(m Mutex) *ThreadBuilder {
+	t.emit(instr{kind: iUnlock, a: int32(m)})
+	return t
+}
+
+// Spawn appends a spawn of the other thread.
+func (t *ThreadBuilder) Spawn(other *ThreadBuilder) *ThreadBuilder {
+	t.emit(instr{kind: iSpawn, a: int32(other.id)})
+	return t
+}
+
+// Join appends a join on the other thread (blocks until it terminates).
+func (t *ThreadBuilder) Join(other *ThreadBuilder) *ThreadBuilder {
+	t.emit(instr{kind: iJoin, a: int32(other.id)})
+	return t
+}
+
+// AssertEq appends "assert r == imm", a visible operation whose failure
+// is recorded by the machine.
+func (t *ThreadBuilder) AssertEq(r Reg, imm int64) *ThreadBuilder {
+	t.touch(r)
+	t.emit(instr{kind: iAssertC, a: int32(r), cmp: cmpEQ, imm: imm})
+	return t
+}
+
+// AssertNe appends "assert r != imm".
+func (t *ThreadBuilder) AssertNe(r Reg, imm int64) *ThreadBuilder {
+	t.touch(r)
+	t.emit(instr{kind: iAssertC, a: int32(r), cmp: cmpNE, imm: imm})
+	return t
+}
+
+// AssertLt appends "assert r < imm".
+func (t *ThreadBuilder) AssertLt(r Reg, imm int64) *ThreadBuilder {
+	t.touch(r)
+	t.emit(instr{kind: iAssertC, a: int32(r), cmp: cmpLT, imm: imm})
+	return t
+}
+
+// AssertGe appends "assert r >= imm".
+func (t *ThreadBuilder) AssertGe(r Reg, imm int64) *ThreadBuilder {
+	t.touch(r)
+	t.emit(instr{kind: iAssertC, a: int32(r), cmp: cmpGE, imm: imm})
+	return t
+}
+
+// AssertEqReg appends "assert a == b" over two registers.
+func (t *ThreadBuilder) AssertEqReg(a, b Reg) *ThreadBuilder {
+	t.touch(a, b)
+	t.emit(instr{kind: iAssertC, a: int32(a), cmp: cmpEQ, c: int32(b), useReg: true})
+	return t
+}
+
+// AssertLtReg appends "assert a < b" over two registers.
+func (t *ThreadBuilder) AssertLtReg(a, b Reg) *ThreadBuilder {
+	t.touch(a, b)
+	t.emit(instr{kind: iAssertC, a: int32(a), cmp: cmpLT, c: int32(b), useReg: true})
+	return t
+}
+
+// Const appends the local operation "dst = imm".
+func (t *ThreadBuilder) Const(dst Reg, imm int64) *ThreadBuilder {
+	t.touch(dst)
+	t.emit(instr{kind: iConst, a: int32(dst), imm: imm})
+	return t
+}
+
+// Mov appends the local operation "dst = src".
+func (t *ThreadBuilder) Mov(dst, src Reg) *ThreadBuilder {
+	t.touch(dst, src)
+	t.emit(instr{kind: iMov, a: int32(dst), b: int32(src)})
+	return t
+}
+
+// Add appends "dst = x + y".
+func (t *ThreadBuilder) Add(dst, x, y Reg) *ThreadBuilder {
+	t.touch(dst, x, y)
+	t.emit(instr{kind: iAdd, a: int32(dst), b: int32(x), c: int32(y)})
+	return t
+}
+
+// AddConst appends "dst = src + imm".
+func (t *ThreadBuilder) AddConst(dst, src Reg, imm int64) *ThreadBuilder {
+	t.touch(dst, src)
+	t.emit(instr{kind: iAddI, a: int32(dst), b: int32(src), imm: imm})
+	return t
+}
+
+// Sub appends "dst = x - y".
+func (t *ThreadBuilder) Sub(dst, x, y Reg) *ThreadBuilder {
+	t.touch(dst, x, y)
+	t.emit(instr{kind: iSub, a: int32(dst), b: int32(x), c: int32(y)})
+	return t
+}
+
+// Mul appends "dst = x * y".
+func (t *ThreadBuilder) Mul(dst, x, y Reg) *ThreadBuilder {
+	t.touch(dst, x, y)
+	t.emit(instr{kind: iMul, a: int32(dst), b: int32(x), c: int32(y)})
+	return t
+}
+
+// ModConst appends "dst = src mod imm" (imm > 0; result in [0,imm)).
+func (t *ThreadBuilder) ModConst(dst, src Reg, imm int64) *ThreadBuilder {
+	t.touch(dst, src)
+	t.emit(instr{kind: iMod, a: int32(dst), b: int32(src), imm: imm})
+	return t
+}
+
+// Cond describes a branch condition comparing a register against an
+// immediate or against another register.
+type Cond struct {
+	r      Reg
+	op     cmp
+	imm    int64
+	r2     Reg
+	useReg bool
+}
+
+// Eq is the condition "r == imm".
+func Eq(r Reg, imm int64) Cond { return Cond{r: r, op: cmpEQ, imm: imm} }
+
+// Ne is the condition "r != imm".
+func Ne(r Reg, imm int64) Cond { return Cond{r: r, op: cmpNE, imm: imm} }
+
+// Lt is the condition "r < imm".
+func Lt(r Reg, imm int64) Cond { return Cond{r: r, op: cmpLT, imm: imm} }
+
+// Ge is the condition "r >= imm".
+func Ge(r Reg, imm int64) Cond { return Cond{r: r, op: cmpGE, imm: imm} }
+
+// EqReg is the condition "a == b".
+func EqReg(a, b Reg) Cond { return Cond{r: a, op: cmpEQ, r2: b, useReg: true} }
+
+// NeReg is the condition "a != b".
+func NeReg(a, b Reg) Cond { return Cond{r: a, op: cmpNE, r2: b, useReg: true} }
+
+// LtReg is the condition "a < b".
+func LtReg(a, b Reg) Cond { return Cond{r: a, op: cmpLT, r2: b, useReg: true} }
+
+// GeReg is the condition "a >= b".
+func GeReg(a, b Reg) Cond { return Cond{r: a, op: cmpGE, r2: b, useReg: true} }
+
+func (c Cond) negated() cmp {
+	switch c.op {
+	case cmpEQ:
+		return cmpNE
+	case cmpNE:
+		return cmpEQ
+	case cmpLT:
+		return cmpGE
+	case cmpGE:
+		return cmpLT
+	}
+	return cmpEQ
+}
+
+// If appends a two-armed conditional; either arm may be nil.
+func (t *ThreadBuilder) If(c Cond, then func(), els func()) *ThreadBuilder {
+	t.touch(c.r)
+	if c.useReg {
+		t.touch(c.r2)
+	}
+	t.openBlocks++
+	// Branch to else/end when the condition is FALSE.
+	jfalse := t.emit(instr{kind: iJcc, b: int32(c.r), cmp: c.negated(), imm: c.imm, c: int32(c.r2), useReg: c.useReg})
+	if then != nil {
+		then()
+	}
+	if els == nil {
+		t.instrs[jfalse].a = int32(len(t.instrs))
+	} else {
+		jend := t.emit(instr{kind: iJmp})
+		t.instrs[jfalse].a = int32(len(t.instrs))
+		els()
+		t.instrs[jend].a = int32(len(t.instrs))
+	}
+	t.openBlocks--
+	return t
+}
+
+// While appends a guarded loop: the body runs while the condition
+// holds. The condition is evaluated on thread-local registers only, so
+// loops must be bounded by construction (e.g. a retry counter);
+// unbounded spinning would make the schedule space infinite.
+func (t *ThreadBuilder) While(c Cond, body func()) *ThreadBuilder {
+	t.touch(c.r)
+	if c.useReg {
+		t.touch(c.r2)
+	}
+	t.openBlocks++
+	top := len(t.instrs)
+	jexit := t.emit(instr{kind: iJcc, b: int32(c.r), cmp: c.negated(), imm: c.imm, c: int32(c.r2), useReg: c.useReg})
+	if body != nil {
+		body()
+	}
+	t.emit(instr{kind: iJmp, a: int32(top)})
+	t.instrs[jexit].a = int32(len(t.instrs))
+	t.openBlocks--
+	return t
+}
+
+// Repeat unrolls body n times at build time. The iteration index is
+// passed to body for address arithmetic in generated benchmarks.
+func (t *ThreadBuilder) Repeat(n int, body func(i int)) *ThreadBuilder {
+	for i := 0; i < n; i++ {
+		body(i)
+	}
+	return t
+}
+
+// threadCode is a frozen thread program.
+type threadCode struct {
+	instrs []instr
+	nregs  int32
+}
+
+// Program is a frozen progdsl program; it implements model.Source and
+// model.InitStorer.
+type Program struct {
+	name      string
+	nvars     int
+	nmutexes  int
+	varNames  []string
+	muNames   []string
+	code      []threadCode
+	init      map[int32]int64
+	autoStart bool
+}
+
+var (
+	_ model.Source     = (*Program)(nil)
+	_ model.InitStorer = (*Program)(nil)
+)
+
+// Name implements model.Source.
+func (p *Program) Name() string { return p.name }
+
+// NumThreads implements model.Source.
+func (p *Program) NumThreads() int { return len(p.code) }
+
+// NumVars implements model.Source.
+func (p *Program) NumVars() int { return p.nvars }
+
+// NumMutexes implements model.Source.
+func (p *Program) NumMutexes() int { return p.nmutexes }
+
+// VarName returns the declared name of variable v.
+func (p *Program) VarName(v int32) string { return p.varNames[v] }
+
+// MutexName returns the declared name of mutex m.
+func (p *Program) MutexName(m int32) string { return p.muNames[m] }
+
+// InitStore implements model.InitStorer.
+func (p *Program) InitStore(store []int64) {
+	for v, x := range p.init {
+		store[v] = x
+	}
+}
+
+// InitiallyRunning implements model.Source: all threads when AutoStart
+// was requested, otherwise just thread 0.
+func (p *Program) InitiallyRunning() []event.ThreadID {
+	if !p.autoStart {
+		return []event.ThreadID{0}
+	}
+	out := make([]event.ThreadID, len(p.code))
+	for i := range out {
+		out[i] = event.ThreadID(i)
+	}
+	return out
+}
+
+// Start implements model.Source.
+func (p *Program) Start(t event.ThreadID) model.Coroutine {
+	tc := &p.code[t]
+	return &coroutine{code: tc, regs: make([]int64, tc.nregs)}
+}
+
+// Disassemble returns a listing of one thread's code, for debugging.
+func (p *Program) Disassemble(t event.ThreadID) string {
+	out := ""
+	for pc, in := range p.code[t].instrs {
+		out += fmt.Sprintf("%3d: %v\n", pc, in)
+	}
+	return out
+}

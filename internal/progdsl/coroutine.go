@@ -1,0 +1,148 @@
+package progdsl
+
+import (
+	"repro/internal/event"
+	"repro/internal/model"
+)
+
+// coroutine interprets one thread's code. Local instructions run
+// eagerly inside Peek until a visible operation (or termination) is
+// reached; Resume consumes the visible operation. The coroutine is
+// snapshotable: its whole state is the program counter and registers.
+type coroutine struct {
+	code    *threadCode
+	regs    []int64
+	pc      int32
+	pending event.Op
+	have    bool
+	done    bool
+}
+
+var _ model.Snapshottable = (*coroutine)(nil)
+
+// Peek implements model.Coroutine.
+func (c *coroutine) Peek() (event.Op, bool) {
+	if c.done {
+		return event.Op{}, false
+	}
+	if c.have {
+		return c.pending, true
+	}
+	for {
+		if int(c.pc) >= len(c.code.instrs) {
+			c.done = true
+			return event.Op{}, false
+		}
+		in := c.code.instrs[c.pc]
+		switch in.kind {
+		case iRead:
+			c.pending = event.Op{Kind: event.KindRead, Obj: in.b}
+		case iWrite:
+			c.pending = event.Op{Kind: event.KindWrite, Obj: in.a, Val: c.regs[in.b]}
+		case iWriteI:
+			c.pending = event.Op{Kind: event.KindWrite, Obj: in.a, Val: in.imm}
+		case iLock:
+			c.pending = event.Op{Kind: event.KindLock, Obj: in.a}
+		case iUnlock:
+			c.pending = event.Op{Kind: event.KindUnlock, Obj: in.a}
+		case iSpawn:
+			c.pending = event.Op{Kind: event.KindSpawn, Obj: in.a}
+		case iJoin:
+			c.pending = event.Op{Kind: event.KindJoin, Obj: in.a}
+		case iReadD:
+			c.pending = event.Op{Kind: event.KindRead, Obj: dynObj(in, c.regs)}
+		case iWriteD:
+			c.pending = event.Op{Kind: event.KindWrite, Obj: dynObj(in, c.regs), Val: c.regs[in.a]}
+		case iLockD:
+			c.pending = event.Op{Kind: event.KindLock, Obj: dynObj(in, c.regs)}
+		case iUnlockD:
+			c.pending = event.Op{Kind: event.KindUnlock, Obj: dynObj(in, c.regs)}
+		case iAssertC:
+			ok := in.cmp.eval(c.regs[in.a], in.operand(c.regs))
+			v := int64(0)
+			if ok {
+				v = 1
+			}
+			c.pending = event.Op{Kind: event.KindAssert, Val: v}
+		case iConst:
+			c.regs[in.a] = in.imm
+			c.pc++
+			continue
+		case iMov:
+			c.regs[in.a] = c.regs[in.b]
+			c.pc++
+			continue
+		case iAdd:
+			c.regs[in.a] = c.regs[in.b] + c.regs[in.c]
+			c.pc++
+			continue
+		case iAddI:
+			c.regs[in.a] = c.regs[in.b] + in.imm
+			c.pc++
+			continue
+		case iSub:
+			c.regs[in.a] = c.regs[in.b] - c.regs[in.c]
+			c.pc++
+			continue
+		case iMul:
+			c.regs[in.a] = c.regs[in.b] * c.regs[in.c]
+			c.pc++
+			continue
+		case iMod:
+			m := c.regs[in.b] % in.imm
+			if m < 0 {
+				m += in.imm
+			}
+			c.regs[in.a] = m
+			c.pc++
+			continue
+		case iJmp:
+			c.pc = in.a
+			continue
+		case iJcc:
+			if in.cmp.eval(c.regs[in.b], in.operand(c.regs)) {
+				c.pc = in.a
+			} else {
+				c.pc++
+			}
+			continue
+		default:
+			panic("progdsl: invalid instruction reached interpreter")
+		}
+		c.have = true
+		return c.pending, true
+	}
+}
+
+// Resume implements model.Coroutine.
+func (c *coroutine) Resume(result int64) {
+	if !c.have {
+		// Peek establishes the pending op; Resume without it is
+		// an executor bug.
+		panic("progdsl: Resume without pending operation")
+	}
+	in := c.code.instrs[c.pc]
+	if in.kind == iRead || in.kind == iReadD {
+		c.regs[in.a] = result
+	}
+	c.have = false
+	c.pc++
+}
+
+// dynObj resolves a dynamic-index operand: base + (index register
+// value modulo the array length), the modulo keeping stray indices in
+// bounds deterministically.
+func dynObj(in instr, regs []int64) int32 {
+	i := regs[in.c] % in.imm
+	if i < 0 {
+		i += in.imm
+	}
+	return in.b + int32(i)
+}
+
+// Snapshot implements model.Snapshottable.
+func (c *coroutine) Snapshot() model.Coroutine {
+	cp := *c
+	cp.regs = append([]int64(nil), c.regs...)
+	return &cp
+}

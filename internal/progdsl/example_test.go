@@ -1,0 +1,57 @@
+package progdsl_test
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/progdsl"
+)
+
+// Example builds the paper's Figure 1 program in the DSL and executes
+// one schedule.
+func Example() {
+	b := progdsl.New("figure1").AutoStart()
+	x := b.Var("x")
+	y := b.Var("y")
+	z := b.Var("z")
+	m := b.Mutex("m")
+
+	t1 := b.Thread()
+	t1.Lock(m).Read(0, x).Unlock(m).WriteConst(y, 1)
+	t2 := b.Thread()
+	t2.WriteConst(z, 1).Lock(m).Read(0, x).Unlock(m)
+
+	out := exec.Run(b.Build(), exec.FirstEnabled{}, exec.Options{})
+	for _, ev := range out.Trace {
+		fmt.Println(ev)
+	}
+	// Output:
+	// t0#0:lock(m0)
+	// t0#1:read(v0)->0
+	// t0#2:unlock(m0)
+	// t0#3:write(v1)=1
+	// t1#0:write(v2)=1
+	// t1#1:lock(m0)
+	// t1#2:read(v0)->0
+	// t1#3:unlock(m0)
+}
+
+// ExampleThreadBuilder_While shows bounded control flow: loops must be
+// bounded by construction so the schedule space stays finite.
+func ExampleThreadBuilder_While() {
+	b := progdsl.New("loop")
+	sum := b.Var("sum")
+	th := b.Thread()
+	th.Const(0, 3) // retries
+	th.Const(1, 0) // accumulator
+	th.While(progdsl.Ge(0, 1), func() {
+		th.AddConst(1, 1, 10)
+		th.AddConst(0, 0, -1)
+	})
+	th.Write(sum, 1)
+
+	out := exec.Run(b.Build(), exec.FirstEnabled{}, exec.Options{})
+	fmt.Println(out.Trace[len(out.Trace)-1])
+	// Output:
+	// t0#0:write(v0)=30
+}

@@ -1,0 +1,167 @@
+// Package progdsl provides a deterministic interpreter frontend for the
+// systematic concurrency tester: programs are built with a small
+// structured builder (reads, writes, locks, arithmetic, If/While/Repeat)
+// and compiled to a register virtual machine whose coroutines yield to
+// the scheduler at every visible operation.
+//
+// Interpreter coroutines are fully snapshotable (program counter plus
+// registers), which lets exploration engines avoid replay, and they are
+// trivially deterministic — the two properties that make this frontend
+// the workhorse for the paper's large schedule-count experiments.
+package progdsl
+
+import "fmt"
+
+// Reg names a thread-local register. Registers are int64 and start at
+// zero.
+type Reg int
+
+// Var names a shared variable.
+type Var int32
+
+// Mutex names a mutex.
+type Mutex int32
+
+type instrKind uint8
+
+const (
+	iInvalid instrKind = iota
+
+	// Visible operations (scheduling points).
+	iRead    // r[A] = load(Var(B))
+	iWrite   // store(Var(A)) = r[B]
+	iWriteI  // store(Var(A)) = Imm
+	iLock    // lock(Mutex(A))
+	iUnlock  // unlock(Mutex(A))
+	iSpawn   // spawn thread A
+	iJoin    // join thread A
+	iReadD   // r[A] = load(Var(B + r[C] mod Imm))   — dynamic index
+	iWriteD  // store(Var(B + r[C] mod Imm)) = r[A]  — dynamic index
+	iLockD   // lock(Mutex(B + r[C] mod Imm))        — dynamic index
+	iUnlockD // unlock(Mutex(B + r[C] mod Imm))      — dynamic index
+	iAssertC // assert cond(r[A] Cmp operand) — announced as a visible assert op
+
+	// Thread-local operations (executed eagerly, never scheduling
+	// points).
+	iConst // r[A] = Imm
+	iMov   // r[A] = r[B]
+	iAdd   // r[A] = r[B] + r[C]
+	iAddI  // r[A] = r[B] + Imm
+	iSub   // r[A] = r[B] - r[C]
+	iMul   // r[A] = r[B] * r[C]
+	iMod   // r[A] = r[B] mod C-as-imm (Imm must be > 0)
+	iJmp   // pc = A
+	iJcc   // if cond(r[B] Cmp operand) pc = A
+)
+
+// cmp enumerates comparison operators for iAssertC and iJcc.
+type cmp uint8
+
+const (
+	cmpEQ cmp = iota // == operand
+	cmpNE            // != operand
+	cmpLT            // <  operand
+	cmpGE            // >= operand
+)
+
+func (c cmp) eval(a, b int64) bool {
+	switch c {
+	case cmpEQ:
+		return a == b
+	case cmpNE:
+		return a != b
+	case cmpLT:
+		return a < b
+	case cmpGE:
+		return a >= b
+	}
+	return false
+}
+
+func (c cmp) String() string {
+	switch c {
+	case cmpEQ:
+		return "=="
+	case cmpNE:
+		return "!="
+	case cmpLT:
+		return "<"
+	case cmpGE:
+		return ">="
+	}
+	return "cmp?"
+}
+
+// instr is one VM instruction. Field use depends on kind; Imm doubles
+// as the comparison operand for iJcc/iAssertC when UseReg is false,
+// otherwise register C holds the operand.
+type instr struct {
+	kind   instrKind
+	a, b   int32
+	c      int32
+	imm    int64
+	cmp    cmp
+	useReg bool
+}
+
+func (in instr) String() string {
+	switch in.kind {
+	case iRead:
+		return fmt.Sprintf("r%d = read v%d", in.a, in.b)
+	case iWrite:
+		return fmt.Sprintf("write v%d = r%d", in.a, in.b)
+	case iWriteI:
+		return fmt.Sprintf("write v%d = %d", in.a, in.imm)
+	case iLock:
+		return fmt.Sprintf("lock m%d", in.a)
+	case iUnlock:
+		return fmt.Sprintf("unlock m%d", in.a)
+	case iSpawn:
+		return fmt.Sprintf("spawn t%d", in.a)
+	case iJoin:
+		return fmt.Sprintf("join t%d", in.a)
+	case iAssertC:
+		return fmt.Sprintf("assert r%d %v %s", in.a, in.cmp, in.operandString())
+	case iConst:
+		return fmt.Sprintf("r%d = %d", in.a, in.imm)
+	case iMov:
+		return fmt.Sprintf("r%d = r%d", in.a, in.b)
+	case iAdd:
+		return fmt.Sprintf("r%d = r%d + r%d", in.a, in.b, in.c)
+	case iAddI:
+		return fmt.Sprintf("r%d = r%d + %d", in.a, in.b, in.imm)
+	case iSub:
+		return fmt.Sprintf("r%d = r%d - r%d", in.a, in.b, in.c)
+	case iMul:
+		return fmt.Sprintf("r%d = r%d * r%d", in.a, in.b, in.c)
+	case iMod:
+		return fmt.Sprintf("r%d = r%d %%%% %d", in.a, in.b, in.imm)
+	case iJmp:
+		return fmt.Sprintf("jmp %d", in.a)
+	case iJcc:
+		return fmt.Sprintf("if r%d %v %s jmp %d", in.b, in.cmp, in.operandString(), in.a)
+	case iReadD:
+		return fmt.Sprintf("r%d = read v[%d + r%d %%%% %d]", in.a, in.b, in.c, in.imm)
+	case iWriteD:
+		return fmt.Sprintf("write v[%d + r%d %%%% %d] = r%d", in.b, in.c, in.imm, in.a)
+	case iLockD:
+		return fmt.Sprintf("lock m[%d + r%d %%%% %d]", in.b, in.c, in.imm)
+	case iUnlockD:
+		return fmt.Sprintf("unlock m[%d + r%d %%%% %d]", in.b, in.c, in.imm)
+	}
+	return "invalid"
+}
+
+func (in instr) operandString() string {
+	if in.useReg {
+		return fmt.Sprintf("r%d", in.c)
+	}
+	return fmt.Sprintf("%d", in.imm)
+}
+
+func (in instr) operand(regs []int64) int64 {
+	if in.useReg {
+		return regs[in.c]
+	}
+	return in.imm
+}

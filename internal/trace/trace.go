@@ -1,0 +1,151 @@
+// Package trace serialises schedules and execution outcomes so that a
+// violation found by one exploration can be stored, shipped and
+// replayed deterministically later — the repro-artifact workflow of an
+// SCT tool (CHESS's "repro file", LAZYLOCKS' schedule dumps).
+//
+// The format is plain JSON. The record carries the program name and
+// universe sizes as a guard: replaying a schedule against a different
+// program is detected instead of silently diverging.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/event"
+	"repro/internal/exec"
+	"repro/internal/model"
+)
+
+// FormatVersion identifies the on-disk layout.
+const FormatVersion = 1
+
+// Record is a serialised schedule plus the outcome observed when it
+// was recorded.
+type Record struct {
+	Version  int              `json:"version"`
+	Program  string           `json:"program"`
+	Threads  int              `json:"threads"`
+	Vars     int              `json:"vars"`
+	Mutexes  int              `json:"mutexes"`
+	Kind     string           `json:"kind,omitempty"` // violation kind, if any
+	Choices  []event.ThreadID `json:"choices"`
+	StateKey string           `json:"state_key"`
+	Events   []EventRecord    `json:"events,omitempty"`
+}
+
+// EventRecord is one trace event in serialised form.
+type EventRecord struct {
+	Thread int32  `json:"t"`
+	Index  int32  `json:"i"`
+	Kind   string `json:"k"`
+	Obj    int32  `json:"o"`
+	Val    int64  `json:"v,omitempty"`
+	Seen   int64  `json:"s,omitempty"`
+}
+
+var kindNames = map[event.Kind]string{
+	event.KindRead:   "read",
+	event.KindWrite:  "write",
+	event.KindLock:   "lock",
+	event.KindUnlock: "unlock",
+	event.KindSpawn:  "spawn",
+	event.KindJoin:   "join",
+	event.KindAssert: "assert",
+}
+
+var kindByName = func() map[string]event.Kind {
+	m := make(map[string]event.Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// FromOutcome builds a record from an executed outcome.
+func FromOutcome(src model.Source, out exec.Outcome, kind string) Record {
+	r := Record{
+		Version:  FormatVersion,
+		Program:  src.Name(),
+		Threads:  src.NumThreads(),
+		Vars:     src.NumVars(),
+		Mutexes:  src.NumMutexes(),
+		Kind:     kind,
+		Choices:  append([]event.ThreadID(nil), out.Choices...),
+		StateKey: out.StateKey,
+	}
+	for _, ev := range out.Trace {
+		r.Events = append(r.Events, EventRecord{
+			Thread: int32(ev.Thread),
+			Index:  ev.Index,
+			Kind:   kindNames[ev.Kind],
+			Obj:    ev.Obj,
+			Val:    ev.Val,
+			Seen:   ev.Seen,
+		})
+	}
+	return r
+}
+
+// Write serialises the record as indented JSON.
+func (r Record) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Read parses a record.
+func Read(rd io.Reader) (Record, error) {
+	var r Record
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return Record{}, fmt.Errorf("trace: decode: %w", err)
+	}
+	if r.Version != FormatVersion {
+		return Record{}, fmt.Errorf("trace: unsupported format version %d (want %d)", r.Version, FormatVersion)
+	}
+	for _, ev := range r.Events {
+		if _, ok := kindByName[ev.Kind]; !ok {
+			return Record{}, fmt.Errorf("trace: unknown event kind %q", ev.Kind)
+		}
+	}
+	return r, nil
+}
+
+// Matches checks that the record was produced from (a program shaped
+// like) src.
+func (r Record) Matches(src model.Source) error {
+	if r.Program != src.Name() {
+		return fmt.Errorf("trace: recorded for program %q, replaying against %q", r.Program, src.Name())
+	}
+	if r.Threads != src.NumThreads() || r.Vars != src.NumVars() || r.Mutexes != src.NumMutexes() {
+		return fmt.Errorf("trace: universe mismatch: recorded %d/%d/%d threads/vars/mutexes, program has %d/%d/%d",
+			r.Threads, r.Vars, r.Mutexes, src.NumThreads(), src.NumVars(), src.NumMutexes())
+	}
+	return nil
+}
+
+// Replay re-executes the recorded schedule against src and verifies the
+// execution reproduces the recorded trace and final state exactly.
+func (r Record) Replay(src model.Source, opt exec.Options) (exec.Outcome, error) {
+	if err := r.Matches(src); err != nil {
+		return exec.Outcome{}, err
+	}
+	out := exec.Replay(src, r.Choices, opt)
+	if out.StateKey != r.StateKey {
+		return out, fmt.Errorf("trace: replay diverged: recorded state %q, reached %q", r.StateKey, out.StateKey)
+	}
+	if len(r.Events) > 0 {
+		if len(out.Trace) != len(r.Events) {
+			return out, fmt.Errorf("trace: replay produced %d events, recorded %d", len(out.Trace), len(r.Events))
+		}
+		for i, want := range r.Events {
+			got := out.Trace[i]
+			if int32(got.Thread) != want.Thread || got.Index != want.Index ||
+				kindNames[got.Kind] != want.Kind || got.Obj != want.Obj {
+				return out, fmt.Errorf("trace: replay event %d is %v, recorded %+v", i, got, want)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/exec"
+	"repro/internal/progdsl"
+)
+
+func sample() *progdsl.Program {
+	b := progdsl.New("sample").AutoStart()
+	x := b.Var("x")
+	m := b.Mutex("m")
+	t1 := b.Thread()
+	t1.Lock(m).Read(0, x).AddConst(0, 0, 1).Write(x, 0).Unlock(m)
+	t2 := b.Thread()
+	t2.Lock(m).Read(0, x).AddConst(0, 0, 10).Write(x, 0).Unlock(m)
+	return b.Build()
+}
+
+func TestRoundTrip(t *testing.T) {
+	prog := sample()
+	out := exec.Run(prog, exec.NewRandom(9), exec.Options{})
+	rec := FromOutcome(prog, out, "")
+
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Program != "sample" || len(back.Choices) != len(out.Choices) || back.StateKey != out.StateKey {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	replayed, err := back.Replay(prog, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.StateKey != out.StateKey {
+		t.Error("replay reached a different state")
+	}
+}
+
+func TestMatchesGuards(t *testing.T) {
+	prog := sample()
+	out := exec.Run(prog, exec.FirstEnabled{}, exec.Options{})
+	rec := FromOutcome(prog, out, "deadlock")
+
+	other := progdsl.New("other").AutoStart()
+	other.Var("x")
+	other.Thread().WriteConst(0, 1)
+	op := other.Build()
+	if err := rec.Matches(op); err == nil {
+		t.Error("mismatched program name must be rejected")
+	}
+
+	sameName := progdsl.New("sample").AutoStart()
+	sameName.Var("x")
+	sameName.Thread().WriteConst(0, 1)
+	sp := sameName.Build()
+	if err := rec.Matches(sp); err == nil || !strings.Contains(err.Error(), "universe") {
+		t.Errorf("universe mismatch must be rejected: %v", err)
+	}
+}
+
+func TestReplayDivergenceDetected(t *testing.T) {
+	prog := sample()
+	out := exec.Run(prog, exec.FirstEnabled{}, exec.Options{})
+	rec := FromOutcome(prog, out, "")
+	rec.StateKey = "store=[999] owners=[-1] status=[done done]"
+	if _, err := rec.Replay(prog, exec.Options{}); err == nil {
+		t.Error("tampered state key must be detected")
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage must be rejected")
+	}
+	if _, err := Read(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("unknown version must be rejected")
+	}
+	if _, err := Read(strings.NewReader(`{"version": 1, "events": [{"k": "teleport"}]}`)); err == nil {
+		t.Error("unknown event kind must be rejected")
+	}
+}
+
+func TestEventRecordFidelity(t *testing.T) {
+	prog := sample()
+	out := exec.Run(prog, exec.FirstEnabled{}, exec.Options{})
+	rec := FromOutcome(prog, out, "")
+	if len(rec.Events) != len(out.Trace) {
+		t.Fatalf("events = %d, trace = %d", len(rec.Events), len(out.Trace))
+	}
+	for i, ev := range out.Trace {
+		er := rec.Events[i]
+		if er.Thread != int32(ev.Thread) || er.Obj != ev.Obj {
+			t.Errorf("event %d mismatch: %+v vs %v", i, er, ev)
+		}
+		if ev.Kind == event.KindRead && er.Seen != ev.Seen {
+			t.Errorf("read result lost at %d", i)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueIsBottom(t *testing.T) {
+	var v VC
+	if v.Get(0) != 0 || v.Get(100) != 0 {
+		t.Error("zero clock must read 0 everywhere")
+	}
+	o := New(3).Set(1, 5)
+	if !v.Leq(o) {
+		t.Error("bottom must be ≤ everything")
+	}
+	if o.Leq(v) {
+		t.Error("non-bottom must not be ≤ bottom")
+	}
+}
+
+func TestSetGetGrow(t *testing.T) {
+	v := New(1)
+	v = v.Set(4, 7)
+	if got := v.Get(4); got != 7 {
+		t.Errorf("Get(4) = %d, want 7", got)
+	}
+	if got := v.Get(2); got != 0 {
+		t.Errorf("Get(2) = %d, want 0 after growth", got)
+	}
+	if v.Get(-1) != 0 {
+		t.Error("negative index must read 0")
+	}
+}
+
+func TestInc(t *testing.T) {
+	var v VC
+	v = v.Inc(2)
+	v = v.Inc(2)
+	v = v.Inc(0)
+	if v.Get(2) != 2 || v.Get(0) != 1 || v.Get(1) != 0 {
+		t.Errorf("unexpected clock %v", v)
+	}
+}
+
+func TestJoinBasics(t *testing.T) {
+	a := VC{1, 5, 0}
+	b := VC{3, 2}
+	j := a.Clone().Join(b)
+	want := VC{3, 5, 0}
+	if !j.Equal(want) {
+		t.Errorf("join = %v, want %v", j, want)
+	}
+	// Join must not modify its argument.
+	if !b.Equal(VC{3, 2}) {
+		t.Errorf("join modified its operand: %v", b)
+	}
+}
+
+func TestOrderPredicates(t *testing.T) {
+	a := VC{1, 2}
+	b := VC{1, 3}
+	c := VC{2, 1}
+	if !a.Leq(b) || !a.Less(b) {
+		t.Error("a must be < b")
+	}
+	if b.Leq(a) {
+		t.Error("b must not be ≤ a")
+	}
+	if !a.Concurrent(c) && !a.Leq(c) && !c.Leq(a) {
+		t.Error("predicates inconsistent")
+	}
+	if !b.Concurrent(c) {
+		t.Error("b and c must be concurrent")
+	}
+	if !a.Equal(VC{1, 2, 0}) {
+		t.Error("trailing zeros must not affect equality")
+	}
+}
+
+func TestHashLengthInvariance(t *testing.T) {
+	a := VC{1, 2}
+	b := VC{1, 2, 0, 0}
+	if a.Hash() != b.Hash() {
+		t.Error("equal clocks of different lengths must hash equally")
+	}
+	c := VC{1, 3}
+	if a.Hash() == c.Hash() {
+		t.Error("different clocks should hash differently (FNV collision on trivial input)")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := VC{1, 2, 3}
+	b := a.Clone()
+	b[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone must be independent")
+	}
+	if VC(nil).Clone() != nil {
+		t.Error("Clone of nil must be nil")
+	}
+}
+
+// genVC produces a random small clock from the quick-check source.
+func genVC(r *rand.Rand) VC {
+	n := r.Intn(5)
+	v := New(n)
+	for i := range v {
+		v[i] = int32(r.Intn(4))
+	}
+	return v
+}
+
+func TestQuickJoinCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genVC(r), genVC(r)
+		return a.Clone().Join(b).Equal(b.Clone().Join(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := genVC(r), genVC(r), genVC(r)
+		l := a.Clone().Join(b).Join(c)
+		rr := a.Clone().Join(b.Clone().Join(c))
+		return l.Equal(rr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinIdempotentAndUpper(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genVC(r), genVC(r)
+		j := a.Clone().Join(b)
+		return a.Clone().Join(a).Equal(a) && a.Leq(j) && b.Leq(j)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJoinIsLeastUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genVC(r), genVC(r)
+		j := a.Clone().Join(b)
+		// Any upper bound u of {a,b} dominates the join.
+		u := j.Clone().Inc(r.Intn(4))
+		return a.Leq(u) && b.Leq(u) && j.Leq(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLeqPartialOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := genVC(r), genVC(r), genVC(r)
+		// Reflexive.
+		if !a.Leq(a) {
+			return false
+		}
+		// Antisymmetric.
+		if a.Leq(b) && b.Leq(a) && !a.Equal(b) {
+			return false
+		}
+		// Transitive.
+		if a.Leq(b) && b.Leq(c) && !a.Leq(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHashRespectsEquality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genVC(r)
+		b := a.Clone()
+		// Extend with zeros: still equal, must hash equal.
+		b = b.grow(len(b) + r.Intn(3))
+		return a.Hash() == b.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := (VC{1, 0, 3}).String(); s != "[1 0 3]" {
+		t.Errorf("String = %q", s)
+	}
+}
