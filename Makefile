@@ -1,0 +1,41 @@
+# Developer entry points mirroring .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: build test race ci bench fmt vet eval
+
+build:
+	$(GO) build ./...
+
+# Fast suite — what the CI test job runs; finishes in seconds.
+test:
+	$(GO) test -short ./...
+
+# Full suite, including the slow differential and theorem sweeps.
+test-full:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Everything CI gates on, in CI order.
+ci: build vet fmt test race
+
+# The paper's evaluation artifacts as testing.B benchmarks, including
+# the campaign/parallel-exploration scaling runs.
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x .
+
+# Regenerate the paper figures at the full budget (slow; see -help for
+# -bench/-family filters, -fig campaign -json for streaming results).
+eval:
+	$(GO) run ./cmd/eval -fig all -limit 100000

@@ -15,10 +15,13 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/campaign"
 	"repro/internal/event"
 	"repro/internal/exec"
 	"repro/internal/explore"
@@ -167,6 +170,69 @@ func BenchmarkEngine(b *testing.B) {
 			b.ReportMetric(float64(last.Events), "events")
 		})
 	}
+}
+
+// campaignBenches are medium-weight corpus members whose exploration
+// dominates cell runtime, so campaign scaling measures real work.
+var campaignBenches = []string{
+	"coarse-readonly-4",
+	"filesystem-2",
+	"rw-3r1w",
+	"sharded-3t2s",
+	"forkjoin-3",
+	"lastzero-3",
+	"ticket-2",
+	"bank-global-3",
+	"philosophers-3",
+	"synth-03",
+}
+
+// BenchmarkCampaign measures the campaign runner's wall-clock scaling
+// on a benchmark × engine grid: workers=1 is the sequential baseline;
+// on a ≥4-core box the GOMAXPROCS variant must finish the same 40
+// cells at least 2× faster (time/op directly demonstrates it).
+func BenchmarkCampaign(b *testing.B) {
+	engines := []campaign.EngineSpec{"dfs", "dpor", "hbr-caching", "lazy-hbr-caching"}
+	cells := campaign.Grid(campaignBenches, engines, benchLimit, 2000)
+	for _, workers := range []int{1, max(4, runtime.GOMAXPROCS(0))} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := campaign.Runner{Workers: workers}
+				results, err := r.Run(context.Background(), cells)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := campaign.FirstError(results); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(cells)), "cells")
+		})
+	}
+}
+
+// BenchmarkParallelExplore measures single-search scaling: one
+// benchmark's full schedule space explored by sequential DFS vs the
+// partitioned parallel search at GOMAXPROCS workers.
+func BenchmarkParallelExplore(b *testing.B) {
+	bm := mustBench(b, "filesystem-2")
+	opt := explore.Options{MaxSteps: 2000}
+	b.Run("dfs-sequential", func(b *testing.B) {
+		var last explore.Result
+		for i := 0; i < b.N; i++ {
+			last = explore.NewDFS().Explore(bm.Program, opt)
+		}
+		b.ReportMetric(float64(last.Schedules), "schedules")
+	})
+	workers := max(4, runtime.GOMAXPROCS(0))
+	b.Run(fmt.Sprintf("pdfs-workers=%d", workers), func(b *testing.B) {
+		var last explore.Result
+		for i := 0; i < b.N; i++ {
+			last = campaign.ParallelDFS(bm.Program, opt, workers)
+		}
+		b.ReportMetric(float64(last.Schedules), "schedules")
+	})
 }
 
 // BenchmarkSnapshotVsReplay measures the exploration-backend ablation:

@@ -7,31 +7,66 @@
 // log-log scatter with the diagonal, and the paper's summary
 // statistics (benchmarks below the diagonal, redundancy percentages).
 // Use -md to emit EXPERIMENTS.md-ready markdown instead of TSV.
+//
+// The campaign mode runs an arbitrary benchmark × engine grid through
+// the parallel campaign runner and streams one JSON line per cell:
+//
+//	eval -fig campaign -engines dpor,lazy-dpor,pdfs:4 -bench coarse -json
+//
+// Streamed JSONL parses back via campaign.ReadJSONL; Figure rows can
+// be rebuilt from a stream with figures.Fig2FromCells/Fig3FromCells.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/campaign"
 	"repro/internal/figures"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig     = flag.String("fig", "all", `figure to regenerate: "2", "3" or "all"`)
-		limit   = flag.Int("limit", 100000, "schedule limit per benchmark (paper: 100000)")
-		steps   = flag.Int("maxsteps", 2000, "per-execution event bound")
-		filter  = flag.String("bench", "", "only benchmarks whose name contains this substring")
-		family  = flag.String("family", "", "only benchmarks of this family")
-		md      = flag.Bool("md", false, "emit markdown tables instead of TSV")
-		quiet   = flag.Bool("quiet", false, "suppress per-benchmark progress on stderr")
-		scatter = flag.Bool("scatter", true, "print the ASCII log-log scatter")
-		par     = flag.Int("parallel", -1, "benchmarks explored concurrently (-1 = GOMAXPROCS, 1 = sequential)")
+		fig     = fs.String("fig", "all", `figure to regenerate: "2", "3", "all" or "campaign"`)
+		limit   = fs.Int("limit", 100000, "schedule limit per benchmark (paper: 100000)")
+		steps   = fs.Int("maxsteps", 2000, "per-execution event bound")
+		filter  = fs.String("bench", "", "only benchmarks whose name contains this substring")
+		family  = fs.String("family", "", "only benchmarks of this family")
+		md      = fs.Bool("md", false, "emit markdown tables instead of TSV")
+		quiet   = fs.Bool("quiet", false, "suppress per-benchmark progress on stderr")
+		scatter = fs.Bool("scatter", true, "print the ASCII log-log scatter")
+		par     = fs.Int("parallel", -1, "cells explored concurrently (-1 = GOMAXPROCS, 1 = sequential)")
+		engines = fs.String("engines", "dpor", "comma-separated engine specs for -fig campaign")
+		asJSON  = fs.Bool("json", false, "stream campaign results as JSON lines (campaign mode)")
+		timeout = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var selected []bench.Benchmark
 	for _, b := range bench.All() {
@@ -44,53 +79,102 @@ func main() {
 		selected = append(selected, b)
 	}
 	if len(selected) == 0 {
-		fmt.Fprintln(os.Stderr, "eval: no benchmarks selected")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "eval: no benchmarks selected")
+		return 2
 	}
 
-	opt := figures.Options{ScheduleLimit: *limit, MaxSteps: *steps, Parallelism: *par}
+	opt := figures.Options{ScheduleLimit: *limit, MaxSteps: *steps, Parallelism: *par, Ctx: ctx}
 	if !*quiet {
-		opt.Progress = os.Stderr
+		opt.Progress = stderr
+	}
+
+	if *fig == "campaign" {
+		return runCampaign(ctx, selected, *engines, *limit, *steps, *par, *asJSON, stdout, stderr)
 	}
 
 	if *fig == "2" || *fig == "all" {
 		rows, err := figures.Fig2(selected, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "eval:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "eval:", err)
+			return 1
 		}
-		fmt.Println("== Figure 2: DPOR — #HBRs (x) vs #lazy HBRs (y) ==")
+		fmt.Fprintln(stdout, "== Figure 2: DPOR — #HBRs (x) vs #lazy HBRs (y) ==")
 		if *md {
-			fmt.Print(figures.MarkdownFig2(rows, *limit))
+			fmt.Fprint(stdout, figures.MarkdownFig2(rows, *limit))
 		} else {
-			fmt.Print(figures.TSV2(rows))
+			fmt.Fprint(stdout, figures.TSV2(rows))
 			s := figures.SummarizeFig2(rows)
-			fmt.Printf("summary: %d/%d below diagonal; %d of %d unique HBRs (%.0f%%) redundant across them\n",
+			fmt.Fprintf(stdout, "summary: %d/%d below diagonal; %d of %d unique HBRs (%.0f%%) redundant across them\n",
 				s.BelowDiagonal, s.Benchmarks, s.RedundantBelow, s.HBRsBelow, s.RedundantPct())
 		}
 		if *scatter {
-			fmt.Print(figures.Scatter(figures.Fig2Points(rows), 72, 24, "#HBRs", "#lazy HBRs"))
+			fmt.Fprint(stdout, figures.Scatter(figures.Fig2Points(rows), 72, 24, "#HBRs", "#lazy HBRs"))
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	if *fig == "3" || *fig == "all" {
 		rows, err := figures.Fig3(selected, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "eval:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "eval:", err)
+			return 1
 		}
-		fmt.Println("== Figure 3: HBR caching (x) vs lazy HBR caching (y) — #lazy HBRs ==")
+		fmt.Fprintln(stdout, "== Figure 3: HBR caching (x) vs lazy HBR caching (y) — #lazy HBRs ==")
 		if *md {
-			fmt.Print(figures.MarkdownFig3(rows, *limit))
+			fmt.Fprint(stdout, figures.MarkdownFig3(rows, *limit))
 		} else {
-			fmt.Print(figures.TSV3(rows))
+			fmt.Fprint(stdout, figures.TSV3(rows))
 			s := figures.SummarizeFig3(rows)
-			fmt.Printf("summary: lazy caching ahead on %d/%d benchmarks (+%d lazy HBRs, +%.0f%%); regular ahead on %d (must be 0)\n",
+			fmt.Fprintf(stdout, "summary: lazy caching ahead on %d/%d benchmarks (+%d lazy HBRs, +%.0f%%); regular ahead on %d (must be 0)\n",
 				s.LazyWins, s.Benchmarks, s.ExtraLazyHBRs, s.ExtraPct(), s.RegularWins)
 		}
 		if *scatter {
-			fmt.Print(figures.Scatter(figures.Fig3Points(rows), 72, 24, "HBR caching #lazy HBRs", "lazy caching #lazy HBRs"))
+			fmt.Fprint(stdout, figures.Scatter(figures.Fig3Points(rows), 72, 24, "HBR caching #lazy HBRs", "lazy caching #lazy HBRs"))
 		}
 	}
+	return 0
+}
+
+// runCampaign executes the benchmark × engine grid and writes one
+// result per cell: JSON lines with -json, a readable table otherwise.
+func runCampaign(ctx context.Context, selected []bench.Benchmark, engineList string, limit, steps, par int, asJSON bool, stdout, stderr io.Writer) int {
+	specs, err := campaign.ParseSpecs(engineList)
+	if err != nil {
+		fmt.Fprintln(stderr, "eval:", err)
+		return 2
+	}
+	names := make([]string, len(selected))
+	for i, b := range selected {
+		names[i] = b.Name
+	}
+	cells := campaign.Grid(names, specs, limit, steps)
+	runner := campaign.Runner{Workers: par}
+	if par < 0 {
+		runner.Workers = 0 // GOMAXPROCS
+	}
+	if asJSON {
+		runner.OnResult = campaign.JSONLWriter(stdout)
+	} else {
+		runner.OnResult = func(r campaign.CellResult) {
+			if r.Err != "" {
+				fmt.Fprintf(stdout, "%-24s %-18s ERROR %s\n", r.Cell.Bench, r.Cell.Engine, r.Err)
+				return
+			}
+			fmt.Fprintf(stdout, "%-24s %-18s schedules=%-7d hbrs=%-6d lazy=%-6d states=%-6d limit=%-5v %dms\n",
+				r.Cell.Bench, r.Cell.Engine, r.Result.Schedules, r.Result.DistinctHBRs,
+				r.Result.DistinctLazyHBRs, r.Result.DistinctStates, r.Result.HitLimit, r.ElapsedMS)
+		}
+	}
+	start := time.Now()
+	results, err := runner.Run(ctx, cells)
+	if err != nil {
+		fmt.Fprintln(stderr, "eval: campaign interrupted:", err)
+		return 1
+	}
+	if err := campaign.FirstError(results); err != nil {
+		fmt.Fprintln(stderr, "eval:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "campaign: %d cells in %v\n", len(results), time.Since(start).Round(time.Millisecond))
+	return 0
 }

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/figures"
+)
+
+// TestCampaignSmoke runs a tiny campaign end-to-end through the real
+// CLI entry point and validates the streamed JSON output shape.
+func TestCampaignSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-fig", "campaign",
+		"-bench", "counter-racy-2x2",
+		"-engines", "dfs,dpor,random:7",
+		"-limit", "300",
+		"-maxsteps", "2000",
+		"-json", "-quiet",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("eval exited %d\nstderr: %s", code, stderr.String())
+	}
+
+	results, err := campaign.ReadJSONL(&stdout)
+	if err != nil {
+		t.Fatalf("campaign output is not valid JSONL: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d cells, want 3 (one per engine)", len(results))
+	}
+	seen := map[campaign.EngineSpec]bool{}
+	for _, r := range results {
+		if r.Cell.Bench != "counter-racy-2x2" {
+			t.Errorf("unexpected bench %q", r.Cell.Bench)
+		}
+		if r.Err != "" {
+			t.Errorf("cell %s failed: %s", r.Cell.Engine, r.Err)
+		}
+		if r.Result.Schedules <= 0 || r.Result.DistinctStates <= 0 {
+			t.Errorf("cell %s has empty result: %+v", r.Cell.Engine, r.Result)
+		}
+		if err := r.Result.CheckInvariant(); err != nil {
+			t.Errorf("cell %s: %v", r.Cell.Engine, err)
+		}
+		seen[r.Cell.Engine] = true
+	}
+	for _, want := range []campaign.EngineSpec{"dfs", "dpor", "random:7"} {
+		if !seen[want] {
+			t.Errorf("missing cell for engine %s", want)
+		}
+	}
+}
+
+// TestFig2Smoke runs the Figure 2 pipeline over a two-benchmark slice
+// and checks the TSV and summary render.
+func TestFig2Smoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-fig", "2",
+		"-bench", "counter-racy",
+		"-limit", "500",
+		"-scatter=false", "-quiet",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("eval exited %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "id\tname\tschedules") {
+		t.Errorf("missing TSV header in output:\n%s", out)
+	}
+	if !strings.Contains(out, "counter-racy-2x2") || !strings.Contains(out, "summary:") {
+		t.Errorf("missing rows or summary in output:\n%s", out)
+	}
+}
+
+// TestCampaignJSONFeedsFigures: the streamed campaign JSON rebuilds
+// Figure 2 rows identical to the direct pipeline — the paper's
+// evaluation can be split into a cluster-style produce/consume pair.
+func TestCampaignJSONFeedsFigures(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-fig", "campaign",
+		"-bench", "prodcons",
+		"-engines", "dpor",
+		"-limit", "400",
+		"-json", "-quiet",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("eval exited %d\nstderr: %s", code, stderr.String())
+	}
+	results, err := campaign.ReadJSONL(&stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := figures.Fig2FromCells(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no Figure 2 rows from campaign stream")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].ID >= rows[i].ID {
+			t.Errorf("rows not sorted by benchmark ID: %d then %d", rows[i-1].ID, rows[i].ID)
+		}
+	}
+}
+
+// TestBadFlags: unknown engines and empty selections exit non-zero.
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-fig", "campaign", "-engines", "bogus"}, &stdout, &stderr); code == 0 {
+		t.Error("bogus engine spec exited 0")
+	}
+	if code := run([]string{"-bench", "no-such-benchmark-xyz"}, &stdout, &stderr); code == 0 {
+		t.Error("empty benchmark selection exited 0")
+	}
+}

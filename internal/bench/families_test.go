@@ -72,8 +72,14 @@ func TestCoarseSharedSitsOnDiagonal(t *testing.T) {
 // TestRacyFamiliesExposeBugs: the unsynchronised benchmarks must
 // produce races, and the counters lose updates (≥ 2 distinct states).
 func TestRacyFamiliesExposeBugs(t *testing.T) {
+	// The bugs all surface within a few thousand schedules; the large
+	// budget just certifies the full bounded space outside -short.
+	limit := 50000
+	if testing.Short() {
+		limit = 3000
+	}
 	for _, name := range []string{"counter-racy-2x1", "counter-racy-2x2", "counter-racy-3x1", "account-racy-2", "dcl-2", "msgpass-2"} {
-		res := exploreBench(t, name, explore.NewDFS(), 50000)
+		res := exploreBench(t, name, explore.NewDFS(), limit)
 		if res.Races == 0 {
 			t.Errorf("%s: no data race found", name)
 		}
@@ -82,8 +88,9 @@ func TestRacyFamiliesExposeBugs(t *testing.T) {
 	if res.DistinctStates < 2 {
 		t.Errorf("counter-racy-2x1: %d states, want the lost-update state too", res.DistinctStates)
 	}
-	// The racy-account asserts fire with three depositors.
-	res = exploreBench(t, "account-racy-3", explore.NewDFS(), 50000)
+	// The racy-account asserts fire with three depositors; DFS order
+	// needs ~6k schedules to reach the first lost update.
+	res = exploreBench(t, "account-racy-3", explore.NewDFS(), max(limit, 8000))
 	if res.AssertFailures == 0 {
 		t.Error("account-racy-3: expected lost-update assertion failures")
 	}
@@ -182,7 +189,11 @@ func TestLastZeroCheckerAlwaysFinds(t *testing.T) {
 // identical program on every call — the corpus would silently drift
 // otherwise.
 func TestSyntheticDeterminism(t *testing.T) {
-	for seed := int64(1); seed <= 22; seed++ {
+	maxSeed := int64(22)
+	if testing.Short() {
+		maxSeed = 8
+	}
+	for seed := int64(1); seed <= maxSeed; seed++ {
 		a := synthetic(seed)
 		b := synthetic(seed)
 		ra := explore.NewDPOR(false).Explore(a, explore.Options{ScheduleLimit: 200, MaxSteps: 2000})

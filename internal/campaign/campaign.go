@@ -1,0 +1,191 @@
+// Package campaign batches schedule-exploration work the way the
+// paper's evaluation does: a campaign is a grid of (benchmark, engine)
+// cells, and the runner executes independent cells concurrently across
+// a worker pool, streaming one JSON-serialisable result per cell as it
+// completes. The package also provides the parallel single-search
+// engines (parallel.go) that split one benchmark's schedule space
+// across the same worker budget.
+package campaign
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/explore"
+)
+
+// Cell is one unit of campaign work: a benchmark explored by one
+// engine configuration.
+type Cell struct {
+	// Bench names a corpus benchmark (bench.ByName).
+	Bench string `json:"bench"`
+	// Engine is the engine configuration to run.
+	Engine EngineSpec `json:"engine"`
+	// ScheduleLimit and MaxSteps mirror explore.Options; zero values
+	// keep the engine defaults.
+	ScheduleLimit int `json:"schedule_limit,omitempty"`
+	MaxSteps      int `json:"max_steps,omitempty"`
+	// RecordStates retains the distinct terminal state keys in the
+	// result (costly on large spaces).
+	RecordStates bool `json:"record_states,omitempty"`
+}
+
+// CellResult is one completed cell, the unit of the runner's streaming
+// JSON output.
+type CellResult struct {
+	// Index is the cell's position in the campaign, so consumers of
+	// the completion-ordered stream can restore input order.
+	Index int  `json:"index"`
+	Cell  Cell `json:"cell"`
+	// Result is the exploration summary; meaningful when Err is
+	// empty.
+	Result explore.Result `json:"result"`
+	// ElapsedMS is the cell's wall-clock cost in milliseconds.
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// Err describes a cell-level failure (unknown benchmark, bad
+	// engine spec, invariant violation).
+	Err string `json:"error,omitempty"`
+}
+
+// Runner executes campaign cells concurrently.
+type Runner struct {
+	// Workers is the number of cells explored concurrently; <= 0
+	// uses GOMAXPROCS.
+	Workers int
+	// OnResult, when non-nil, receives each cell result as it
+	// completes (serialised; completion order). Use JSONLWriter to
+	// stream results as JSON lines.
+	OnResult func(CellResult)
+}
+
+// Run executes every cell, respecting ctx (nil means background), and
+// returns the results in input order. Cell-level failures are reported
+// in CellResult.Err, not as an error; the returned error is non-nil
+// only when ctx ended the campaign early.
+func (r *Runner) Run(ctx context.Context, cells []Cell) ([]CellResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]CellResult, len(cells))
+	var next atomic.Int64
+	var emitMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers && w < len(cells); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) || ctx.Err() != nil {
+					return
+				}
+				res := runCell(ctx, i, cells[i])
+				out[i] = res
+				if r.OnResult != nil {
+					emitMu.Lock()
+					r.OnResult(res)
+					emitMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out, ctx.Err()
+}
+
+// runCell executes one cell. The named return lets the deferred
+// timing write reach the caller.
+func runCell(ctx context.Context, index int, c Cell) (out CellResult) {
+	out = CellResult{Index: index, Cell: c}
+	start := time.Now()
+	defer func() { out.ElapsedMS = time.Since(start).Milliseconds() }()
+
+	bm, ok := bench.ByName(c.Bench)
+	if !ok {
+		out.Err = fmt.Sprintf("unknown benchmark %q", c.Bench)
+		return out
+	}
+	eng, err := c.Engine.Build()
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.Result = eng.Explore(bm.Program, explore.Options{
+		ScheduleLimit: c.ScheduleLimit,
+		MaxSteps:      c.MaxSteps,
+		RecordStates:  c.RecordStates,
+		Ctx:           ctx,
+	})
+	if err := out.Result.CheckInvariant(); err != nil {
+		out.Err = err.Error()
+	}
+	return out
+}
+
+// Grid builds the cell cross product of benchmarks × engine specs.
+func Grid(benches []string, engines []EngineSpec, scheduleLimit, maxSteps int) []Cell {
+	cells := make([]Cell, 0, len(benches)*len(engines))
+	for _, b := range benches {
+		for _, e := range engines {
+			cells = append(cells, Cell{
+				Bench:         b,
+				Engine:        e,
+				ScheduleLimit: scheduleLimit,
+				MaxSteps:      maxSteps,
+			})
+		}
+	}
+	return cells
+}
+
+// FirstError returns the first cell failure in input order, or nil.
+func FirstError(results []CellResult) error {
+	for _, r := range results {
+		if r.Err != "" {
+			return fmt.Errorf("campaign: %s/%s: %s", r.Cell.Bench, r.Cell.Engine, r.Err)
+		}
+	}
+	return nil
+}
+
+// JSONLWriter returns an OnResult callback that streams each cell
+// result as one JSON line to w.
+func JSONLWriter(w io.Writer) func(CellResult) {
+	enc := json.NewEncoder(w)
+	return func(r CellResult) { _ = enc.Encode(r) }
+}
+
+// ReadJSONL consumes a stream of JSON-line cell results, e.g. the
+// output of a `eval -fig campaign -json` run.
+func ReadJSONL(r io.Reader) ([]CellResult, error) {
+	var out []CellResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var res CellResult
+		if err := json.Unmarshal(line, &res); err != nil {
+			return nil, fmt.Errorf("campaign: bad result line: %w", err)
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

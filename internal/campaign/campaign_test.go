@@ -1,0 +1,129 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunnerGrid: a small benchmark × engine grid runs to completion,
+// results come back in input order, and every invariant holds.
+func TestRunnerGrid(t *testing.T) {
+	engines, err := ParseSpecs("dfs,dpor,random:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := Grid([]string{"counter-racy-2x2", "philosophers-3"}, engines, 500, 2000)
+	var streamed []CellResult
+	r := Runner{Workers: 4, OnResult: func(res CellResult) { streamed = append(streamed, res) }}
+	results, err := r.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(cells) || len(streamed) != len(cells) {
+		t.Fatalf("got %d results, %d streamed, want %d", len(results), len(streamed), len(cells))
+	}
+	for i, res := range results {
+		if res.Index != i || res.Cell != cells[i] {
+			t.Errorf("result %d out of order: index=%d cell=%+v", i, res.Index, res.Cell)
+		}
+		if res.Result.Schedules == 0 {
+			t.Errorf("cell %d explored nothing", i)
+		}
+	}
+}
+
+// TestRunnerCellErrors: bad benchmarks and bad engine specs fail their
+// own cell without aborting the campaign.
+func TestRunnerCellErrors(t *testing.T) {
+	cells := []Cell{
+		{Bench: "no-such-benchmark", Engine: "dfs", ScheduleLimit: 10},
+		{Bench: "counter-racy-2x2", Engine: "bogus-engine", ScheduleLimit: 10},
+		{Bench: "counter-racy-2x2", Engine: "dfs", ScheduleLimit: 10, MaxSteps: 2000},
+	}
+	results, err := (&Runner{Workers: 2}).Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == "" || !strings.Contains(results[0].Err, "unknown benchmark") {
+		t.Errorf("cell 0: want unknown-benchmark error, got %q", results[0].Err)
+	}
+	if results[1].Err == "" || !strings.Contains(results[1].Err, "engine spec") {
+		t.Errorf("cell 1: want engine-spec error, got %q", results[1].Err)
+	}
+	if results[2].Err != "" {
+		t.Errorf("cell 2 unexpectedly failed: %q", results[2].Err)
+	}
+	if FirstError(results) == nil {
+		t.Error("FirstError missed the failures")
+	}
+}
+
+// TestRunnerContextDeadline: an expired context stops the campaign
+// early and reports it.
+func TestRunnerContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	cells := Grid([]string{"counter-racy-2x2"}, []EngineSpec{"dfs"}, 0, 2000)
+	_, err := (&Runner{Workers: 1}).Run(ctx, cells)
+	if err == nil {
+		t.Fatal("want a context error from an expired deadline")
+	}
+}
+
+// TestJSONLRoundTrip: the streaming writer's output parses back into
+// the same results.
+func TestJSONLRoundTrip(t *testing.T) {
+	cells := Grid([]string{"counter-racy-2x2", "pipeline-3"}, []EngineSpec{"dpor"}, 300, 2000)
+	var buf bytes.Buffer
+	r := Runner{Workers: 2, OnResult: JSONLWriter(&buf)}
+	results, err := r.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(results) {
+		t.Fatalf("round trip lost results: %d != %d", len(parsed), len(results))
+	}
+	for _, p := range parsed {
+		orig := results[p.Index]
+		if p.Cell != orig.Cell || p.Result.Schedules != orig.Result.Schedules ||
+			p.Result.DistinctHBRs != orig.Result.DistinctHBRs {
+			t.Errorf("round trip mangled cell %d:\n got %+v\nwant %+v", p.Index, p, orig)
+		}
+	}
+}
+
+// TestParseSpecs covers the spec grammar's corners.
+func TestParseSpecs(t *testing.T) {
+	good := []string{
+		"dfs", "dpor", "dpor+sleep", "lazy-dpor", "hbr-caching", "lazy-hbr-caching",
+		"random", "random:9", "pb:2", "pb:1:hbr", "pb:1:lazy", "db:3",
+		"chess-pb:2", "chess-db:2", "pdfs", "pdfs:4", "pdpor:2", "prandom:5:2",
+	}
+	for _, s := range good {
+		if _, err := EngineSpec(s).Build(); err != nil {
+			t.Errorf("spec %q rejected: %v", s, err)
+		}
+	}
+	bad := []string{"", "nope", "pb:x", "pb:1:bogus", "random:zzz", "pdfs:w"}
+	for _, s := range bad {
+		if _, err := EngineSpec(s).Build(); err == nil {
+			t.Errorf("spec %q unexpectedly accepted", s)
+		}
+	}
+	if _, err := ParseSpecs("dfs, dpor ,random:3"); err != nil {
+		t.Errorf("comma list rejected: %v", err)
+	}
+	if _, err := ParseSpecs(" , "); err == nil {
+		t.Error("empty list accepted")
+	}
+}

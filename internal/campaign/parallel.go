@@ -1,0 +1,288 @@
+// Parallel single-search exploration: one engine's schedule space is
+// partitioned into disjoint subtrees (or walk-index ranges for the
+// random engine) that workers drain from a shared queue, deduplicating
+// terminal HBRs/states through one lock-striped explore.Dedup so the
+// merged #HBRs/#lazy HBRs/#states counters stay exact.
+//
+// Exactness guarantees, for deterministic programs explored to
+// exhaustion (no limit, no deadline):
+//
+//   - ParallelDFS matches sequential DFS on every counter, including
+//     #schedules (disjoint subtrees partition the set of maximal
+//     paths; Events differs because each unit replays its prefix).
+//   - ParallelRandomWalk matches sequential NewRandomWalk byte for
+//     byte on all counters: walk i is seeded from (seed, i), so the
+//     fan-out executes exactly the same multiset of walks.
+//   - ParallelDPOR explores the top of the tree exhaustively (the
+//     partition layer) and runs full DPOR beneath every unit, so its
+//     distinct-coverage counters (#HBRs, #lazy HBRs, #states) equal
+//     sequential DPOR's; #schedules is ≥ the sequential count because
+//     no reduction is applied across the partition layer itself.
+//
+// With a schedule limit, the shared explore.Budget is honoured to
+// within workers−1 schedules, but which schedules run first depends on
+// worker interleaving.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/event"
+	"repro/internal/explore"
+	"repro/internal/model"
+)
+
+// unitFactor is how many work units the partitioner aims to create per
+// worker; a surplus keeps workers busy when subtree sizes are skewed.
+const unitFactor = 8
+
+// workers normalises a worker-count knob.
+func normWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// frontier enumerates disjoint schedule prefixes of src that jointly
+// cover its whole space: a breadth-first expansion that stops once at
+// least targetUnits prefixes exist (or every prefix is terminal).
+// Terminal prefixes stay in the result — they are complete schedules
+// the unit engine records as such.
+func frontier(src model.Source, targetUnits int) [][]event.ThreadID {
+	// maxSplitDepth caps the partition layer: load balance never
+	// needs deep splits, and the cap bounds the replay cost of the
+	// breadth-first expansion.
+	const maxSplitDepth = 32
+	type node struct {
+		prefix []event.ThreadID
+		closed bool
+	}
+	queue := []node{{}}
+	var enabled []event.ThreadID
+	for {
+		// Find the shallowest expandable prefix.
+		expand := -1
+		for i, n := range queue {
+			if !n.closed && (expand < 0 || len(n.prefix) < len(queue[expand].prefix)) {
+				expand = i
+			}
+		}
+		if expand < 0 || len(queue) >= targetUnits {
+			break
+		}
+		n := queue[expand]
+		m := model.NewMachine(src)
+		for _, t := range n.prefix {
+			m.Step(t)
+		}
+		enabled = m.EnabledThreads(enabled)
+		m.Abort()
+		// Keep the prefix as a unit when it is terminal or sits at
+		// the depth cap. Single-choice states are stepped through in
+		// place: they add no breadth but may lead to branching (e.g.
+		// a spawn prologue executed by one thread).
+		if len(enabled) == 0 || len(n.prefix) >= maxSplitDepth {
+			queue[expand].closed = true
+			continue
+		}
+		if len(enabled) == 1 {
+			queue[expand].prefix = append(append([]event.ThreadID(nil), n.prefix...), enabled[0])
+			continue
+		}
+		children := make([]node, 0, len(enabled))
+		for _, t := range enabled {
+			child := append(append([]event.ThreadID(nil), n.prefix...), t)
+			children = append(children, node{prefix: child})
+		}
+		queue = append(queue[:expand], append(children, queue[expand+1:]...)...)
+	}
+	out := make([][]event.ThreadID, len(queue))
+	for i, n := range queue {
+		out[i] = n.prefix
+	}
+	return out
+}
+
+// mergeUnits folds per-unit results into one Result whose distinct
+// counters come from the shared dedup. Units must be passed in
+// partition order so FirstViolation is deterministic.
+func mergeUnits(name string, src model.Source, opt explore.Options, dedup *explore.Dedup, units []explore.Result) explore.Result {
+	merged := explore.Result{Program: src.Name(), Engine: name}
+	for _, u := range units {
+		merged.Schedules += u.Schedules
+		merged.Terminals += u.Terminals
+		merged.Pruned += u.Pruned
+		merged.Truncated += u.Truncated
+		merged.SleepBlocked += u.SleepBlocked
+		merged.Deadlocks += u.Deadlocks
+		merged.AssertFailures += u.AssertFailures
+		merged.LockErrors += u.LockErrors
+		merged.Races += u.Races
+		merged.Events += u.Events
+		if u.MaxDepth > merged.MaxDepth {
+			merged.MaxDepth = u.MaxDepth
+		}
+		merged.HitLimit = merged.HitLimit || u.HitLimit
+		merged.Interrupted = merged.Interrupted || u.Interrupted
+		if merged.FirstViolation == nil && u.FirstViolation != nil {
+			merged.FirstViolation = u.FirstViolation
+			merged.ViolationKind = u.ViolationKind
+		}
+	}
+	merged.DistinctHBRs, merged.DistinctLazyHBRs, merged.DistinctStates = dedup.Counts()
+	if opt.RecordStates {
+		merged.States = dedup.SortedStates()
+	}
+	return merged
+}
+
+// runUnits drains the unit queue with a worker pool, collecting
+// results in unit order.
+func runUnits(workers, n int, run func(i int) explore.Result) []explore.Result {
+	out := make([]explore.Result, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers && w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// subtreeSearch partitions src's schedule tree and explores every
+// subtree with mk-built engines sharing one dedup and budget. (The
+// DFS and DPOR engines run here don't prune by fingerprint cache;
+// explorations of the caching engines can share an
+// explore.ShardedCache through Options.Cache the same way.)
+func subtreeSearch(name string, mk func() explore.Engine, src model.Source, opt explore.Options, workers int) explore.Result {
+	workers = normWorkers(workers)
+	dedup := explore.NewDedup()
+	budget := explore.NewBudget(opt.ScheduleLimit)
+	prefixes := frontier(src, workers*unitFactor)
+
+	unitOpt := opt
+	unitOpt.ScheduleLimit = 0
+	unitOpt.Dedup = dedup
+	unitOpt.SharedBudget = budget
+
+	units := runUnits(workers, len(prefixes), func(i int) explore.Result {
+		if budget != nil && budget.Exhausted() {
+			return explore.Result{HitLimit: true}
+		}
+		o := unitOpt
+		o.Prefix = prefixes[i]
+		return mk().Explore(src, o)
+	})
+	return mergeUnits(name, src, opt, dedup, units)
+}
+
+// ParallelDFS explores src's full schedule space with exhaustive DFS
+// fanned across workers (≤0 means GOMAXPROCS). On exhausted spaces
+// every counter except Events matches sequential explore.NewDFS.
+func ParallelDFS(src model.Source, opt explore.Options, workers int) explore.Result {
+	return subtreeSearch(fmt.Sprintf("pdfs[%d]", normWorkers(workers)),
+		explore.NewDFS, src, opt, workers)
+}
+
+// ParallelDPOR explores src with DPOR beneath an exhaustively
+// partitioned top layer, fanned across workers. On exhausted spaces
+// its #HBRs/#lazy HBRs/#states match sequential explore.NewDPOR;
+// #schedules is ≥ the sequential count (no reduction across the
+// partition layer).
+func ParallelDPOR(src model.Source, opt explore.Options, workers int) explore.Result {
+	sleep := opt.SleepSets
+	return subtreeSearch(fmt.Sprintf("pdpor[%d]", normWorkers(workers)),
+		func() explore.Engine { return explore.NewDPOR(sleep) }, src, opt, workers)
+}
+
+// randomChunk is how many walk indices a worker claims at a time.
+const randomChunk = 64
+
+// ParallelRandomWalk runs the seeded random-walk baseline with walk
+// indices fanned across workers in chunks. Counters are byte-identical
+// to sequential explore.NewRandomWalk(seed) under the same
+// ScheduleLimit on deterministic programs.
+func ParallelRandomWalk(seed int64, src model.Source, opt explore.Options, workers int) explore.Result {
+	workers = normWorkers(workers)
+	limit := opt.ScheduleLimit
+	if limit <= 0 {
+		limit = 1000
+	}
+	dedup := explore.NewDedup()
+	unitOpt := opt
+	unitOpt.ScheduleLimit = 0
+	unitOpt.Dedup = dedup
+
+	nchunks := (limit + randomChunk - 1) / randomChunk
+	units := runUnits(workers, nchunks, func(i int) explore.Result {
+		first := i * randomChunk
+		n := randomChunk
+		if first+n > limit {
+			n = limit - first
+		}
+		if unitOpt.Ctx != nil && unitOpt.Ctx.Err() != nil {
+			return explore.Result{Interrupted: true}
+		}
+		return explore.NewRandomWalkRange(seed, first, n).Explore(src, unitOpt)
+	})
+	res := mergeUnits(fmt.Sprintf("prandom[%d]", workers), src, opt, dedup, units)
+	if !res.Interrupted {
+		res.HitLimit = true
+	}
+	return res
+}
+
+// parallelEngine adapts the parallel searches to explore.Engine so
+// campaigns and benchmarks can treat them like any other engine.
+type parallelEngine struct {
+	kind    string
+	workers int
+	seed    int64
+}
+
+// NewParallelDFS returns ParallelDFS as an explore.Engine.
+func NewParallelDFS(workers int) explore.Engine {
+	return &parallelEngine{kind: "pdfs", workers: workers}
+}
+
+// NewParallelDPOR returns ParallelDPOR as an explore.Engine.
+func NewParallelDPOR(workers int) explore.Engine {
+	return &parallelEngine{kind: "pdpor", workers: workers}
+}
+
+// NewParallelRandomWalk returns ParallelRandomWalk as an
+// explore.Engine.
+func NewParallelRandomWalk(seed int64, workers int) explore.Engine {
+	return &parallelEngine{kind: "prandom", workers: workers, seed: seed}
+}
+
+// Name implements explore.Engine.
+func (e *parallelEngine) Name() string {
+	return fmt.Sprintf("%s[%d]", e.kind, normWorkers(e.workers))
+}
+
+// Explore implements explore.Engine.
+func (e *parallelEngine) Explore(src model.Source, opt explore.Options) explore.Result {
+	switch e.kind {
+	case "pdpor":
+		return ParallelDPOR(src, opt, e.workers)
+	case "prandom":
+		return ParallelRandomWalk(e.seed, src, opt, e.workers)
+	default:
+		return ParallelDFS(src, opt, e.workers)
+	}
+}

@@ -7,6 +7,7 @@
 package exec
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/event"
@@ -88,7 +89,15 @@ type Options struct {
 	// RecordClocks retains per-event HB and lazy-HB clocks in the
 	// outcome (the tracker always runs; this only controls storage).
 	RecordClocks bool
+	// Ctx, when non-nil, bounds the execution by deadline or
+	// cancellation: it is checked every ctxCheckStride events and a
+	// done context truncates the execution (Outcome.Interrupted).
+	Ctx context.Context
 }
+
+// ctxCheckStride is how many events run between context checks; a
+// power of two so the modulo is a mask.
+const ctxCheckStride = 64
 
 // Outcome describes one completed (or truncated) execution.
 type Outcome struct {
@@ -110,8 +119,11 @@ type Outcome struct {
 	// Deadlock is set when the execution ended with blocked threads
 	// and nothing enabled.
 	Deadlock bool
-	// Truncated is set when MaxSteps was reached.
+	// Truncated is set when MaxSteps was reached (or the context
+	// expired; see Interrupted).
 	Truncated bool
+	// Interrupted is set when Options.Ctx ended the execution early.
+	Interrupted bool
 	// Failures lists assertion failures and lock-discipline errors.
 	Failures []model.Failure
 	// Races lists data races detected by the sync-only relation.
@@ -142,6 +154,12 @@ func Run(src model.Source, ch Chooser, opt Options) Outcome {
 		}
 		if len(out.Trace) >= maxSteps {
 			out.Truncated = true
+			m.Abort()
+			break
+		}
+		if opt.Ctx != nil && len(out.Trace)%ctxCheckStride == 0 && opt.Ctx.Err() != nil {
+			out.Truncated = true
+			out.Interrupted = true
 			m.Abort()
 			break
 		}

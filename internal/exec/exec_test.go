@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/event"
@@ -176,5 +177,38 @@ func TestFingerprintsMatchScheduleEquivalence(t *testing.T) {
 	}
 	if o1.StateKey != o2.StateKey {
 		t.Error("independent writes must reach the same state")
+	}
+}
+
+func TestContextCancelTruncates(t *testing.T) {
+	// The same long-running loop, stopped by a dead context instead
+	// of MaxSteps: the stride check must truncate and flag the
+	// outcome as interrupted.
+	b := progdsl.New("long-ctx").AutoStart()
+	x := b.Var("x")
+	th := b.Thread()
+	th.Const(0, 1000)
+	th.While(progdsl.Ge(0, 1), func() {
+		th.Read(1, x)
+		th.AddConst(1, 1, 1)
+		th.Write(x, 1)
+		th.AddConst(0, 0, -1)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := Run(b.Build(), FirstEnabled{}, Options{MaxSteps: 3000, Ctx: ctx})
+	if !out.Interrupted || !out.Truncated {
+		t.Fatalf("cancelled run must be interrupted+truncated; got interrupted=%v truncated=%v",
+			out.Interrupted, out.Truncated)
+	}
+	if len(out.Trace) >= 3000 {
+		t.Fatalf("cancelled run executed %d events, should stop at the first stride check", len(out.Trace))
+	}
+
+	// A live context must not perturb the run.
+	full := Run(b.Build(), FirstEnabled{}, Options{MaxSteps: 3000, Ctx: context.Background()})
+	bare := Run(b.Build(), FirstEnabled{}, Options{MaxSteps: 3000})
+	if full.Interrupted || full.StateKey != bare.StateKey || len(full.Trace) != len(bare.Trace) {
+		t.Fatalf("live context changed the outcome: %d vs %d events", len(full.Trace), len(bare.Trace))
 	}
 }

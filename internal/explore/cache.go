@@ -1,0 +1,237 @@
+package explore
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hb"
+)
+
+// Cache is a fingerprint-membership set used by the caching engines to
+// prune prefixes whose (lazy) HBR has been covered. Implementations may
+// be engine-local or shared between concurrently running engine
+// instances exploring disjoint parts of one schedule space.
+type Cache interface {
+	// Add inserts fp and reports whether it was absent (true = fresh).
+	Add(fp hb.Fingerprint) bool
+}
+
+// mapCache is the engine-local, single-goroutine Cache.
+type mapCache map[hb.Fingerprint]struct{}
+
+func (c mapCache) Add(fp hb.Fingerprint) bool {
+	if _, ok := c[fp]; ok {
+		return false
+	}
+	c[fp] = struct{}{}
+	return true
+}
+
+// cacheShards is the stripe count of the concurrent containers. Power
+// of two so the modulo compiles to a mask; 64 stripes keep contention
+// negligible at any realistic worker count.
+const cacheShards = 64
+
+// ShardedCache is a lock-striped Cache safe for concurrent use by many
+// exploration workers. Fingerprints are already uniformly distributed
+// 128-bit hashes, so the low bits pick the stripe directly.
+type ShardedCache struct {
+	shards [cacheShards]struct {
+		mu sync.Mutex
+		m  map[hb.Fingerprint]struct{}
+	}
+	n atomic.Int64
+}
+
+// NewShardedCache returns an empty concurrent fingerprint cache.
+func NewShardedCache() *ShardedCache {
+	c := &ShardedCache{}
+	for i := range c.shards {
+		c.shards[i].m = map[hb.Fingerprint]struct{}{}
+	}
+	return c
+}
+
+// Add implements Cache.
+func (c *ShardedCache) Add(fp hb.Fingerprint) bool {
+	s := &c.shards[fp[0]%cacheShards]
+	s.mu.Lock()
+	_, dup := s.m[fp]
+	if !dup {
+		s.m[fp] = struct{}{}
+	}
+	s.mu.Unlock()
+	if !dup {
+		c.n.Add(1)
+	}
+	return !dup
+}
+
+// Len returns the number of distinct fingerprints added.
+func (c *ShardedCache) Len() int { return int(c.n.Load()) }
+
+// stringSet is one lock-striped set of state keys.
+type stringSet struct {
+	shards [cacheShards]struct {
+		mu sync.Mutex
+		m  map[string]struct{}
+	}
+	n atomic.Int64
+}
+
+func newStringSet() *stringSet {
+	s := &stringSet{}
+	for i := range s.shards {
+		s.shards[i].m = map[string]struct{}{}
+	}
+	return s
+}
+
+func (s *stringSet) add(key string) bool {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	sh := &s.shards[h%cacheShards]
+	sh.mu.Lock()
+	_, dup := sh.m[key]
+	if !dup {
+		sh.m[key] = struct{}{}
+	}
+	sh.mu.Unlock()
+	if !dup {
+		s.n.Add(1)
+	}
+	return !dup
+}
+
+func (s *stringSet) len() int { return int(s.n.Load()) }
+
+func (s *stringSet) sorted() []string {
+	var out []string
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		for k := range s.shards[i].m {
+			out = append(out, k)
+		}
+		s.shards[i].mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// dedupSink abstracts the recorder's distinctness sets: localDedup
+// for engine-local runs, the lock-striped Dedup when shared between
+// workers.
+type dedupSink interface {
+	AddHBR(fp hb.Fingerprint) bool
+	AddLazy(fp hb.Fingerprint) bool
+	AddState(key string) bool
+	SortedStates() []string
+}
+
+// localDedup is the plain, single-goroutine sink — three map inserts
+// per terminal, no striping or atomics on the sequential hot path.
+type localDedup struct {
+	hbrs, lazies map[hb.Fingerprint]struct{}
+	states       map[string]struct{}
+}
+
+func newLocalDedup() *localDedup {
+	return &localDedup{
+		hbrs:   map[hb.Fingerprint]struct{}{},
+		lazies: map[hb.Fingerprint]struct{}{},
+		states: map[string]struct{}{},
+	}
+}
+
+func addKey[K comparable](m map[K]struct{}, k K) bool {
+	if _, dup := m[k]; dup {
+		return false
+	}
+	m[k] = struct{}{}
+	return true
+}
+
+func (d *localDedup) AddHBR(fp hb.Fingerprint) bool  { return addKey(d.hbrs, fp) }
+func (d *localDedup) AddLazy(fp hb.Fingerprint) bool { return addKey(d.lazies, fp) }
+func (d *localDedup) AddState(key string) bool       { return addKey(d.states, key) }
+
+func (d *localDedup) SortedStates() []string {
+	out := make([]string, 0, len(d.states))
+	for k := range d.states {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fpSet is one lock-striped set of fingerprints with exact cardinality.
+type fpSet struct{ c ShardedCache }
+
+// Dedup holds the distinctness sets behind a Result's #HBRs,
+// #lazy HBRs and #states counters. A Dedup shared between concurrently
+// running engine instances (via Options.Dedup) makes the merged counts
+// exact: each terminal execution is attributed to exactly one worker,
+// and the sets deduplicate globally.
+type Dedup struct {
+	hbrs   fpSet
+	lazies fpSet
+	states *stringSet
+}
+
+// NewDedup returns an empty shared distinctness tracker.
+func NewDedup() *Dedup {
+	d := &Dedup{states: newStringSet()}
+	for i := range d.hbrs.c.shards {
+		d.hbrs.c.shards[i].m = map[hb.Fingerprint]struct{}{}
+		d.lazies.c.shards[i].m = map[hb.Fingerprint]struct{}{}
+	}
+	return d
+}
+
+// AddHBR, AddLazy and AddState insert into the respective set and
+// report freshness.
+func (d *Dedup) AddHBR(fp hb.Fingerprint) bool  { return d.hbrs.c.Add(fp) }
+func (d *Dedup) AddLazy(fp hb.Fingerprint) bool { return d.lazies.c.Add(fp) }
+func (d *Dedup) AddState(key string) bool       { return d.states.add(key) }
+
+// Counts returns the exact current cardinalities (hbrs, lazies,
+// states).
+func (d *Dedup) Counts() (int, int, int) {
+	return d.hbrs.c.Len(), d.lazies.c.Len(), d.states.len()
+}
+
+// SortedStates returns the distinct terminal state keys, sorted.
+func (d *Dedup) SortedStates() []string { return d.states.sorted() }
+
+// Budget is a schedule budget shared between concurrently running
+// engine instances: the parallel analogue of Options.ScheduleLimit.
+// Each completed execution consumes one token; the execution that
+// drains the last token stops its engine with HitLimit set, matching
+// the sequential `schedules >= limit` exit. Because the token is
+// taken after the execution ran, concurrent workers can overrun the
+// limit by at most workers−1 schedules.
+type Budget struct {
+	remaining atomic.Int64
+}
+
+// NewBudget returns a budget of n schedules; n <= 0 means unlimited
+// (returns nil, which every consumer treats as no budget).
+func NewBudget(n int) *Budget {
+	if n <= 0 {
+		return nil
+	}
+	b := &Budget{}
+	b.remaining.Store(int64(n))
+	return b
+}
+
+// take consumes one token and reports whether tokens remain afterwards
+// (false on the draining take, so the consumer stops like a sequential
+// engine reaching its limit).
+func (b *Budget) take() bool { return b.remaining.Add(-1) > 0 }
+
+// Exhausted reports whether the budget has run out.
+func (b *Budget) Exhausted() bool { return b.remaining.Load() <= 0 }

@@ -3,6 +3,8 @@ package explore
 import (
 	"testing"
 
+	"repro/internal/event"
+	"repro/internal/model"
 	"repro/internal/progdsl"
 )
 
@@ -131,5 +133,62 @@ func TestCoarseTailFigure3Regime(t *testing.T) {
 	if lazy.DistinctLazyHBRs <= reg.DistinctLazyHBRs {
 		t.Errorf("expected strict lazy-caching advantage: %d vs %d",
 			lazy.DistinctLazyHBRs, reg.DistinctLazyHBRs)
+	}
+}
+
+// TestSharedCacheAcrossPrefixPartitions: the shared-handle API the
+// campaign package builds on — a caching engine split across disjoint
+// root prefixes, pruning through one concurrent ShardedCache and
+// deduplicating through one shared Dedup — must still cover every
+// terminal state and lazy HBR class of the exhaustive space.
+func TestSharedCacheAcrossPrefixPartitions(t *testing.T) {
+	for _, src := range soundnessZoo()[:8] {
+		src := src
+		t.Run(src.Name(), func(t *testing.T) {
+			want := exploreStates(t, NewDFS(), src)
+
+			m := model.NewMachine(src)
+			roots := m.EnabledThreads(nil)
+			m.Abort()
+			if len(roots) < 2 {
+				t.Skipf("single root branch; nothing to partition")
+			}
+
+			cache := NewShardedCache()
+			dedup := NewDedup()
+			var totalTerminals int
+			for _, root := range roots {
+				res := NewLazyHBRCache().Explore(src, Options{
+					MaxSteps: 2000,
+					Prefix:   []event.ThreadID{root},
+					Cache:    cache,
+					Dedup:    dedup,
+				})
+				if res.HitLimit {
+					t.Fatalf("partition %d unexpectedly hit a limit", root)
+				}
+				totalTerminals += res.Terminals
+			}
+			hbrs, lazies, states := dedup.Counts()
+			if states != want.DistinctStates {
+				t.Errorf("partitions covered %d states, exhaustive %d", states, want.DistinctStates)
+			}
+			if lazies != want.DistinctLazyHBRs {
+				t.Errorf("partitions covered %d lazy classes, exhaustive %d", lazies, want.DistinctLazyHBRs)
+			}
+			if hbrs > want.DistinctHBRs {
+				t.Errorf("partitions found %d HBRs, more than the exhaustive %d", hbrs, want.DistinctHBRs)
+			}
+			// Cross-partition pruning must have kept the work at
+			// one completed schedule per lazy class, exactly like
+			// the sequential caching engine.
+			if totalTerminals != want.DistinctLazyHBRs {
+				t.Errorf("partitions completed %d schedules, want one per lazy class (%d)",
+					totalTerminals, want.DistinctLazyHBRs)
+			}
+			if cache.Len() == 0 {
+				t.Error("shared cache was never populated")
+			}
+		})
 	}
 }

@@ -41,6 +41,10 @@ func (e *delayEngine) Explore(src model.Source, opt Options) Result {
 	defer c.close()
 	rec := newRecorder(src, e.Name(), opt)
 
+	// A pinned prefix is replayed delay-free: the bound applies to
+	// the explored suffix.
+	base := c.replayPrefix(opt.Prefix, nil)
+
 	makeNode := func(used int) *dbNode {
 		en := c.enabled()
 		n := &dbNode{used: used}
@@ -89,7 +93,7 @@ func (e *delayEngine) Explore(src model.Source, opt Options) Result {
 		}
 		t := n.choices[n.next]
 		n.next++
-		c.resetTo(d)
+		c.resetTo(base + d)
 		c.step(t)
 		if !descend() {
 			break

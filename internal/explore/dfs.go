@@ -61,9 +61,12 @@ func (e *dfsEngine) Explore(src model.Source, opt Options) Result {
 	defer c.close()
 	rec := newRecorder(src, e.Name(), opt)
 
-	var cache map[hb.Fingerprint]struct{}
+	var cache Cache
 	if e.mode != cacheNone {
-		cache = map[hb.Fingerprint]struct{}{}
+		cache = opt.Cache
+		if cache == nil {
+			cache = mapCache{}
+		}
 	}
 	prefixFP := func() hb.Fingerprint {
 		if e.mode == cacheLazy {
@@ -71,6 +74,11 @@ func (e *dfsEngine) Explore(src model.Source, opt Options) Result {
 		}
 		return c.tr.HBFingerprint()
 	}
+
+	// The pinned prefix is replayed outside the caching discipline:
+	// its choices are mandated by the subtree partition, so a cache
+	// hit there must not abandon the whole unit.
+	base := c.replayPrefix(opt.Prefix, nil)
 
 	var stack []dfsNode
 
@@ -90,16 +98,12 @@ func (e *dfsEngine) Explore(src model.Source, opt Options) Result {
 			}
 			stack = append(stack, dfsNode{enabled: append([]event.ThreadID(nil), en...), next: 1})
 			c.step(en[0])
-			if cache != nil {
-				fp := prefixFP()
-				if _, hit := cache[fp]; hit {
-					// The continuation from here revisits an
-					// already-covered equivalence class
-					// (Thm 2.1 / Thm 2.2): prune.
-					rec.res.Pruned++
-					return !rec.schedule()
-				}
-				cache[fp] = struct{}{}
+			if cache != nil && !cache.Add(prefixFP()) {
+				// The continuation from here revisits an
+				// already-covered equivalence class
+				// (Thm 2.1 / Thm 2.2): prune.
+				rec.res.Pruned++
+				return !rec.schedule()
 			}
 		}
 	}
@@ -116,18 +120,14 @@ func (e *dfsEngine) Explore(src model.Source, opt Options) Result {
 		}
 		t := n.enabled[n.next]
 		n.next++
-		c.resetTo(d)
+		c.resetTo(base + d)
 		c.step(t)
-		if cache != nil {
-			fp := prefixFP()
-			if _, hit := cache[fp]; hit {
-				rec.res.Pruned++
-				if rec.schedule() {
-					break
-				}
-				continue
+		if cache != nil && !cache.Add(prefixFP()) {
+			rec.res.Pruned++
+			if rec.schedule() {
+				break
 			}
-			cache[fp] = struct{}{}
+			continue
 		}
 		if !descend() {
 			break

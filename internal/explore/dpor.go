@@ -289,6 +289,14 @@ func (e *dporEngine) Explore(src model.Source, opt Options) Result {
 	rec := newRecorder(src, e.Name(), opt)
 	nthreads := src.NumThreads()
 
+	// A pinned prefix is replayed through st.step so the access logs
+	// cover it, but owns no stack nodes: race reversals that would
+	// seed a backtrack point inside the prefix are dropped, because
+	// the campaign partitioner that pins prefixes enumerates every
+	// sibling prefix exhaustively — the reversed schedule lives in
+	// (and is found by) another partition's subtree.
+	base := c.replayPrefix(opt.Prefix, st.step)
+
 	var nodes []*dnode
 
 	// addBacktrack seeds the backtrack set of the state preceding
@@ -297,7 +305,10 @@ func (e *dporEngine) Explore(src model.Source, opt Options) Result {
 	// otherwise any enabled thread with a later event ordered before
 	// p's transition; otherwise every enabled thread.
 	addBacktrack := func(i int, p event.ThreadID) {
-		n := nodes[i]
+		if i < base {
+			return // reversal beneath the pinned prefix: sibling partition's job
+		}
+		n := nodes[i-base]
 		if n.backtrack.has(p) {
 			return
 		}
@@ -350,7 +361,7 @@ func (e *dporEngine) Explore(src model.Source, opt Options) Result {
 	// the reversed schedule has the same lazy HBR (Theorem 2.2).
 	resolveDeferred := func() {
 		for _, d := range deferred {
-			if d.i >= len(nodes) {
+			if d.i >= base+len(nodes) {
 				// The raced state was truncated by an earlier
 				// resolution pass on a previous execution;
 				// stale entry.
@@ -469,7 +480,7 @@ func (e *dporEngine) Explore(src model.Source, opt Options) Result {
 		p := cand.first()
 		n.done.add(p)
 		n.chosen = p
-		st.resetTo(d)
+		st.resetTo(base + d)
 		st.step(p)
 		if !extend() {
 			break

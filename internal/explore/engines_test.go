@@ -13,7 +13,22 @@ import (
 // them exercise every edge type the engines must reason about. Random
 // programs whose schedule space exceeds the probe budget are skipped —
 // the agreement checks need exhaustion to be meaningful.
+//
+// In -short mode the zoo keeps the six curated programs plus a reduced
+// random sample (still ≥ the largest slice any test takes), so every
+// agreement check runs a cheaper variant rather than being skipped.
+// The zoo is memoised per size: many tests iterate it, and rebuilding
+// it costs dozens of exhaustive probe explorations each time.
+var zooCache = map[int][]model.Source{}
+
 func soundnessZoo() []model.Source {
+	size := 26
+	if testing.Short() {
+		size = 12
+	}
+	if zoo, ok := zooCache[size]; ok {
+		return zoo
+	}
 	var zoo []model.Source
 	zoo = append(zoo,
 		curatedFigure1(),
@@ -24,13 +39,14 @@ func soundnessZoo() []model.Source {
 		curatedMixedMutexVar(),
 	)
 	probe := NewDFS()
-	for seed := int64(100); seed < 140 && len(zoo) < 26; seed++ {
+	for seed := int64(100); seed < 140 && len(zoo) < size; seed++ {
 		p := genRandomProgram(seed)
 		if res := probe.Explore(p, Options{ScheduleLimit: 5000, MaxSteps: 2000}); res.HitLimit {
 			continue
 		}
 		zoo = append(zoo, p)
 	}
+	zooCache[size] = zoo
 	return zoo
 }
 

@@ -17,8 +17,8 @@
 package explore
 
 import (
+	"context"
 	"fmt"
-	"sort"
 
 	"repro/internal/event"
 	"repro/internal/exec"
@@ -49,6 +49,34 @@ type Options struct {
 	// keys in Result.States — a diagnostic for cross-engine
 	// agreement checks; costly on large spaces.
 	RecordStates bool
+
+	// Ctx, when non-nil, bounds the exploration by deadline or
+	// cancellation: the engine stops at the next schedule boundary
+	// with Result.Interrupted set.
+	Ctx context.Context
+
+	// Prefix pins the first len(Prefix) scheduling choices: the
+	// engine replays them and explores only the subtree beneath.
+	// Partitioning a schedule space into disjoint prefixes and
+	// exploring each under a shared Dedup/Cache is how the campaign
+	// package parallelises a single search.
+	Prefix []event.ThreadID
+
+	// Cache overrides the caching engines' fingerprint set. A
+	// ShardedCache shared between engine instances lets concurrent
+	// subtree searches prune against each other's coverage. Nil uses
+	// an engine-local map.
+	Cache Cache
+
+	// Dedup overrides the recorder's distinctness sets. Sharing one
+	// Dedup across concurrent subtree searches keeps the merged
+	// #HBRs/#lazy HBRs/#states exact. Nil uses engine-local sets.
+	Dedup *Dedup
+
+	// SharedBudget is the parallel analogue of ScheduleLimit: a
+	// token pool shared by concurrently running engine instances.
+	// Nil means no shared budget.
+	SharedBudget *Budget
 }
 
 func (o Options) maxSteps() int {
@@ -60,6 +88,11 @@ func (o Options) maxSteps() int {
 
 func (o Options) limitReached(schedules int) bool {
 	return o.ScheduleLimit > 0 && schedules >= o.ScheduleLimit
+}
+
+// interrupted reports whether the exploration context is done.
+func (o Options) interrupted() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 // Result summarises one exploration.
@@ -95,10 +128,14 @@ type Result struct {
 	LockErrors     int
 	Races          int
 
-	// HitLimit is set when ScheduleLimit stopped the search; an
-	// unset flag means the schedule space was exhausted (the paper
-	// plots such benchmarks without underlining).
+	// HitLimit is set when ScheduleLimit (or a shared Budget)
+	// stopped the search; an unset flag means the schedule space was
+	// exhausted (the paper plots such benchmarks without
+	// underlining).
 	HitLimit bool
+	// Interrupted is set when Options.Ctx expired or was cancelled
+	// before the search finished.
+	Interrupted bool
 
 	// MaxDepth is the longest execution seen; Events counts every
 	// event executed, including replays.
@@ -166,31 +203,42 @@ func checkThreadCount(src model.Source) {
 }
 
 // recorder accumulates a Result plus the distinctness sets behind its
-// counters.
+// counters. With a shared Options.Dedup the per-recorder Distinct*
+// counters report only this instance's fresh discoveries; the merged
+// totals come from Dedup.Counts.
 type recorder struct {
-	res    Result
-	opt    Options
-	hbrs   map[hb.Fingerprint]struct{}
-	lazies map[hb.Fingerprint]struct{}
-	states map[string]struct{}
+	res   Result
+	opt   Options
+	dedup dedupSink
 }
 
 func newRecorder(src model.Source, engine string, opt Options) *recorder {
+	var dd dedupSink = opt.Dedup
+	if opt.Dedup == nil {
+		dd = newLocalDedup()
+	}
 	return &recorder{
-		res:    Result{Program: src.Name(), Engine: engine},
-		opt:    opt,
-		hbrs:   map[hb.Fingerprint]struct{}{},
-		lazies: map[hb.Fingerprint]struct{}{},
-		states: map[string]struct{}{},
+		res:   Result{Program: src.Name(), Engine: engine},
+		opt:   opt,
+		dedup: dd,
 	}
 }
 
 // schedule counts one finished execution attempt and reports whether
-// the schedule limit has now been reached.
+// the schedule limit, shared budget or context has now stopped the
+// search.
 func (r *recorder) schedule() bool {
 	r.res.Schedules++
 	if r.opt.limitReached(r.res.Schedules) {
 		r.res.HitLimit = true
+		return true
+	}
+	if b := r.opt.SharedBudget; b != nil && !b.take() {
+		r.res.HitLimit = true
+		return true
+	}
+	if r.opt.interrupted() {
+		r.res.Interrupted = true
 		return true
 	}
 	return false
@@ -202,20 +250,14 @@ func (r *recorder) terminal(c *cursor) {
 	if d := len(c.trace); d > r.res.MaxDepth {
 		r.res.MaxDepth = d
 	}
-	hfp := c.tr.HBFingerprint()
-	lfp := c.tr.LazyFingerprint()
-	if _, ok := r.hbrs[hfp]; !ok {
-		r.hbrs[hfp] = struct{}{}
-		r.res.DistinctHBRs = len(r.hbrs)
+	if r.dedup.AddHBR(c.tr.HBFingerprint()) {
+		r.res.DistinctHBRs++
 	}
-	if _, ok := r.lazies[lfp]; !ok {
-		r.lazies[lfp] = struct{}{}
-		r.res.DistinctLazyHBRs = len(r.lazies)
+	if r.dedup.AddLazy(c.tr.LazyFingerprint()) {
+		r.res.DistinctLazyHBRs++
 	}
-	key := c.m.StateKey()
-	if _, ok := r.states[key]; !ok {
-		r.states[key] = struct{}{}
-		r.res.DistinctStates = len(r.states)
+	if r.dedup.AddState(c.m.StateKey()) {
+		r.res.DistinctStates++
 	}
 
 	violation := ""
@@ -256,12 +298,10 @@ func (r *recorder) terminal(c *cursor) {
 
 func (r *recorder) finish(c *cursor) Result {
 	r.res.Events = c.events
-	if r.opt.RecordStates {
-		r.res.States = make([]string, 0, len(r.states))
-		for k := range r.states {
-			r.res.States = append(r.res.States, k)
-		}
-		sort.Strings(r.res.States)
+	if r.opt.RecordStates && r.opt.Dedup == nil {
+		// With a shared Dedup the caller assembles States from
+		// Dedup.SortedStates after every worker has finished.
+		r.res.States = r.dedup.SortedStates()
 	}
 	return r.res
 }
@@ -335,6 +375,33 @@ func (c *cursor) step(t event.ThreadID) event.Event {
 		c.snaps = append(c.snaps, snapPair{m: snap, tr: c.tr.Clone()})
 	}
 	return ev
+}
+
+// replayPrefix executes the pinned scheduling choices of a subtree
+// search (Options.Prefix) and returns the resulting base depth. The
+// engine must never resetTo below it. step overrides how each choice
+// executes (the DPOR engine routes through its access-log indexer);
+// nil uses c.step. Prefixes are produced by partitioning a live
+// schedule tree, so a choice that is not enabled indicates a
+// coordinator bug.
+func (c *cursor) replayPrefix(prefix []event.ThreadID, step func(event.ThreadID)) int {
+	if step == nil {
+		step = func(t event.ThreadID) { c.step(t) }
+	}
+	for _, t := range prefix {
+		ok := false
+		for _, e := range c.enabled() {
+			if e == t {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			panic(fmt.Sprintf("explore: prefix choice t%d not enabled at depth %d", t, c.depth()))
+		}
+		step(t)
+	}
+	return len(prefix)
 }
 
 // resetTo truncates the execution back to depth d (0 ≤ d ≤ depth()).

@@ -75,15 +75,27 @@ func (e *pboundEngine) Explore(src model.Source, opt Options) Result {
 	defer c.close()
 	rec := newRecorder(src, e.Name(), opt)
 
-	var cache map[hb.Fingerprint]struct{}
+	var cache Cache
 	if e.mode != cacheNone {
-		cache = map[hb.Fingerprint]struct{}{}
+		cache = opt.Cache
+		if cache == nil {
+			cache = mapCache{}
+		}
 	}
 	prefixFP := func() hb.Fingerprint {
 		if e.mode == cacheLazy {
 			return c.tr.LazyFingerprint()
 		}
 		return c.tr.HBFingerprint()
+	}
+
+	// A pinned prefix is replayed outside both the caching and the
+	// preemption-budget disciplines: the bound then applies to the
+	// explored suffix.
+	base := c.replayPrefix(opt.Prefix, nil)
+	baseThread := event.ThreadID(-1)
+	if base > 0 {
+		baseThread = opt.Prefix[base-1]
 	}
 
 	// makeNode computes the affordable choices at the current state.
@@ -129,7 +141,7 @@ func (e *pboundEngine) Explore(src model.Source, opt Options) Result {
 				rec.res.Truncated++
 				return !rec.schedule()
 			}
-			prev := event.ThreadID(-1)
+			prev := baseThread
 			used := 0
 			if len(stack) > 0 {
 				parent := stack[len(stack)-1]
@@ -151,13 +163,9 @@ func (e *pboundEngine) Explore(src model.Source, opt Options) Result {
 			stack = append(stack, n)
 			n.next = 1
 			c.step(n.choices[0])
-			if cache != nil {
-				fp := prefixFP()
-				if _, hit := cache[fp]; hit {
-					rec.res.Pruned++
-					return !rec.schedule()
-				}
-				cache[fp] = struct{}{}
+			if cache != nil && !cache.Add(prefixFP()) {
+				rec.res.Pruned++
+				return !rec.schedule()
 			}
 		}
 	}
@@ -174,18 +182,14 @@ func (e *pboundEngine) Explore(src model.Source, opt Options) Result {
 		}
 		t := n.choices[n.next]
 		n.next++
-		c.resetTo(d)
+		c.resetTo(base + d)
 		c.step(t)
-		if cache != nil {
-			fp := prefixFP()
-			if _, hit := cache[fp]; hit {
-				rec.res.Pruned++
-				if rec.schedule() {
-					break
-				}
-				continue
+		if cache != nil && !cache.Add(prefixFP()) {
+			rec.res.Pruned++
+			if rec.schedule() {
+				break
 			}
-			cache[fp] = struct{}{}
+			continue
 		}
 		if !descend() {
 			break

@@ -15,15 +15,16 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"runtime"
+	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/bench"
-	"repro/internal/explore"
+	"repro/internal/campaign"
 )
 
 // Options configures a figure sweep.
@@ -34,11 +35,15 @@ type Options struct {
 	MaxSteps int
 	// Progress, when non-nil, receives one line per benchmark.
 	Progress io.Writer
-	// Parallelism is the number of benchmarks explored concurrently
-	// (explorations are single-threaded and independent, so the
-	// sweep is embarrassingly parallel). 0 or 1 runs sequentially;
-	// negative uses GOMAXPROCS.
+	// Parallelism is the number of benchmark cells explored
+	// concurrently through the campaign runner (explorations are
+	// single-threaded and independent, so the sweep is
+	// embarrassingly parallel). 0 or 1 runs sequentially; negative
+	// uses GOMAXPROCS.
 	Parallelism int
+	// Ctx, when non-nil, bounds the whole sweep by deadline or
+	// cancellation.
+	Ctx context.Context
 }
 
 func (o Options) workers() int {
@@ -52,59 +57,38 @@ func (o Options) workers() int {
 	}
 }
 
-// sweep runs fn over the benchmarks with the configured parallelism,
-// preserving input order in the output and stopping at the first
-// error. Each fn call gets its own engines, so no state is shared.
-func sweep[T any](benches []bench.Benchmark, opt Options, fn func(bench.Benchmark) (T, error)) ([]T, error) {
-	out := make([]T, len(benches))
-	errs := make([]error, len(benches))
-	workers := opt.workers()
-	if workers <= 1 {
-		for i, b := range benches {
-			var err error
-			out[i], err = fn(b)
-			if err != nil {
-				return nil, err
-			}
-		}
-		return out, nil
+func (o Options) limit() int {
+	if o.ScheduleLimit <= 0 {
+		return 100000
 	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				out[i], errs[i] = fn(benches[i])
-			}
-		}()
-	}
-	for i := range benches {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return o.ScheduleLimit
 }
 
-func (o Options) exploreOptions() explore.Options {
-	limit := o.ScheduleLimit
-	if limit <= 0 {
-		limit = 100000
+// runCampaign executes one cell per (benchmark, engine) pair through
+// the campaign worker pool and returns the results in input order.
+func runCampaign(benches []bench.Benchmark, engines []campaign.EngineSpec, opt Options) ([]campaign.CellResult, error) {
+	names := make([]string, len(benches))
+	for i, b := range benches {
+		names[i] = b.Name
 	}
-	return explore.Options{ScheduleLimit: limit, MaxSteps: o.MaxSteps}
-}
-
-func (o Options) progressf(format string, args ...any) {
-	if o.Progress != nil {
-		fmt.Fprintf(o.Progress, format, args...)
+	cells := campaign.Grid(names, engines, opt.limit(), opt.MaxSteps)
+	runner := campaign.Runner{Workers: opt.workers()}
+	if opt.Progress != nil {
+		total := len(cells)
+		runner.OnResult = func(r campaign.CellResult) {
+			fmt.Fprintf(opt.Progress, "%4d/%d %-24s %-18s schedules=%-7d hbrs=%-6d lazy=%-6d states=%-6d limit=%v\n",
+				r.Index+1, total, r.Cell.Bench, r.Cell.Engine, r.Result.Schedules,
+				r.Result.DistinctHBRs, r.Result.DistinctLazyHBRs, r.Result.DistinctStates, r.Result.HitLimit)
+		}
 	}
+	results, err := runner.Run(opt.Ctx, cells)
+	if err != nil {
+		return nil, fmt.Errorf("figures: %w", err)
+	}
+	if err := campaign.FirstError(results); err != nil {
+		return nil, fmt.Errorf("figures: %w", err)
+	}
+	return results, nil
 }
 
 // Fig2Row is one benchmark's Figure 2 point.
@@ -121,30 +105,42 @@ type Fig2Row struct {
 	HitLimit bool
 }
 
-// Fig2 runs DPOR over the given benchmarks (in parallel when
-// configured) and returns one row each, in input order.
+// Fig2 runs DPOR over the given benchmarks through the campaign
+// runner (in parallel when configured) and returns one row each, in
+// input order.
 func Fig2(benches []bench.Benchmark, opt Options) ([]Fig2Row, error) {
-	var mu sync.Mutex
-	return sweep(benches, opt, func(b bench.Benchmark) (Fig2Row, error) {
-		res := explore.NewDPOR(false).Explore(b.Program, opt.exploreOptions())
-		if err := res.CheckInvariant(); err != nil {
-			return Fig2Row{}, fmt.Errorf("figures: %s: %w", b.Name, err)
+	results, err := runCampaign(benches, []campaign.EngineSpec{"dpor"}, opt)
+	if err != nil {
+		return nil, err
+	}
+	return Fig2FromCells(results)
+}
+
+// Fig2FromCells builds Figure 2 rows from streamed campaign cell
+// results (one "dpor" cell per benchmark, any order — e.g. parsed
+// back from a `eval -fig campaign -json` run).
+func Fig2FromCells(results []campaign.CellResult) ([]Fig2Row, error) {
+	rows := make([]Fig2Row, 0, len(results))
+	for _, r := range results {
+		if r.Err != "" {
+			return nil, fmt.Errorf("figures: %s/%s: %s", r.Cell.Bench, r.Cell.Engine, r.Err)
 		}
-		row := Fig2Row{
-			ID:        b.ID,
-			Name:      b.Name,
-			Schedules: res.Schedules,
-			HBRs:      res.DistinctHBRs,
-			LazyHBRs:  res.DistinctLazyHBRs,
-			States:    res.DistinctStates,
-			HitLimit:  res.HitLimit,
+		bm, ok := bench.ByName(r.Cell.Bench)
+		if !ok {
+			return nil, fmt.Errorf("figures: unknown benchmark %q in cell stream", r.Cell.Bench)
 		}
-		mu.Lock()
-		opt.progressf("fig2 %2d/%d %-24s schedules=%-7d hbrs=%-6d lazy=%-6d states=%-6d limit=%v\n",
-			b.ID, len(benches), b.Name, row.Schedules, row.HBRs, row.LazyHBRs, row.States, row.HitLimit)
-		mu.Unlock()
-		return row, nil
-	})
+		rows = append(rows, Fig2Row{
+			ID:        bm.ID,
+			Name:      bm.Name,
+			Schedules: r.Result.Schedules,
+			HBRs:      r.Result.DistinctHBRs,
+			LazyHBRs:  r.Result.DistinctLazyHBRs,
+			States:    r.Result.DistinctStates,
+			HitLimit:  r.Result.HitLimit,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	return rows, nil
 }
 
 // Fig2Summary aggregates Figure 2 the way the paper's prose does.
@@ -195,33 +191,55 @@ type Fig3Row struct {
 	HitLimitLazy   bool
 }
 
-// Fig3 runs both caching engines over the benchmarks (in parallel when
-// configured), in input order.
+// Fig3 runs both caching engines over the benchmarks through the
+// campaign runner (each engine is its own cell, so one benchmark's two
+// runs can proceed on different workers), in input order.
 func Fig3(benches []bench.Benchmark, opt Options) ([]Fig3Row, error) {
-	var mu sync.Mutex
-	return sweep(benches, opt, func(b bench.Benchmark) (Fig3Row, error) {
-		rres := explore.NewHBRCache().Explore(b.Program, opt.exploreOptions())
-		if err := rres.CheckInvariant(); err != nil {
-			return Fig3Row{}, fmt.Errorf("figures: %s (hbr-caching): %w", b.Name, err)
+	results, err := runCampaign(benches, []campaign.EngineSpec{"hbr-caching", "lazy-hbr-caching"}, opt)
+	if err != nil {
+		return nil, err
+	}
+	return Fig3FromCells(results)
+}
+
+// Fig3FromCells builds Figure 3 rows from streamed campaign cell
+// results: for every benchmark, one "hbr-caching" and one
+// "lazy-hbr-caching" cell, in any order.
+func Fig3FromCells(results []campaign.CellResult) ([]Fig3Row, error) {
+	byBench := map[string]*Fig3Row{}
+	for _, r := range results {
+		if r.Err != "" {
+			return nil, fmt.Errorf("figures: %s/%s: %s", r.Cell.Bench, r.Cell.Engine, r.Err)
 		}
-		lres := explore.NewLazyHBRCache().Explore(b.Program, opt.exploreOptions())
-		if err := lres.CheckInvariant(); err != nil {
-			return Fig3Row{}, fmt.Errorf("figures: %s (lazy-hbr-caching): %w", b.Name, err)
+		bm, ok := bench.ByName(r.Cell.Bench)
+		if !ok {
+			return nil, fmt.Errorf("figures: unknown benchmark %q in cell stream", r.Cell.Bench)
 		}
-		row := Fig3Row{
-			ID:             b.ID,
-			Name:           b.Name,
-			RegularCaching: rres.DistinctLazyHBRs,
-			LazyCaching:    lres.DistinctLazyHBRs,
-			HitLimitReg:    rres.HitLimit,
-			HitLimitLazy:   lres.HitLimit,
+		row := byBench[bm.Name]
+		if row == nil {
+			row = &Fig3Row{ID: bm.ID, Name: bm.Name, RegularCaching: -1, LazyCaching: -1}
+			byBench[bm.Name] = row
 		}
-		mu.Lock()
-		opt.progressf("fig3 %2d/%d %-24s hbr-caching=%-6d lazy-caching=%-6d limit=%v/%v\n",
-			b.ID, len(benches), b.Name, row.RegularCaching, row.LazyCaching, row.HitLimitReg, row.HitLimitLazy)
-		mu.Unlock()
-		return row, nil
-	})
+		switch r.Cell.Engine {
+		case "hbr-caching":
+			row.RegularCaching = r.Result.DistinctLazyHBRs
+			row.HitLimitReg = r.Result.HitLimit
+		case "lazy-hbr-caching":
+			row.LazyCaching = r.Result.DistinctLazyHBRs
+			row.HitLimitLazy = r.Result.HitLimit
+		default:
+			return nil, fmt.Errorf("figures: unexpected engine %q in Figure 3 cell stream", r.Cell.Engine)
+		}
+	}
+	rows := make([]Fig3Row, 0, len(byBench))
+	for _, row := range byBench {
+		if row.RegularCaching < 0 || row.LazyCaching < 0 {
+			return nil, fmt.Errorf("figures: benchmark %q is missing one of its two caching cells", row.Name)
+		}
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	return rows, nil
 }
 
 // Fig3Summary aggregates Figure 3 the way the paper's prose does. The
