@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race ci bench fmt vet eval
+.PHONY: build test race ci bench bench-smoke bench-json fmt vet eval
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,24 @@ ci: build vet fmt test race
 # the campaign/parallel-exploration scaling runs.
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x .
+
+# One-iteration pass over every benchmark — the CI smoke job: catches
+# benchmarks that panic or regress catastrophically, in seconds.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -short -run '^$$' .
+
+# Headline hot-path benchmarks, filtered to the ones tracked in the
+# perf trajectory, rendered as a machine-readable JSON artifact
+# (BENCH_PR2.json and successors; see cmd/benchjson).
+BENCH_JSON ?= BENCH_PR2.json
+BENCH_FILTER ?= BenchmarkTracker$$|BenchmarkVClock/|BenchmarkExecutor$$|BenchmarkEngine/|BenchmarkSnapshotVsReplay/
+# Two steps (not a pipe) so a failing benchmark run fails the target
+# instead of silently producing an empty artifact.
+bench-json:
+	$(GO) test -bench '$(BENCH_FILTER)' -benchmem -benchtime 1s -run '^$$' . > $(BENCH_JSON).txt
+	$(GO) run ./cmd/benchjson < $(BENCH_JSON).txt > $(BENCH_JSON)
+	@rm -f $(BENCH_JSON).txt
+	@echo "wrote $(BENCH_JSON)"
 
 # Regenerate the paper figures at the full budget (slow; see -help for
 # -bench/-family filters, -fig campaign -json for streaming results).

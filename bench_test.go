@@ -162,6 +162,7 @@ func BenchmarkEngine(b *testing.B) {
 	for _, eng := range engines {
 		eng := eng
 		b.Run(eng.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			var last explore.Result
 			for i := 0; i < b.N; i++ {
 				last = eng.Explore(bm.Program, explore.Options{ScheduleLimit: benchLimit, MaxSteps: 2000})
@@ -236,22 +237,29 @@ func BenchmarkParallelExplore(b *testing.B) {
 }
 
 // BenchmarkSnapshotVsReplay measures the exploration-backend ablation:
-// snapshot-based backtracking against full replay.
+// the default undo-log backend ("snapshot", name kept stable across
+// the perf trajectory) against the legacy deep-snapshot backend and
+// full replay.
 func BenchmarkSnapshotVsReplay(b *testing.B) {
 	bm := mustBench(b, "counter-racy-2x2")
 	for _, mode := range []struct {
 		name    string
-		disable bool
-	}{{"snapshot", false}, {"replay", true}} {
+		backend explore.BackendKind
+	}{
+		{"snapshot", explore.BackendUndo},
+		{"legacy-snapshot", explore.BackendSnapshot},
+		{"replay", explore.BackendReplay},
+	} {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			eng := explore.NewDPOR(false)
 			var last explore.Result
 			for i := 0; i < b.N; i++ {
 				last = eng.Explore(bm.Program, explore.Options{
-					ScheduleLimit:    benchLimit,
-					MaxSteps:         2000,
-					DisableSnapshots: mode.disable,
+					ScheduleLimit: benchLimit,
+					MaxSteps:      2000,
+					Backend:       mode.backend,
 				})
 			}
 			b.ReportMetric(float64(last.Events)/float64(last.Schedules), "events/schedule")

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkTracker-8   \t  83036\t     19578 ns/op\t    8096 B/op\t     507 allocs/op\t        64.00 events/op")
+	if !ok {
+		t.Fatal("line must parse")
+	}
+	if b.Name != "BenchmarkTracker" {
+		t.Errorf("name = %q, want GOMAXPROCS suffix stripped", b.Name)
+	}
+	if b.Iterations != 83036 || b.NsPerOp != 19578 || b.BytesPerOp != 8096 || b.AllocsPerOp != 507 {
+		t.Errorf("standard columns misparsed: %+v", b)
+	}
+	if b.Metrics["events/op"] != 64 {
+		t.Errorf("custom metric misparsed: %+v", b.Metrics)
+	}
+}
+
+func TestParseLineSubBenchmark(t *testing.T) {
+	b, ok := parseLine("BenchmarkSnapshotVsReplay/snapshot-4 \t 4092\t 289416 ns/op\t 3.571 events/schedule")
+	if !ok {
+		t.Fatal("line must parse")
+	}
+	if b.Name != "BenchmarkSnapshotVsReplay/snapshot" {
+		t.Errorf("name = %q", b.Name)
+	}
+	if b.Metrics["events/schedule"] != 3.571 {
+		t.Errorf("metric = %v", b.Metrics)
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{"", "Benchmark", "BenchmarkX notanumber 5 ns/op", "PASS"} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q must not parse", line)
+		}
+	}
+}

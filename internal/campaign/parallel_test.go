@@ -138,6 +138,35 @@ func assertExact(t *testing.T, workers int, seq, par explore.Result, compareStat
 	}
 }
 
+// TestParallelBackendAblation: the exploration-backend choice is
+// invisible to the parallel searches too — parallel DFS and parallel
+// random walk must match their sequential counterparts on every
+// counter under the undo-log, legacy-snapshot and replay backends
+// alike.
+func TestParallelBackendAblation(t *testing.T) {
+	backends := []explore.BackendKind{
+		explore.BackendUndo, explore.BackendSnapshot, explore.BackendReplay,
+	}
+	for _, name := range []string{"counter-racy-2x2", "philosophers-3"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			bm := mustProgram(t, name)
+			for _, backend := range backends {
+				opt := explore.Options{MaxSteps: 2000, RecordStates: true, Backend: backend}
+				seq := explore.NewDFS().Explore(bm.Program, opt)
+				par := ParallelDFS(bm.Program, opt, 3)
+				assertExact(t, 3, seq, par, true)
+
+				ropt := opt
+				ropt.ScheduleLimit = 200
+				rseq := explore.NewRandomWalk(42).Explore(bm.Program, ropt)
+				rpar := ParallelRandomWalk(42, bm.Program, ropt, 3)
+				assertExact(t, 3, rseq, rpar, true)
+			}
+		})
+	}
+}
+
 // TestParallelBudgetHonoured: with a schedule limit, the shared budget
 // stops the fan-out within workers−1 schedules of the limit.
 func TestParallelBudgetHonoured(t *testing.T) {

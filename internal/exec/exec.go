@@ -96,8 +96,11 @@ type Options struct {
 }
 
 // ctxCheckStride is how many events run between context checks; a
-// power of two so the modulo is a mask.
-const ctxCheckStride = 64
+// power of two so the stride test is a branch-free mask.
+const (
+	ctxCheckStride = 64
+	ctxCheckMask   = ctxCheckStride - 1
+)
 
 // Outcome describes one completed (or truncated) execution.
 type Outcome struct {
@@ -107,7 +110,9 @@ type Outcome struct {
 	// through a Prefix chooser reproduces the schedule.
 	Choices []event.ThreadID
 	// HBClocks and LazyClocks are per-event vector clocks, present
-	// when Options.RecordClocks was set.
+	// when Options.RecordClocks was set. They are immutable views
+	// shared with the tracker (copy-on-write) and must not be
+	// modified.
 	HBClocks, LazyClocks []vclock.VC
 	// HBFP and LazyFP fingerprint the terminal regular and lazy
 	// happens-before relations.
@@ -146,6 +151,13 @@ func Run(src model.Source, ch Chooser, opt Options) Outcome {
 	tr := hb.NewTracker(src.NumThreads(), src.NumVars(), src.NumMutexes())
 	var out Outcome
 	var enabled []event.ThreadID
+	// Hoist the nil test out of the loop: with no caller context the
+	// stride check polls context.Background, whose Err is a constant
+	// nil return, instead of branching on opt.Ctx every event.
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for {
 		enabled = m.EnabledThreads(enabled)
 		if len(enabled) == 0 {
@@ -157,7 +169,7 @@ func Run(src model.Source, ch Chooser, opt Options) Outcome {
 			m.Abort()
 			break
 		}
-		if opt.Ctx != nil && len(out.Trace)%ctxCheckStride == 0 && opt.Ctx.Err() != nil {
+		if uint(len(out.Trace))&ctxCheckMask == 0 && ctx.Err() != nil {
 			out.Truncated = true
 			out.Interrupted = true
 			m.Abort()

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/hb"
+	"repro/internal/model"
 )
 
 // Cache is a fingerprint-membership set used by the caching engines to
@@ -71,7 +72,43 @@ func (c *ShardedCache) Add(fp hb.Fingerprint) bool {
 // Len returns the number of distinct fingerprints added.
 func (c *ShardedCache) Len() int { return int(c.n.Load()) }
 
-// stringSet is one lock-striped set of state keys.
+// sigSet is one lock-striped set of binary state digests — the hot
+// container behind #states. Digests are uniformly distributed 128-bit
+// hashes, so the low bits pick the stripe directly.
+type sigSet struct {
+	shards [cacheShards]struct {
+		mu sync.Mutex
+		m  map[model.StateSig]struct{}
+	}
+	n atomic.Int64
+}
+
+func newSigSet() *sigSet {
+	s := &sigSet{}
+	for i := range s.shards {
+		s.shards[i].m = map[model.StateSig]struct{}{}
+	}
+	return s
+}
+
+func (s *sigSet) add(sig model.StateSig) bool {
+	sh := &s.shards[sig[0]%cacheShards]
+	sh.mu.Lock()
+	_, dup := sh.m[sig]
+	if !dup {
+		sh.m[sig] = struct{}{}
+	}
+	sh.mu.Unlock()
+	if !dup {
+		s.n.Add(1)
+	}
+	return !dup
+}
+
+func (s *sigSet) len() int { return int(s.n.Load()) }
+
+// stringSet is one lock-striped set of state keys, used only for the
+// diagnostic Options.RecordStates sets.
 type stringSet struct {
 	shards [cacheShards]struct {
 		mu sync.Mutex
@@ -123,11 +160,14 @@ func (s *stringSet) sorted() []string {
 
 // dedupSink abstracts the recorder's distinctness sets: localDedup
 // for engine-local runs, the lock-striped Dedup when shared between
-// workers.
+// workers. States deduplicate on binary digests; the string key of a
+// state is rendered and recorded (RecordStateKey) only for fresh
+// digests and only under Options.RecordStates.
 type dedupSink interface {
 	AddHBR(fp hb.Fingerprint) bool
 	AddLazy(fp hb.Fingerprint) bool
-	AddState(key string) bool
+	AddState(sig model.StateSig) bool
+	RecordStateKey(key string)
 	SortedStates() []string
 }
 
@@ -135,14 +175,15 @@ type dedupSink interface {
 // per terminal, no striping or atomics on the sequential hot path.
 type localDedup struct {
 	hbrs, lazies map[hb.Fingerprint]struct{}
-	states       map[string]struct{}
+	states       map[model.StateSig]struct{}
+	stateKeys    []string
 }
 
 func newLocalDedup() *localDedup {
 	return &localDedup{
 		hbrs:   map[hb.Fingerprint]struct{}{},
 		lazies: map[hb.Fingerprint]struct{}{},
-		states: map[string]struct{}{},
+		states: map[model.StateSig]struct{}{},
 	}
 }
 
@@ -154,15 +195,13 @@ func addKey[K comparable](m map[K]struct{}, k K) bool {
 	return true
 }
 
-func (d *localDedup) AddHBR(fp hb.Fingerprint) bool  { return addKey(d.hbrs, fp) }
-func (d *localDedup) AddLazy(fp hb.Fingerprint) bool { return addKey(d.lazies, fp) }
-func (d *localDedup) AddState(key string) bool       { return addKey(d.states, key) }
+func (d *localDedup) AddHBR(fp hb.Fingerprint) bool    { return addKey(d.hbrs, fp) }
+func (d *localDedup) AddLazy(fp hb.Fingerprint) bool   { return addKey(d.lazies, fp) }
+func (d *localDedup) AddState(sig model.StateSig) bool { return addKey(d.states, sig) }
+func (d *localDedup) RecordStateKey(key string)        { d.stateKeys = append(d.stateKeys, key) }
 
 func (d *localDedup) SortedStates() []string {
-	out := make([]string, 0, len(d.states))
-	for k := range d.states {
-		out = append(out, k)
-	}
+	out := append([]string(nil), d.stateKeys...)
 	sort.Strings(out)
 	return out
 }
@@ -174,16 +213,19 @@ type fpSet struct{ c ShardedCache }
 // #lazy HBRs and #states counters. A Dedup shared between concurrently
 // running engine instances (via Options.Dedup) makes the merged counts
 // exact: each terminal execution is attributed to exactly one worker,
-// and the sets deduplicate globally.
+// and the sets deduplicate globally. States deduplicate on 128-bit
+// binary digests; the human-readable key set is populated only under
+// Options.RecordStates.
 type Dedup struct {
 	hbrs   fpSet
 	lazies fpSet
-	states *stringSet
+	states *sigSet
+	keys   *stringSet
 }
 
 // NewDedup returns an empty shared distinctness tracker.
 func NewDedup() *Dedup {
-	d := &Dedup{states: newStringSet()}
+	d := &Dedup{states: newSigSet(), keys: newStringSet()}
 	for i := range d.hbrs.c.shards {
 		d.hbrs.c.shards[i].m = map[hb.Fingerprint]struct{}{}
 		d.lazies.c.shards[i].m = map[hb.Fingerprint]struct{}{}
@@ -193,9 +235,13 @@ func NewDedup() *Dedup {
 
 // AddHBR, AddLazy and AddState insert into the respective set and
 // report freshness.
-func (d *Dedup) AddHBR(fp hb.Fingerprint) bool  { return d.hbrs.c.Add(fp) }
-func (d *Dedup) AddLazy(fp hb.Fingerprint) bool { return d.lazies.c.Add(fp) }
-func (d *Dedup) AddState(key string) bool       { return d.states.add(key) }
+func (d *Dedup) AddHBR(fp hb.Fingerprint) bool    { return d.hbrs.c.Add(fp) }
+func (d *Dedup) AddLazy(fp hb.Fingerprint) bool   { return d.lazies.c.Add(fp) }
+func (d *Dedup) AddState(sig model.StateSig) bool { return d.states.add(sig) }
+
+// RecordStateKey stores the rendered key of a state whose digest was
+// fresh; exactly one worker records each distinct state.
+func (d *Dedup) RecordStateKey(key string) { d.keys.add(key) }
 
 // Counts returns the exact current cardinalities (hbrs, lazies,
 // states).
@@ -203,8 +249,9 @@ func (d *Dedup) Counts() (int, int, int) {
 	return d.hbrs.c.Len(), d.lazies.c.Len(), d.states.len()
 }
 
-// SortedStates returns the distinct terminal state keys, sorted.
-func (d *Dedup) SortedStates() []string { return d.states.sorted() }
+// SortedStates returns the distinct terminal state keys recorded under
+// RecordStates, sorted.
+func (d *Dedup) SortedStates() []string { return d.keys.sorted() }
 
 // Budget is a schedule budget shared between concurrently running
 // engine instances: the parallel analogue of Options.ScheduleLimit.

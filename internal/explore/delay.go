@@ -45,9 +45,19 @@ func (e *delayEngine) Explore(src model.Source, opt Options) Result {
 	// the explored suffix.
 	base := c.replayPrefix(opt.Prefix, nil)
 
+	var tids tidPool
+	var nodes nodePool[dbNode]
+
+	// freeNode returns a popped node's buffers to the pools.
+	freeNode := func(n *dbNode) {
+		tids.put(n.choices)
+		nodes.put(n)
+	}
+
 	makeNode := func(used int) *dbNode {
 		en := c.enabled()
-		n := &dbNode{used: used}
+		n := nodes.get()
+		*n = dbNode{used: used, choices: tids.get()}
 		for i, t := range en {
 			if used+i > e.bound {
 				break
@@ -88,6 +98,7 @@ func (e *delayEngine) Explore(src model.Source, opt Options) Result {
 		d := len(stack) - 1
 		n := stack[d]
 		if n.next >= len(n.choices) {
+			freeNode(n)
 			stack = stack[:d]
 			continue
 		}

@@ -81,6 +81,7 @@ func (e *dfsEngine) Explore(src model.Source, opt Options) Result {
 	base := c.replayPrefix(opt.Prefix, nil)
 
 	var stack []dfsNode
+	var pool tidPool
 
 	// descend extends the current execution to a terminal (or
 	// truncation or cache prune), pushing one node per fresh state.
@@ -96,7 +97,7 @@ func (e *dfsEngine) Explore(src model.Source, opt Options) Result {
 				rec.terminal(c)
 				return !rec.schedule()
 			}
-			stack = append(stack, dfsNode{enabled: append([]event.ThreadID(nil), en...), next: 1})
+			stack = append(stack, dfsNode{enabled: pool.copyOf(en), next: 1})
 			c.step(en[0])
 			if cache != nil && !cache.Add(prefixFP()) {
 				// The continuation from here revisits an
@@ -115,6 +116,7 @@ func (e *dfsEngine) Explore(src model.Source, opt Options) Result {
 		d := len(stack) - 1
 		n := &stack[d]
 		if n.next >= len(n.enabled) {
+			pool.put(n.enabled)
 			stack = stack[:d]
 			continue
 		}

@@ -388,12 +388,26 @@ func (e *dporEngine) Explore(src model.Source, opt Options) Result {
 		deferred = deferred[:0]
 	}
 
+	var tids tidPool
+	var i32s slicePool[int32]
+	var ops slicePool[event.Op]
+	var npool nodePool[dnode]
+
+	// freeNode returns a popped node's buffers to the pools.
+	freeNode := func(n *dnode) {
+		tids.put(n.enabled)
+		i32s.put(n.steps)
+		ops.put(n.pend)
+		npool.put(n)
+	}
+
 	makeNode := func() *dnode {
 		en := c.enabled()
-		n := &dnode{
-			enabled: append([]event.ThreadID(nil), en...),
-			steps:   make([]int32, nthreads),
-			pend:    make([]event.Op, nthreads),
+		n := npool.get()
+		*n = dnode{
+			enabled: tids.copyOf(en),
+			steps:   grown(i32s.get(), nthreads),
+			pend:    grown(ops.get(), nthreads),
 		}
 		for _, t := range en {
 			n.enabledSet.add(t)
@@ -474,6 +488,7 @@ func (e *dporEngine) Explore(src model.Source, opt Options) Result {
 		}
 		cand := n.backtrack &^ n.done
 		if cand.empty() {
+			freeNode(n)
 			nodes = nodes[:d]
 			continue
 		}

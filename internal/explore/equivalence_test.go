@@ -269,6 +269,105 @@ func TestTheoremsOnRandomPrograms(t *testing.T) {
 	}
 }
 
+// ablationCounters projects a Result onto every schedule-determined
+// counter. Events is reported separately: the replay backend re-executes
+// retained prefixes, so its event total legitimately differs.
+type ablationCounters struct {
+	Schedules, Terminals, Pruned, Truncated, SleepBlocked  int
+	DistinctHBRs, DistinctLazyHBRs, DistinctStates         int
+	Deadlocks, AssertFailures, LockErrors, Races, MaxDepth int
+	HitLimit, Interrupted                                  bool
+	ViolationKind                                          string
+	FirstViolation                                         string
+}
+
+func countersOf(r Result) ablationCounters {
+	return ablationCounters{
+		Schedules: r.Schedules, Terminals: r.Terminals, Pruned: r.Pruned,
+		Truncated: r.Truncated, SleepBlocked: r.SleepBlocked,
+		DistinctHBRs: r.DistinctHBRs, DistinctLazyHBRs: r.DistinctLazyHBRs,
+		DistinctStates: r.DistinctStates,
+		Deadlocks:      r.Deadlocks, AssertFailures: r.AssertFailures,
+		LockErrors: r.LockErrors, Races: r.Races, MaxDepth: r.MaxDepth,
+		HitLimit: r.HitLimit, Interrupted: r.Interrupted,
+		ViolationKind:  r.ViolationKind,
+		FirstViolation: fmt.Sprint(r.FirstViolation),
+	}
+}
+
+// TestBackendAblationExact is the exactness contract of the
+// copy-on-write exploration backend: for every engine and every zoo
+// program, the undo-log backend, the legacy deep-snapshot backend and
+// pure replay (the DisableSnapshots ablation mode) must report
+// byte-identical Result counters. Between the two non-replay backends
+// even the Events total must match (neither re-executes a prefix).
+func TestBackendAblationExact(t *testing.T) {
+	engines := []struct {
+		eng   Engine
+		limit int
+	}{
+		{NewDFS(), 0},
+		{NewDPOR(false), 0},
+		{NewDPOR(true), 0},
+		{NewHBRCache(), 0},
+		{NewLazyHBRCache(), 0},
+		{NewLazyDPOR(), 0},
+		{NewPreemptionBounded(2), 0},
+		{NewPreemptionBoundedCache(2, true), 0},
+		{NewDelayBounded(2), 0},
+		{NewRandomWalk(11), 60},
+	}
+	for _, src := range soundnessZoo() {
+		src := src
+		t.Run(src.Name(), func(t *testing.T) {
+			for _, e := range engines {
+				mkOpt := func(b BackendKind) Options {
+					return Options{MaxSteps: 2000, ScheduleLimit: e.limit, Backend: b}
+				}
+				undo := e.eng.Explore(src, mkOpt(BackendUndo))
+				snap := e.eng.Explore(src, mkOpt(BackendSnapshot))
+				repl := e.eng.Explore(src, mkOpt(BackendReplay))
+				if got, want := countersOf(undo), countersOf(snap); got != want {
+					t.Errorf("%s: undo and snapshot backends disagree:\n undo=%+v\n snap=%+v",
+						e.eng.Name(), got, want)
+				}
+				if undo.Events != snap.Events {
+					t.Errorf("%s: undo executed %d events, snapshot %d (neither replays)",
+						e.eng.Name(), undo.Events, snap.Events)
+				}
+				if got, want := countersOf(undo), countersOf(repl); got != want {
+					t.Errorf("%s: undo and replay backends disagree:\n undo=%+v\n repl=%+v",
+						e.eng.Name(), got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestBackendResolution pins the backend-selection rules: auto resolves
+// to the undo log for snapshottable programs, DisableSnapshots forces
+// replay, and explicit requests are honoured.
+func TestBackendResolution(t *testing.T) {
+	src := curatedFigure1()
+	for _, tc := range []struct {
+		opt  Options
+		want BackendKind
+	}{
+		{Options{}, BackendUndo},
+		{Options{Backend: BackendUndo}, BackendUndo},
+		{Options{Backend: BackendSnapshot}, BackendSnapshot},
+		{Options{Backend: BackendReplay}, BackendReplay},
+		{Options{DisableSnapshots: true}, BackendReplay},
+		{Options{DisableSnapshots: true, Backend: BackendUndo}, BackendReplay},
+	} {
+		c := newCursor(src, tc.opt)
+		if c.backend != tc.want {
+			t.Errorf("options %+v resolved to backend %v, want %v", tc.opt, c.backend, tc.want)
+		}
+		c.close()
+	}
+}
+
 // TestLazyNeverCoarserThanStates double-checks the paper's central
 // claim quantitatively on programs designed to maximise mutex-induced
 // redundancy: the lazy HBR count equals the state count exactly when

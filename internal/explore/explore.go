@@ -19,6 +19,7 @@ package explore
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/event"
 	"repro/internal/exec"
@@ -41,8 +42,14 @@ type Options struct {
 	// counted as truncated.
 	MaxSteps int
 	// DisableSnapshots forces replay-based backtracking even for
-	// snapshotable programs (ablation knob).
+	// snapshotable programs (ablation knob; shorthand for
+	// Backend == BackendReplay).
 	DisableSnapshots bool
+	// Backend selects the cursor's backtracking implementation; see
+	// BackendKind. All backends are observationally identical — the
+	// ablation tests assert byte-identical Result counters — so the
+	// zero value (fastest supported) is right outside ablations.
+	Backend BackendKind
 	// SleepSets enables sleep sets in the DPOR engine.
 	SleepSets bool
 	// RecordStates retains the sorted set of distinct terminal state
@@ -77,6 +84,61 @@ type Options struct {
 	// token pool shared by concurrently running engine instances.
 	// Nil means no shared budget.
 	SharedBudget *Budget
+}
+
+// BackendKind names a cursor backtracking implementation.
+type BackendKind uint8
+
+const (
+	// BackendAuto picks the fastest supported backend: the undo log
+	// for snapshottable programs, replay otherwise.
+	BackendAuto BackendKind = iota
+	// BackendUndo rewinds the machine through its O(1)-per-step undo
+	// log and restores happens-before state from shallow
+	// copy-on-write tracker snapshots. Requires snapshottable
+	// coroutines; falls back to replay otherwise.
+	BackendUndo
+	// BackendSnapshot is the legacy backend: a deep machine snapshot
+	// stored at every depth (ablation baseline). Requires
+	// snapshottable coroutines; falls back to replay otherwise.
+	BackendSnapshot
+	// BackendReplay re-executes the retained prefix from the initial
+	// state on every backtrack. Works for every program, including
+	// goroutine-backed ones that cannot snapshot.
+	BackendReplay
+)
+
+// String names the backend.
+func (b BackendKind) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendUndo:
+		return "undo"
+	case BackendSnapshot:
+		return "snapshot"
+	case BackendReplay:
+		return "replay"
+	}
+	return fmt.Sprintf("backend(%d)", uint8(b))
+}
+
+// backend resolves the requested backend, honouring the legacy
+// DisableSnapshots spelling. Unknown kinds degrade to replay — the
+// backend that is correct for every program (and whose cleanup path
+// aborts live coroutines).
+func (o Options) backend() BackendKind {
+	if o.DisableSnapshots {
+		return BackendReplay
+	}
+	switch o.Backend {
+	case BackendAuto, BackendUndo:
+		return BackendUndo
+	case BackendSnapshot:
+		return BackendSnapshot
+	default:
+		return BackendReplay
+	}
 }
 
 func (o Options) maxSteps() int {
@@ -187,12 +249,10 @@ func (s tset) empty() bool               { return s == 0 }
 
 // first returns the lowest thread in s; s must be non-empty.
 func (s tset) first() event.ThreadID {
-	for t := 0; t < MaxThreads; t++ {
-		if s.has(event.ThreadID(t)) {
-			return event.ThreadID(t)
-		}
+	if s == 0 {
+		panic("explore: first of empty tset")
 	}
-	panic("explore: first of empty tset")
+	return event.ThreadID(bits.TrailingZeros64(uint64(s)))
 }
 
 func checkThreadCount(src model.Source) {
@@ -256,8 +316,14 @@ func (r *recorder) terminal(c *cursor) {
 	if r.dedup.AddLazy(c.tr.LazyFingerprint()) {
 		r.res.DistinctLazyHBRs++
 	}
-	if r.dedup.AddState(c.m.StateKey()) {
+	if r.dedup.AddState(c.m.StateSig()) {
 		r.res.DistinctStates++
+		if r.opt.RecordStates {
+			// The string key is rendered only for fresh states and
+			// only when the caller asked for the diagnostic set;
+			// the hot path deduplicates on the binary digest alone.
+			r.dedup.RecordStateKey(c.m.StateKey())
+		}
 	}
 
 	violation := ""
@@ -306,7 +372,7 @@ func (r *recorder) finish(c *cursor) Result {
 	return r.res
 }
 
-// snapPair is one stored exploration snapshot.
+// snapPair is one stored exploration snapshot (legacy backend).
 type snapPair struct {
 	m  *model.Machine
 	tr *hb.Tracker
@@ -314,18 +380,27 @@ type snapPair struct {
 
 // cursor is the engines' shared execution walker: it maintains one live
 // execution (machine + happens-before tracker + trace) and supports
-// truncation to an earlier depth, via state snapshots when the program
-// supports them and deterministic replay otherwise.
+// truncation to an earlier depth. Three backends implement the
+// truncation (see BackendKind): the machine undo log plus shallow
+// copy-on-write tracker snapshots (the default), legacy deep per-step
+// snapshots, and deterministic replay for programs that cannot
+// snapshot.
 type cursor struct {
 	src      model.Source
 	maxSteps int
-	useSnap  bool
+	backend  BackendKind // resolved: never BackendAuto
 
 	m       *model.Machine
 	tr      *hb.Tracker
 	trace   []event.Event
 	choices []event.ThreadID
-	snaps   []snapPair
+
+	// trSnaps[d] is the tracker state at depth d (undo backend). The
+	// machine itself rewinds through its undo log: with undo enabled
+	// every step appends exactly one record, so depth == undo mark.
+	trSnaps []*hb.Tracker
+	// snaps[d] is the deep snapshot at depth d (legacy backend).
+	snaps []snapPair
 
 	enabledBuf []event.ThreadID
 	events     int64
@@ -336,13 +411,22 @@ func newCursor(src model.Source, opt Options) *cursor {
 	c := &cursor{
 		src:      src,
 		maxSteps: opt.maxSteps(),
+		backend:  opt.backend(),
 		m:        model.NewMachine(src),
 		tr:       hb.NewTracker(src.NumThreads(), src.NumVars(), src.NumMutexes()),
 	}
-	if !opt.DisableSnapshots {
+	switch c.backend {
+	case BackendUndo:
+		if c.m.EnableUndo() {
+			c.trSnaps = append(c.trSnaps, c.tr.Clone())
+		} else {
+			c.backend = BackendReplay
+		}
+	case BackendSnapshot:
 		if snap, ok := c.m.Snapshot(); ok {
-			c.useSnap = true
 			c.snaps = append(c.snaps, snapPair{m: snap, tr: c.tr.Clone()})
+		} else {
+			c.backend = BackendReplay
 		}
 	}
 	return c
@@ -363,11 +447,16 @@ func (c *cursor) truncated() bool { return len(c.trace) >= c.maxSteps }
 // step executes thread t and folds the event into the trackers.
 func (c *cursor) step(t event.ThreadID) event.Event {
 	ev := c.m.Step(t)
-	c.tr.Apply(ev)
+	c.tr.ApplyFast(ev)
 	c.trace = append(c.trace, ev)
 	c.choices = append(c.choices, t)
 	c.events++
-	if c.useSnap {
+	switch c.backend {
+	case BackendUndo:
+		// The machine's undo log already covers this step; only the
+		// tracker needs a (shallow, copy-on-write) snapshot.
+		c.trSnaps = append(c.trSnaps, c.tr.Clone())
+	case BackendSnapshot:
 		snap, ok := c.m.Snapshot()
 		if !ok {
 			panic("explore: snapshot support vanished mid-exploration")
@@ -412,7 +501,15 @@ func (c *cursor) resetTo(d int) {
 	if d == len(c.trace) {
 		return
 	}
-	if c.useSnap {
+	switch c.backend {
+	case BackendUndo:
+		c.m.UndoTo(d)
+		// The stored tracker snapshot stays pristine for further
+		// resets to the same depth; the live tracker is a fresh
+		// shallow clone of it.
+		c.tr = c.trSnaps[d].Clone()
+		c.trSnaps = c.trSnaps[:d+1]
+	case BackendSnapshot:
 		base := c.snaps[d]
 		restored, ok := base.m.Snapshot()
 		if !ok {
@@ -421,13 +518,13 @@ func (c *cursor) resetTo(d int) {
 		c.m = restored
 		c.tr = base.tr.Clone()
 		c.snaps = c.snaps[:d+1]
-	} else {
+	default:
 		c.m.Abort()
 		c.m = model.NewMachine(c.src)
 		c.tr = hb.NewTracker(c.src.NumThreads(), c.src.NumVars(), c.src.NumMutexes())
 		for i := 0; i < d; i++ {
 			ev := c.m.Step(c.choices[i])
-			c.tr.Apply(ev)
+			c.tr.ApplyFast(ev)
 			c.events++
 		}
 	}
@@ -436,9 +533,68 @@ func (c *cursor) resetTo(d int) {
 }
 
 // close releases any external resources of the live execution; the
-// cursor must not be used afterwards.
+// cursor must not be used afterwards. Only the replay backend can hold
+// abortable (goroutine-backed) coroutines: the other backends require
+// snapshottable programs, which are self-contained by construction.
 func (c *cursor) close() {
-	if !c.useSnap {
+	if c.backend == BackendReplay {
 		c.m.Abort()
 	}
+}
+
+// slicePool recycles the per-node slice copies the stack-based engines
+// retain at every depth (enabled sets, branch costs), turning a steady
+// churn of small allocations into reuse of a few buffers. Pools are
+// engine-local, so no synchronisation is needed.
+type slicePool[T any] struct{ free [][]T }
+
+// copyOf returns a copy of src backed by a recycled buffer when one is
+// available.
+func (p *slicePool[T]) copyOf(src []T) []T {
+	return append(p.get(), src...)
+}
+
+// get returns an empty recycled buffer, or nil when the pool is empty.
+func (p *slicePool[T]) get() []T {
+	var buf []T
+	if n := len(p.free); n > 0 {
+		buf = p.free[n-1][:0]
+		p.free = p.free[:n-1]
+	}
+	return buf
+}
+
+// put returns a buffer to the pool.
+func (p *slicePool[T]) put(s []T) {
+	if cap(s) > 0 {
+		p.free = append(p.free, s[:0])
+	}
+}
+
+// tidPool is the pool of enabled-thread copies.
+type tidPool = slicePool[event.ThreadID]
+
+// nodePool recycles the per-depth node structs of the stack engines.
+// Callers re-initialise a recycled node before use.
+type nodePool[T any] struct{ free []*T }
+
+func (p *nodePool[T]) get() *T {
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free = p.free[:n-1]
+		return t
+	}
+	return new(T)
+}
+
+func (p *nodePool[T]) put(t *T) { p.free = append(p.free, t) }
+
+// grown returns s resized to length n, reallocating only when the
+// (possibly recycled) capacity is too small. Contents are unspecified;
+// callers overwrite or guard every entry they read.
+func grown[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
 }

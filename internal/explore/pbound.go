@@ -98,12 +98,24 @@ func (e *pboundEngine) Explore(src model.Source, opt Options) Result {
 		baseThread = opt.Prefix[base-1]
 	}
 
+	var tids tidPool
+	var ints slicePool[int]
+	var nodes nodePool[pbNode]
+
+	// freeNode returns a popped node's buffers to the pools.
+	freeNode := func(n *pbNode) {
+		tids.put(n.choices)
+		ints.put(n.costs)
+		nodes.put(n)
+	}
+
 	// makeNode computes the affordable choices at the current state.
 	// The non-preemptive continuation (the previous thread, if still
 	// enabled) is enumerated first, matching the CHESS search order.
 	makeNode := func(prev event.ThreadID, used int) *pbNode {
 		en := c.enabled()
-		n := &pbNode{used: used, prev: prev}
+		n := nodes.get()
+		*n = pbNode{used: used, prev: prev, choices: tids.get(), costs: ints.get()}
 		for _, t := range en {
 			if t == prev {
 				n.prevEnabled = true
@@ -157,6 +169,7 @@ func (e *pboundEngine) Explore(src model.Source, opt Options) Result {
 				// Enabled threads exist but all switches exceed
 				// the budget: the path is abandoned (counted
 				// like a sleep-blocked execution).
+				freeNode(n)
 				rec.res.SleepBlocked++
 				return !rec.schedule()
 			}
@@ -177,6 +190,7 @@ func (e *pboundEngine) Explore(src model.Source, opt Options) Result {
 		d := len(stack) - 1
 		n := stack[d]
 		if n.next >= len(n.choices) {
+			freeNode(n)
 			stack = stack[:d]
 			continue
 		}

@@ -23,6 +23,17 @@
 // fingerprints iff they have equal (lazy) HBRs (up to hash collision
 // over 128 bits). Fingerprints of every prefix are available, which is
 // what HBR caching and lazy HBR caching consume.
+//
+// # Copy-on-write clocks
+//
+// The tracker follows an immutable-after-publication discipline: every
+// clock reachable from tracker state (thread clocks, variable metadata,
+// mutex clocks, clocks returned by Apply) is never mutated again once
+// stored. Updates allocate a fresh clock — bump-allocated from an
+// internal arena, so the common case costs zero heap allocations — and
+// replace the reference. Published clocks can therefore be shared
+// freely: Clone copies O(threads+vars+mutexes) slice headers and no
+// clock contents, which is what makes snapshot-based exploration cheap.
 package hb
 
 import (
@@ -77,7 +88,9 @@ func (r Race) String() string {
 	return fmt.Sprintf("data race on v%d: %v vs %v", r.Var, r.Prev, r.Access)
 }
 
-// Clocks carries the per-event results of Tracker.Apply.
+// Clocks carries the per-event results of Tracker.Apply. The clocks are
+// shared with the tracker's internal state under the copy-on-write
+// discipline: they are immutable and must not be modified.
 type Clocks struct {
 	// HB is the event's regular happens-before vector clock.
 	HB vclock.VC
@@ -85,10 +98,46 @@ type Clocks struct {
 	Lazy vclock.VC
 }
 
+// clockArena bump-allocates fixed-width clocks from chunks. Chunks are
+// never reused or freed back: once a clock is published it stays
+// immutable, so its memory can only be reclaimed by the GC when the
+// whole execution is dropped. Chunk sizes double from a small start so
+// short-lived tracker clones (one per exploration backtrack) stay
+// cheap.
+type clockArena struct {
+	chunk []int32
+	next  int
+}
+
+// maxChunkInts caps chunk growth at 16 KiB per chunk.
+const maxChunkInts = 4096
+
+func (a *clockArena) alloc(n int) vclock.VC {
+	if len(a.chunk) < n {
+		size := a.next
+		if size < 4*n {
+			size = 4 * n
+		}
+		a.chunk = make([]int32, size)
+		a.next = size * 2
+		if a.next > maxChunkInts {
+			a.next = maxChunkInts
+		}
+	}
+	v := a.chunk[:n:n]
+	a.chunk = a.chunk[n:]
+	return vclock.VC(v)
+}
+
 // Tracker computes the three relations online. It is not safe for
 // concurrent use; explorations are single-threaded by construction.
 type Tracker struct {
-	nthreads int
+	nthreads, nvars, nmutexes int
+
+	// slab backs every clock-reference field below in one allocation,
+	// so Clone is a single copy. All clocks referenced from the slab
+	// are immutable (copy-on-write); only the references change.
+	slab []vclock.VC
 
 	// Per-thread clocks of the last executed event (bottom before
 	// the first event). For spawned threads these are seeded with
@@ -108,36 +157,51 @@ type Tracker struct {
 	// and sync relations. The lazy relation has no mutex state.
 	mHB, mSync []vclock.VC
 
-	// Last-access events per variable, for race reports.
+	// Last-access events per variable, for race reports; evSlab and
+	// hasSlab back the four views in one allocation each.
+	evSlab                  []event.Event
 	lastWriteEv, lastReadEv []event.Event
+	hasSlab                 []bool
 	hasWriteEv, hasReadEv   []bool
 
 	hbFP, lazyFP Fingerprint
 	races        []Race
 	events       int
+
+	arena clockArena
+}
+
+// carve derives the named views from the backing slabs.
+func (tr *Tracker) carve() {
+	s := tr.slab
+	take := func(n int) []vclock.VC {
+		out := s[:n:n]
+		s = s[n:]
+		return out
+	}
+	n, v, m := tr.nthreads, tr.nvars, tr.nmutexes
+	tr.hbT, tr.lazyT, tr.syncT = take(n), take(n), take(n)
+	tr.wHB, tr.rHB = take(v), take(v)
+	tr.wLazy, tr.rLazy = take(v), take(v)
+	tr.wSync, tr.rSync = take(v), take(v)
+	tr.mHB, tr.mSync = take(m), take(m)
+	tr.lastWriteEv, tr.lastReadEv = tr.evSlab[:v:v], tr.evSlab[v:]
+	tr.hasWriteEv, tr.hasReadEv = tr.hasSlab[:v:v], tr.hasSlab[v:]
 }
 
 // NewTracker creates a tracker for a program universe of the given
 // sizes.
 func NewTracker(nthreads, nvars, nmutexes int) *Tracker {
-	return &Tracker{
-		nthreads:    nthreads,
-		hbT:         make([]vclock.VC, nthreads),
-		lazyT:       make([]vclock.VC, nthreads),
-		syncT:       make([]vclock.VC, nthreads),
-		wHB:         make([]vclock.VC, nvars),
-		rHB:         make([]vclock.VC, nvars),
-		wLazy:       make([]vclock.VC, nvars),
-		rLazy:       make([]vclock.VC, nvars),
-		wSync:       make([]vclock.VC, nvars),
-		rSync:       make([]vclock.VC, nvars),
-		mHB:         make([]vclock.VC, nmutexes),
-		mSync:       make([]vclock.VC, nmutexes),
-		lastWriteEv: make([]event.Event, nvars),
-		lastReadEv:  make([]event.Event, nvars),
-		hasWriteEv:  make([]bool, nvars),
-		hasReadEv:   make([]bool, nvars),
+	tr := &Tracker{
+		nthreads: nthreads,
+		nvars:    nvars,
+		nmutexes: nmutexes,
+		slab:     make([]vclock.VC, 3*nthreads+6*nvars+2*nmutexes),
+		evSlab:   make([]event.Event, 2*nvars),
+		hasSlab:  make([]bool, 2*nvars),
 	}
+	tr.carve()
+	return tr
 }
 
 // Events returns the number of events applied so far.
@@ -175,16 +239,54 @@ func (tr *Tracker) HappensBeforeNext(e event.Event, p event.ThreadID) bool {
 	return tr.hbT[p].Get(int(e.Thread)) >= e.Index+1
 }
 
+// fresh returns a new unpublished full-width clock initialised to
+// parent (bottom if parent is nil/short).
+func (tr *Tracker) fresh(parent vclock.VC) vclock.VC {
+	v := tr.arena.alloc(tr.nthreads)
+	copy(v, parent)
+	return v
+}
+
+// joined returns a published clock equal to base ⊔ with. When base is
+// bottom the already-published with is shared directly (copy-on-write);
+// otherwise a fresh clock is built. with must be a published full-width
+// clock.
+func (tr *Tracker) joined(base, with vclock.VC) vclock.VC {
+	if len(base) == 0 {
+		return with
+	}
+	v := tr.fresh(base)
+	return v.Join(with)
+}
+
 // Apply folds one executed event into all three relations and returns
-// the event's regular and lazy clocks. The returned clocks are owned by
-// the caller.
+// the event's regular and lazy clocks. The returned clocks are shared,
+// immutable views of tracker state and must not be modified.
 func (tr *Tracker) Apply(ev event.Event) Clocks {
+	hb, lazy := tr.apply(ev)
+	return Clocks{HB: hb, Lazy: lazy}
+}
+
+// ApplyFast is Apply for callers that do not consume the per-event
+// clocks (the exploration hot path).
+func (tr *Tracker) ApplyFast(ev event.Event) { tr.apply(ev) }
+
+// apply computes the event's clocks on fresh arena storage, publishes
+// them into tracker state (sharing, never copying) and folds the event
+// into both fingerprints.
+func (tr *Tracker) apply(ev event.Event) (hbc, lazyc vclock.VC) {
 	t := int(ev.Thread)
 
-	// Start from the thread's program-order predecessor and tick.
-	hb := tr.hbT[t].Clone().Inc(t)
-	lazy := tr.lazyT[t].Clone().Inc(t)
-	sync := tr.syncT[t].Clone().Inc(t)
+	// Start from the thread's program-order predecessor and tick. The
+	// three clocks are unpublished until stored below, so in-place
+	// Join/increment is safe; all clocks are full-width, so Join never
+	// reallocates.
+	hb := tr.fresh(tr.hbT[t])
+	hb[t]++
+	lazy := tr.fresh(tr.lazyT[t])
+	lazy[t]++
+	sync := tr.fresh(tr.syncT[t])
+	sync[t]++
 
 	switch ev.Kind {
 	case event.KindRead:
@@ -194,9 +296,9 @@ func (tr *Tracker) Apply(ev event.Event) Clocks {
 		if tr.hasWriteEv[v] && !tr.wSync[v].Leq(sync) {
 			tr.races = append(tr.races, Race{Var: v, Access: ev, Prev: tr.lastWriteEv[v]})
 		}
-		tr.rHB[v] = tr.rHB[v].Join(hb)
-		tr.rLazy[v] = tr.rLazy[v].Join(lazy)
-		tr.rSync[v] = tr.rSync[v].Join(sync)
+		tr.rHB[v] = tr.joined(tr.rHB[v], hb)
+		tr.rLazy[v] = tr.joined(tr.rLazy[v], lazy)
+		tr.rSync[v] = tr.joined(tr.rSync[v], sync)
 		tr.lastReadEv[v] = ev
 		tr.hasReadEv[v] = true
 
@@ -209,11 +311,11 @@ func (tr *Tracker) Apply(ev event.Event) Clocks {
 		} else if tr.hasReadEv[v] && !tr.rSync[v].Leq(sync) {
 			tr.races = append(tr.races, Race{Var: v, Access: ev, Prev: tr.lastReadEv[v]})
 		}
-		tr.wHB[v] = hb.Clone()
+		tr.wHB[v] = hb
 		tr.rHB[v] = nil
-		tr.wLazy[v] = lazy.Clone()
+		tr.wLazy[v] = lazy
 		tr.rLazy[v] = nil
-		tr.wSync[v] = sync.Clone()
+		tr.wSync[v] = sync
 		tr.rSync[v] = nil
 		tr.lastWriteEv[v] = ev
 		tr.hasWriteEv[v] = true
@@ -226,16 +328,16 @@ func (tr *Tracker) Apply(ev event.Event) Clocks {
 		// lazy HBR.
 		hb = hb.Join(tr.mHB[mu])
 		sync = sync.Join(tr.mSync[mu])
-		tr.mHB[mu] = hb.Clone()
-		tr.mSync[mu] = sync.Clone()
+		tr.mHB[mu] = hb
+		tr.mSync[mu] = sync
 
 	case event.KindSpawn:
 		// The child's first event must order after this spawn, in
 		// all three relations (spawn edges are not mutex edges).
 		c := int(ev.Obj)
-		tr.hbT[c] = tr.hbT[c].Join(hb)
-		tr.lazyT[c] = tr.lazyT[c].Join(lazy)
-		tr.syncT[c] = tr.syncT[c].Join(sync)
+		tr.hbT[c] = tr.joined(tr.hbT[c], hb)
+		tr.lazyT[c] = tr.joined(tr.lazyT[c], lazy)
+		tr.syncT[c] = tr.joined(tr.syncT[c], sync)
 
 	case event.KindJoin:
 		c := int(ev.Obj)
@@ -255,7 +357,7 @@ func (tr *Tracker) Apply(ev event.Event) Clocks {
 	tr.lazyFP.Add(eventHash(ev, lazy))
 	tr.events++
 
-	return Clocks{HB: hb.Clone(), Lazy: lazy.Clone()}
+	return hb, lazy
 }
 
 // eventHash hashes an HBR node: its schedule-independent label
@@ -286,38 +388,26 @@ func eventHash(ev event.Event, vc vclock.VC) uint64 {
 	return h ^ mix64(vc.Hash())
 }
 
-// Clone returns a deep copy of the tracker, enabling snapshot-based
-// exploration.
+// Clone returns an independent copy of the tracker, enabling
+// snapshot-based exploration. Under the copy-on-write discipline only
+// clock *references* are copied — O(threads+vars+mutexes) header
+// copies in three slab allocations, no clock contents — so cloning at
+// every exploration step is cheap. The clone allocates future clocks
+// from its own fresh arena; shared published clocks are never mutated
+// by either side.
 func (tr *Tracker) Clone() *Tracker {
 	cp := &Tracker{
-		nthreads:    tr.nthreads,
-		hbT:         cloneVCs(tr.hbT),
-		lazyT:       cloneVCs(tr.lazyT),
-		syncT:       cloneVCs(tr.syncT),
-		wHB:         cloneVCs(tr.wHB),
-		rHB:         cloneVCs(tr.rHB),
-		wLazy:       cloneVCs(tr.wLazy),
-		rLazy:       cloneVCs(tr.rLazy),
-		wSync:       cloneVCs(tr.wSync),
-		rSync:       cloneVCs(tr.rSync),
-		mHB:         cloneVCs(tr.mHB),
-		mSync:       cloneVCs(tr.mSync),
-		lastWriteEv: append([]event.Event(nil), tr.lastWriteEv...),
-		lastReadEv:  append([]event.Event(nil), tr.lastReadEv...),
-		hasWriteEv:  append([]bool(nil), tr.hasWriteEv...),
-		hasReadEv:   append([]bool(nil), tr.hasReadEv...),
-		hbFP:        tr.hbFP,
-		lazyFP:      tr.lazyFP,
-		races:       append([]Race(nil), tr.races...),
-		events:      tr.events,
+		nthreads: tr.nthreads,
+		nvars:    tr.nvars,
+		nmutexes: tr.nmutexes,
+		slab:     append([]vclock.VC(nil), tr.slab...),
+		evSlab:   append([]event.Event(nil), tr.evSlab...),
+		hasSlab:  append([]bool(nil), tr.hasSlab...),
+		hbFP:     tr.hbFP,
+		lazyFP:   tr.lazyFP,
+		races:    append([]Race(nil), tr.races...),
+		events:   tr.events,
 	}
+	cp.carve()
 	return cp
-}
-
-func cloneVCs(in []vclock.VC) []vclock.VC {
-	out := make([]vclock.VC, len(in))
-	for i, v := range in {
-		out[i] = v.Clone()
-	}
-	return out
 }

@@ -315,6 +315,81 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
+// TestApplyFastMatchesApply: the engines' no-result path must leave the
+// tracker in exactly the state the recording path produces.
+func TestApplyFastMatchesApply(t *testing.T) {
+	events := []event.Event{
+		ev(0, 0, event.Op{Kind: event.KindSpawn, Obj: 1}),
+		ev(0, 1, lk(0)),
+		ev(0, 2, wr(0, 1)),
+		ev(0, 3, ul(0)),
+		ev(1, 0, rd(0)),
+		ev(1, 1, wr(1, 2)),
+		ev(0, 4, event.Op{Kind: event.KindJoin, Obj: 1}),
+		ev(0, 5, rd(1)),
+	}
+	a := NewTracker(2, 2, 1)
+	b := NewTracker(2, 2, 1)
+	for _, e := range events {
+		a.Apply(e)
+		b.ApplyFast(e)
+	}
+	if a.HBFingerprint() != b.HBFingerprint() || a.LazyFingerprint() != b.LazyFingerprint() {
+		t.Fatal("ApplyFast diverged from Apply on fingerprints")
+	}
+	if a.Events() != b.Events() || len(a.Races()) != len(b.Races()) {
+		t.Fatal("ApplyFast diverged from Apply on counters")
+	}
+	for tid := 0; tid < 2; tid++ {
+		p := event.ThreadID(tid)
+		if !a.ThreadClock(p).Equal(b.ThreadClock(p)) || !a.LazyThreadClock(p).Equal(b.LazyThreadClock(p)) {
+			t.Fatalf("thread %d clocks diverged", tid)
+		}
+	}
+}
+
+// TestCloneSnapshotStability mimics the exploration backend: clones
+// taken at every prefix must stay frozen while the original advances,
+// and re-applying the suffix to any clone must reproduce the original
+// run exactly — the copy-on-write contract.
+func TestCloneSnapshotStability(t *testing.T) {
+	events := []event.Event{
+		ev(0, 0, lk(0)),
+		ev(0, 1, wr(0, 1)),
+		ev(1, 0, wr(1, 5)),
+		ev(0, 2, ul(0)),
+		ev(1, 1, lk(0)),
+		ev(1, 2, rd(0)),
+		ev(1, 3, ul(0)),
+		ev(0, 3, rd(1)),
+	}
+	tr := NewTracker(2, 2, 1)
+	var clones []*Tracker
+	var hbFPs, lazyFPs []Fingerprint
+	clones = append(clones, tr.Clone())
+	hbFPs = append(hbFPs, tr.HBFingerprint())
+	lazyFPs = append(lazyFPs, tr.LazyFingerprint())
+	for _, e := range events {
+		tr.Apply(e)
+		clones = append(clones, tr.Clone())
+		hbFPs = append(hbFPs, tr.HBFingerprint())
+		lazyFPs = append(lazyFPs, tr.LazyFingerprint())
+	}
+	for d, cp := range clones {
+		if cp.Events() != d || cp.HBFingerprint() != hbFPs[d] || cp.LazyFingerprint() != lazyFPs[d] {
+			t.Fatalf("clone at depth %d drifted while the original advanced", d)
+		}
+		// Clones of clones continue independently: replay the suffix.
+		re := cp.Clone()
+		for _, e := range events[d:] {
+			re.ApplyFast(e)
+		}
+		if re.HBFingerprint() != tr.HBFingerprint() || re.LazyFingerprint() != tr.LazyFingerprint() {
+			t.Fatalf("suffix replay from depth %d did not reproduce the run", d)
+		}
+	}
+}
+
 // TestThreadClockAccessors checks the clock views engines use.
 func TestThreadClockAccessors(t *testing.T) {
 	tr := NewTracker(2, 1, 1)

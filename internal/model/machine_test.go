@@ -1,6 +1,7 @@
 package model
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -314,6 +315,186 @@ func TestSnapshotIndependence(t *testing.T) {
 	}
 	if m.Load(0) != 1 {
 		t.Fatalf("original run disturbed: store=%d, want 1", m.Load(0))
+	}
+}
+
+// TestUndoRewindsEveryEffect drives a program exercising every effect
+// class a Step can have — store writes, lock/unlock ownership, spawn,
+// join, failures — and checks that UndoTo restores the exact machine
+// state (per StateKey, StateSig, pending ops and counters) at every
+// intermediate depth.
+func TestUndoRewindsEveryEffect(t *testing.T) {
+	src := &scriptSource{
+		name: "undo", vars: 2, mutexes: 1,
+		threads: [][]event.Op{
+			{sp(1), wr(0, 7), lk(0), ul(0), jn(1), as(0)},
+			{rd(0), wr(1, 3), ul(0)}, // final unlock is a lock-misuse failure
+		},
+		initial: []event.ThreadID{0},
+	}
+	m := NewMachine(src)
+	if !m.EnableUndo() {
+		t.Fatal("script coroutines are snapshotable; undo must enable")
+	}
+
+	type probe struct {
+		key      string
+		sig      StateSig
+		executed int
+	}
+	var probes []probe
+	snapshot := func() probe {
+		return probe{key: m.StateKey(), sig: m.StateSig(), executed: m.Executed()}
+	}
+	probes = append(probes, snapshot())
+	var choices []event.ThreadID
+	for {
+		en := m.EnabledThreads(nil)
+		if len(en) == 0 {
+			break
+		}
+		// Deterministic round-robin over enabled threads.
+		tid := en[len(choices)%len(en)]
+		m.Step(tid)
+		choices = append(choices, tid)
+		probes = append(probes, snapshot())
+	}
+	if len(m.Failures()) == 0 {
+		t.Fatal("the script must end with failures (assert + lock misuse)")
+	}
+	final := snapshot()
+
+	// Rewind to every depth, verify, then re-execute the identical
+	// suffix and verify the terminal state is reproduced.
+	for d := len(choices); d >= 0; d-- {
+		m.UndoTo(d)
+		if got := snapshot(); got != probes[d] {
+			t.Fatalf("undo to depth %d: state %+v, want %+v", d, got, probes[d])
+		}
+	}
+	for i, tid := range choices {
+		m.Step(tid)
+		if got := snapshot(); got != probes[i+1] {
+			t.Fatalf("redo step %d: state %+v, want %+v", i, got, probes[i+1])
+		}
+	}
+	if got := snapshot(); got != final {
+		t.Fatalf("redo terminal state %+v, want %+v", got, final)
+	}
+}
+
+// TestUndoMatchesSnapshot cross-validates the undo log against deep
+// snapshots on random well-formed programs: after random interleaved
+// runs of step/undo, the machine must agree with a snapshot taken at
+// the rewind target.
+func TestUndoMatchesSnapshot(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		src := genScript(r)
+		m := NewMachine(src)
+		if !m.EnableUndo() {
+			t.Fatal("script coroutines must support undo")
+		}
+		type point struct {
+			snap *Machine
+			mark int
+		}
+		var points []point
+		for i := 0; i < 40; i++ {
+			en := m.EnabledThreads(nil)
+			if len(en) == 0 {
+				break
+			}
+			if r.Intn(4) == 0 {
+				snap, ok := m.Snapshot()
+				if !ok {
+					t.Fatal("snapshot must succeed")
+				}
+				points = append(points, point{snap: snap, mark: m.UndoMark()})
+			}
+			if len(points) > 0 && r.Intn(6) == 0 {
+				p := points[r.Intn(len(points))]
+				m.UndoTo(p.mark)
+				if m.StateKey() != p.snap.StateKey() || m.StateSig() != p.snap.StateSig() {
+					t.Fatalf("seed %d: undo diverged from snapshot:\n undo=%s\n snap=%s",
+						seed, m.StateKey(), p.snap.StateKey())
+				}
+				// Drop points above the rewind target.
+				kept := points[:0]
+				for _, q := range points {
+					if q.mark <= p.mark {
+						kept = append(kept, q)
+					}
+				}
+				points = kept
+				continue
+			}
+			m.Step(en[r.Intn(len(en))])
+		}
+	}
+}
+
+// TestEnableUndoRejectsOpaqueCoroutines: programs whose coroutines
+// cannot snapshot must be refused, leaving the machine in plain mode.
+func TestEnableUndoRejectsOpaqueCoroutines(t *testing.T) {
+	src := &opaqueSource{scriptSource{
+		name: "opaque", vars: 1,
+		threads: [][]event.Op{{wr(0, 1)}},
+		initial: allThreads(1),
+	}}
+	m := NewMachine(src)
+	if m.EnableUndo() {
+		t.Fatal("EnableUndo must reject non-snapshottable coroutines")
+	}
+	m.Step(0) // must not panic: undo was never enabled
+	if m.UndoMark() != 0 {
+		t.Fatal("no undo records must be written in plain mode")
+	}
+}
+
+// opaqueSource wraps scriptSource with coroutines that hide Snapshot.
+type opaqueSource struct{ scriptSource }
+
+type opaqueCoroutine struct{ Coroutine }
+
+func (s *opaqueSource) Start(t event.ThreadID) Coroutine {
+	return &opaqueCoroutine{s.scriptSource.Start(t)}
+}
+
+// TestStateSigAgreesWithKey: equal keys imply equal signatures and
+// (collision-negligibly) different keys imply different signatures.
+func TestStateSigAgreesWithKey(t *testing.T) {
+	mk := func(x int64, fail bool) *Machine {
+		ops := []event.Op{wr(0, x)}
+		if fail {
+			ops = append(ops, as(0))
+		}
+		src := &scriptSource{
+			name: "sig", vars: 1,
+			threads: [][]event.Op{ops},
+			initial: allThreads(1),
+		}
+		m := NewMachine(src)
+		for {
+			en := m.EnabledThreads(nil)
+			if len(en) == 0 {
+				return m
+			}
+			m.Step(en[0])
+		}
+	}
+	a, b, c, d := mk(1, false), mk(1, false), mk(2, false), mk(1, true)
+	if a.StateSig() != b.StateSig() {
+		t.Error("identical states must have identical signatures")
+	}
+	if a.StateSig() == c.StateSig() {
+		t.Error("different stores must produce different signatures")
+	}
+	if a.StateSig() == d.StateSig() {
+		t.Error("failures must be part of the signature")
+	}
+	if a.StateSig().String() == "" {
+		t.Error("signature must render")
 	}
 }
 

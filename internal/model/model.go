@@ -151,6 +151,26 @@ type Machine struct {
 	havePend []bool
 	failures []Failure
 	executed int
+
+	// undo is the reversal log recorded when undoEnabled: one O(1)
+	// record per Step, letting UndoTo rewind the machine in place
+	// instead of restoring a deep snapshot.
+	undo        []undoRec
+	undoEnabled bool
+}
+
+// undoRec captures everything one Step mutates. Machine-level effects
+// (store cell, mutex owner, statuses, counters) are plain old values;
+// the only per-step copy is the stepping thread's coroutine state,
+// which is cheap by design (pc + locals for progdsl interpreters).
+type undoRec struct {
+	t       event.ThreadID
+	spawned event.ThreadID // thread started by this step, or NoOwner
+	op      event.Op       // t's pending operation before the step
+	cor     Coroutine      // t's coroutine state before Resume
+	oldVal  int64          // overwritten store value (KindWrite)
+	oldOwn  event.ThreadID // previous mutex owner (KindLock/KindUnlock)
+	nfail   int32          // len(failures) before the step
 }
 
 // NewMachine creates a machine at the initial state of src.
@@ -305,6 +325,28 @@ func (m *Machine) Step(t event.ThreadID) event.Event {
 		panic(fmt.Sprintf("model: Step(%d) on non-enabled thread (status=%v)", t, m.status[t]))
 	}
 	op := m.pending[t]
+	var rec *undoRec
+	if m.undoEnabled {
+		s, ok := m.cor[t].(Snapshottable)
+		if !ok {
+			panic("model: undo-logged Step on a non-snapshottable coroutine")
+		}
+		m.undo = append(m.undo, undoRec{
+			t:       t,
+			spawned: NoOwner,
+			op:      op,
+			cor:     s.Snapshot(),
+			oldOwn:  NoOwner,
+			nfail:   int32(len(m.failures)),
+		})
+		rec = &m.undo[len(m.undo)-1]
+		switch op.Kind {
+		case event.KindWrite:
+			rec.oldVal = m.store[op.Obj]
+		case event.KindLock, event.KindUnlock:
+			rec.oldOwn = m.owner[op.Obj]
+		}
+	}
 	var result int64
 	switch op.Kind {
 	case event.KindRead:
@@ -324,6 +366,9 @@ func (m *Machine) Step(t event.ThreadID) event.Event {
 			m.fail(t, FailSpawnMisuse, fmt.Sprintf("spawn of already-started thread t%d", c))
 		} else {
 			m.startThread(c)
+			if rec != nil {
+				rec.spawned = c
+			}
 		}
 	case event.KindJoin:
 		// Enabledness already guarantees the target is Done.
@@ -361,7 +406,8 @@ func (m *Machine) Abort() {
 }
 
 // Snapshot returns a deep copy of the machine, or ok=false if any live
-// coroutine does not support snapshotting.
+// coroutine does not support snapshotting. The copy starts with an
+// empty undo log and undo recording disabled.
 func (m *Machine) Snapshot() (*Machine, bool) {
 	cp := &Machine{
 		src:      m.src,
@@ -386,6 +432,65 @@ func (m *Machine) Snapshot() (*Machine, bool) {
 		cp.cor[t] = s.Snapshot()
 	}
 	return cp, true
+}
+
+// EnableUndo switches the machine to record an undo log: every Step
+// appends one O(1) reversal record and UndoTo rewinds the machine in
+// place, replacing deep per-step snapshots on the exploration hot
+// path. It reports false (and records nothing) when a live coroutine
+// does not support snapshotting — such programs must be explored by
+// replay. Threads spawned later must be snapshottable too; Step panics
+// otherwise, mirroring Snapshot-based exploration.
+func (m *Machine) EnableUndo() bool {
+	for t, c := range m.cor {
+		if m.status[t] != Running || c == nil {
+			continue
+		}
+		if _, ok := c.(Snapshottable); !ok {
+			return false
+		}
+	}
+	m.undoEnabled = true
+	return true
+}
+
+// UndoMark returns the current position in the undo log. With undo
+// enabled every Step appends exactly one record, so the mark equals
+// Executed().
+func (m *Machine) UndoMark() int { return len(m.undo) }
+
+// UndoTo rewinds the machine to the state it had at mark (a value
+// previously returned by UndoMark), popping reversal records in LIFO
+// order.
+func (m *Machine) UndoTo(mark int) {
+	if mark > len(m.undo) {
+		panic(fmt.Sprintf("model: UndoTo(%d) beyond undo log length %d", mark, len(m.undo)))
+	}
+	for len(m.undo) > mark {
+		r := &m.undo[len(m.undo)-1]
+		switch r.op.Kind {
+		case event.KindWrite:
+			m.store[r.op.Obj] = r.oldVal
+		case event.KindLock, event.KindUnlock:
+			m.owner[r.op.Obj] = r.oldOwn
+		}
+		if r.spawned != NoOwner {
+			c := r.spawned
+			m.status[c] = NotStarted
+			m.cor[c] = nil
+			m.havePend[c] = false
+		}
+		t := r.t
+		m.status[t] = Running
+		m.cor[t] = r.cor
+		m.pending[t] = r.op
+		m.havePend[t] = true
+		m.steps[t]--
+		m.executed--
+		m.failures = m.failures[:r.nfail]
+		r.cor = nil // release the snapshot reference
+		m.undo = m.undo[:len(m.undo)-1]
+	}
 }
 
 // sortedFailures returns the failures in a canonical order — by
@@ -423,18 +528,34 @@ func (m *Machine) StateKey() string {
 	return b.String()
 }
 
-// StateHash folds StateKey's content into a 64-bit FNV-1a digest
-// without allocating the string.
-func (m *Machine) StateHash() uint64 {
-	const prime = 1099511628211
-	h := uint64(14695981039346656037)
-	mix := func(x uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= x & 0xff
-			h *= prime
-			x >>= 8
-		}
-	}
+// StateSig is a 128-bit binary digest of a machine state: two
+// decorrelated 64-bit streams over the same canonical encoding that
+// StateKey renders. Equal states always have equal signatures;
+// distinct states collide with probability ~2⁻¹²⁸, which the
+// exploration engines' distinct-state sets treat as never. It is the
+// allocation-free hot-path replacement for string StateKeys.
+type StateSig [2]uint64
+
+// String renders the signature in hex.
+func (s StateSig) String() string { return fmt.Sprintf("%016x-%016x", s[0], s[1]) }
+
+// splitmix64 is the splitmix64 finalizer, used to decorrelate the
+// second signature stream from the first.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// digestState feeds the canonical state encoding — shared store, mutex
+// owners, thread statuses and canonically ordered failures — to mix,
+// one word at a time. It is the single walker behind StateHash and
+// StateSig, so the two digests can never drift apart on what "state"
+// means.
+func (m *Machine) digestState(mix func(uint64)) {
 	for _, v := range m.store {
 		mix(uint64(v))
 	}
@@ -448,9 +569,45 @@ func (m *Machine) StateHash() uint64 {
 	for _, f := range m.sortedFailures() {
 		mix(uint64(uint32(f.Thread)))
 		mix(uint64(uint32(f.Index)))
+		mix(uint64(f.Kind))
 		for i := 0; i < len(f.Msg); i++ {
 			mix(uint64(f.Msg[i]))
 		}
 	}
+}
+
+// StateSig digests the current machine state into 128 bits without
+// allocating.
+func (m *Machine) StateSig() StateSig {
+	const (
+		offset1 = 14695981039346656037
+		offset2 = 0x6c62272e07bb0142
+		prime   = 1099511628211
+	)
+	h1, h2 := uint64(offset1), uint64(offset2)
+	m.digestState(func(x uint64) {
+		y := splitmix64(x)
+		for i := 0; i < 8; i++ {
+			h1 = (h1 ^ (x & 0xff)) * prime
+			h2 = (h2 ^ (y & 0xff)) * prime
+			x >>= 8
+			y >>= 8
+		}
+	})
+	return StateSig{h1, h2}
+}
+
+// StateHash folds the canonical state encoding into a 64-bit FNV-1a
+// digest without allocating the StateKey string.
+func (m *Machine) StateHash() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	m.digestState(func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime
+			x >>= 8
+		}
+	})
 	return h
 }

@@ -5,6 +5,17 @@
 // The zero-length VC is a valid clock that is ≤ every other clock; all
 // operations tolerate operands of different lengths by treating missing
 // entries as zero.
+//
+// # Immutable-after-publication discipline
+//
+// The mutating operations (Set, Inc, Join) exist for *building* a clock
+// that no one else can see yet. Once a clock is published — stored into
+// shared state, returned to a caller, or captured by a snapshot — it
+// must never be mutated again. Under that discipline published clocks
+// are shared by reference, never deep-copied: tracker clones, per-event
+// result clocks and exploration snapshots all alias the same immutable
+// backing arrays. Clone remains available for the rare consumer that
+// genuinely needs a private mutable copy.
 package vclock
 
 import "fmt"
