@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race ci bench bench-smoke bench-json fmt vet eval
+.PHONY: build test race ci bench bench-smoke bench-json fuzz-smoke fmt vet eval
 
 build:
 	$(GO) build ./...
@@ -40,11 +40,23 @@ bench:
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -short -run '^$$' .
 
+# Discover every native fuzz target and run each for FUZZTIME — the CI
+# fuzz-smoke job. Open-ended local sessions: go test -fuzz <target>
+# -fuzztime 10m <pkg>.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	@for pkg in $$($(GO) list ./...); do \
+		for target in $$($(GO) test -list '^Fuzz' $$pkg 2>/dev/null | grep '^Fuzz' || true); do \
+			echo "== $$pkg $$target ($(FUZZTIME)) =="; \
+			$(GO) test -fuzz "^$$target$$" -fuzztime $(FUZZTIME) -run '^$$' $$pkg || exit 1; \
+		done; \
+	done
+
 # Headline hot-path benchmarks, filtered to the ones tracked in the
 # perf trajectory, rendered as a machine-readable JSON artifact
 # (BENCH_PR2.json and successors; see cmd/benchjson).
-BENCH_JSON ?= BENCH_PR2.json
-BENCH_FILTER ?= BenchmarkTracker$$|BenchmarkVClock/|BenchmarkExecutor$$|BenchmarkEngine/|BenchmarkSnapshotVsReplay/
+BENCH_JSON ?= BENCH_PR3.json
+BENCH_FILTER ?= BenchmarkTracker$$|BenchmarkVClock/|BenchmarkExecutor$$|BenchmarkEngine/|BenchmarkSnapshotVsReplay/|BenchmarkWorkStealDPOR/
 # Two steps (not a pipe) so a failing benchmark run fails the target
 # instead of silently producing an empty artifact.
 bench-json:

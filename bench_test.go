@@ -236,6 +236,45 @@ func BenchmarkParallelExplore(b *testing.B) {
 	})
 }
 
+// BenchmarkWorkStealDPOR is the headline artifact of the work-stealing
+// engine: one exhaustible benchmark explored by sequential DPOR, the
+// static-partition parallel DPOR it replaces, and the work-stealing
+// engine at 1–8 workers. The schedules metric shows the reduction —
+// the static partition over-explores (schedules > sequential), the
+// work-stealing engine matches sequential DPOR exactly at every worker
+// count — while ns/op shows the wall-clock scaling.
+func BenchmarkWorkStealDPOR(b *testing.B) {
+	bm := mustBench(b, "synth-10")
+	opt := explore.Options{MaxSteps: 2000}
+	b.Run("dpor-sequential", func(b *testing.B) {
+		var last explore.Result
+		for i := 0; i < b.N; i++ {
+			last = explore.NewDPOR(false).Explore(bm.Program, opt)
+		}
+		b.ReportMetric(float64(last.Schedules), "schedules")
+	})
+	b.Run("pdpor-static-workers=4", func(b *testing.B) {
+		var last explore.Result
+		for i := 0; i < b.N; i++ {
+			last = campaign.ParallelDPORStatic(bm.Program, opt, 4)
+		}
+		b.ReportMetric(float64(last.Schedules), "schedules")
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("pdpor-workers=%d", workers), func(b *testing.B) {
+			var last explore.Result
+			for i := 0; i < b.N; i++ {
+				last = campaign.ParallelDPOR(bm.Program, opt, workers)
+			}
+			b.ReportMetric(float64(last.Schedules), "schedules")
+			if last.Steal != nil {
+				b.ReportMetric(float64(last.Steal.Units), "units")
+			}
+		})
+	}
+}
+
 // BenchmarkSnapshotVsReplay measures the exploration-backend ablation:
 // the default undo-log backend ("snapshot", name kept stable across
 // the perf trajectory) against the legacy deep-snapshot backend and

@@ -160,9 +160,21 @@ func runCampaign(ctx context.Context, selected []bench.Benchmark, engineList str
 				fmt.Fprintf(stdout, "%-24s %-18s ERROR %s\n", r.Cell.Bench, r.Cell.Engine, r.Err)
 				return
 			}
-			fmt.Fprintf(stdout, "%-24s %-18s schedules=%-7d hbrs=%-6d lazy=%-6d states=%-6d limit=%-5v %dms\n",
+			suffix := ""
+			if s := r.Result.Steal; s != nil {
+				suffix = fmt.Sprintf(" steal[w=%d units=%d donated=%d escaped=%d stolen=%d]",
+					s.Workers, s.Units, s.Donated, s.Escaped, s.Steals)
+			}
+			if r.Cancelled {
+				if r.Result.Interrupted {
+					suffix += " CANCELLED (partial)"
+				} else {
+					suffix += " CANCELLED (never started)"
+				}
+			}
+			fmt.Fprintf(stdout, "%-24s %-18s schedules=%-7d hbrs=%-6d lazy=%-6d states=%-6d limit=%-5v %dms%s\n",
 				r.Cell.Bench, r.Cell.Engine, r.Result.Schedules, r.Result.DistinctHBRs,
-				r.Result.DistinctLazyHBRs, r.Result.DistinctStates, r.Result.HitLimit, r.ElapsedMS)
+				r.Result.DistinctLazyHBRs, r.Result.DistinctStates, r.Result.HitLimit, r.ElapsedMS, suffix)
 		}
 	}
 	start := time.Now()

@@ -110,6 +110,53 @@ func TestCampaignJSONFeedsFigures(t *testing.T) {
 	}
 }
 
+// TestCampaignStealStats: the work-stealing pdpor engine is selectable
+// from the CLI next to its static baseline, its steal statistics
+// survive the JSON stream, and the human-readable table renders them.
+func TestCampaignStealStats(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-fig", "campaign",
+		"-bench", "counter-racy-2x2",
+		"-engines", "pdpor:4,pdpor-static:4",
+		"-maxsteps", "2000",
+		"-json", "-quiet",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("eval exited %d\nstderr: %s", code, stderr.String())
+	}
+	results, err := campaign.ReadJSONL(&stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byEngine := map[campaign.EngineSpec]campaign.CellResult{}
+	for _, r := range results {
+		byEngine[r.Cell.Engine] = r
+	}
+	ws := byEngine["pdpor:4"]
+	if ws.Result.Steal == nil || ws.Result.Steal.Workers != 4 || ws.Result.Steal.Units < 1 {
+		t.Errorf("work-stealing cell lost its steal stats: %+v", ws.Result.Steal)
+	}
+	if st := byEngine["pdpor-static:4"]; st.Result.Steal != nil {
+		t.Errorf("static baseline unexpectedly reports steal stats: %+v", st.Result.Steal)
+	}
+
+	var table bytes.Buffer
+	code = run([]string{
+		"-fig", "campaign",
+		"-bench", "counter-racy-2x2",
+		"-engines", "pdpor:2",
+		"-maxsteps", "2000",
+		"-quiet",
+	}, &table, &stderr)
+	if code != 0 {
+		t.Fatalf("eval exited %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(table.String(), "steal[w=2") {
+		t.Errorf("table output missing steal stats:\n%s", table.String())
+	}
+}
+
 // TestBadFlags: unknown engines and empty selections exit non-zero.
 func TestBadFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer

@@ -50,8 +50,15 @@ type CellResult struct {
 	Result explore.Result `json:"result"`
 	// ElapsedMS is the cell's wall-clock cost in milliseconds.
 	ElapsedMS int64 `json:"elapsed_ms"`
+	// Cancelled marks a cell the campaign context ended: either
+	// mid-cell — Result then holds the partial counters the engine
+	// had accumulated (Result.Interrupted is set) — or before the
+	// cell started, in which case Result is empty. Either way the
+	// cell is flushed to the stream instead of silently dropped, so a
+	// consumer can tell "never ran" from "ran partially" from "done".
+	Cancelled bool `json:"cancelled,omitempty"`
 	// Err describes a cell-level failure (unknown benchmark, bad
-	// engine spec, invariant violation).
+	// engine spec, invalid options, invariant violation).
 	Err string `json:"error,omitempty"`
 }
 
@@ -88,10 +95,19 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]CellResult, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(cells) || ctx.Err() != nil {
+				if i >= len(cells) {
 					return
 				}
-				res := runCell(ctx, i, cells[i])
+				var res CellResult
+				if ctx.Err() != nil {
+					// The campaign was cancelled before this cell
+					// started: flush a marker line rather than leaving
+					// a hole in the stream and a zero value in the
+					// returned slice.
+					res = CellResult{Index: i, Cell: cells[i], Cancelled: true}
+				} else {
+					res = runCell(ctx, i, cells[i])
+				}
 				out[i] = res
 				if r.OnResult != nil {
 					emitMu.Lock()
@@ -122,12 +138,23 @@ func runCell(ctx context.Context, index int, c Cell) (out CellResult) {
 		out.Err = err.Error()
 		return out
 	}
-	out.Result = eng.Explore(bm.Program, explore.Options{
+	opt := explore.Options{
 		ScheduleLimit: c.ScheduleLimit,
 		MaxSteps:      c.MaxSteps,
 		RecordStates:  c.RecordStates,
 		Ctx:           ctx,
-	})
+	}
+	if err := opt.Validate(); err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.Result = eng.Explore(bm.Program, opt)
+	if out.Result.Interrupted {
+		// Mid-cell cancellation: keep the partial counters but mark
+		// the cell so downstream analysis never mistakes them for a
+		// finished exploration.
+		out.Cancelled = true
+	}
 	if err := out.Result.CheckInvariant(); err != nil {
 		out.Err = err.Error()
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -76,6 +77,83 @@ func TestRunnerContextDeadline(t *testing.T) {
 	}
 }
 
+// countdownCtx is a context whose Err starts reporting cancellation
+// after a fixed number of polls — a deterministic stand-in for "the
+// deadline fired mid-cell", independent of wall-clock timing.
+type countdownCtx struct {
+	context.Context
+	mu    sync.Mutex
+	polls int
+}
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.polls--; c.polls < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestRunnerCancelFlushesPartialCells is the regression test for the
+// runner dropping work on cancellation: a context that dies mid-cell
+// must still flush that cell's partial counters (marked Cancelled,
+// Result.Interrupted), and cells that never started must appear in the
+// stream as Cancelled markers — one line per cell, no holes.
+func TestRunnerCancelFlushesPartialCells(t *testing.T) {
+	cells := Grid([]string{"counter-racy-2x2", "philosophers-3", "ticket-2"}, []EngineSpec{"dfs"}, 0, 2000)
+	// The first Err poll happens in the runner's claim loop; the next
+	// few at the engine's schedule boundaries, so cell 0 is
+	// interrupted after ~4 schedules and cells 1..2 never start.
+	ctx := &countdownCtx{Context: context.Background(), polls: 5}
+	var streamed []CellResult
+	r := Runner{Workers: 1, OnResult: func(res CellResult) { streamed = append(streamed, res) }}
+	results, err := r.Run(ctx, cells)
+	if err == nil {
+		t.Fatal("want a context error from mid-campaign cancellation")
+	}
+	if len(streamed) != len(cells) {
+		t.Fatalf("streamed %d lines, want one per cell (%d)", len(streamed), len(cells))
+	}
+	first := results[0]
+	if !first.Cancelled || !first.Result.Interrupted {
+		t.Errorf("mid-cell cancellation not marked: %+v", first)
+	}
+	if first.Result.Schedules == 0 {
+		t.Errorf("mid-cell partial counters were dropped: %+v", first.Result)
+	}
+	for i, res := range results[1:] {
+		if !res.Cancelled {
+			t.Errorf("unstarted cell %d not flushed as cancelled: %+v", i+1, res)
+		}
+		if res.Result.Schedules != 0 {
+			t.Errorf("unstarted cell %d reports work: %+v", i+1, res.Result)
+		}
+		if res.Cell != cells[i+1] || res.Index != i+1 {
+			t.Errorf("cancelled marker %d lost its cell identity: %+v", i+1, res)
+		}
+	}
+}
+
+// TestRunnerRejectsInvalidOptions: the runner validates each cell's
+// options up front, so a bad grid fails loudly per cell instead of
+// producing half-meaningful results.
+func TestRunnerRejectsInvalidOptions(t *testing.T) {
+	cells := []Cell{
+		{Bench: "counter-racy-2x2", Engine: "dfs", ScheduleLimit: -1},
+		{Bench: "counter-racy-2x2", Engine: "dfs", MaxSteps: -5},
+	}
+	results, err := (&Runner{Workers: 1}).Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Err == "" {
+			t.Errorf("invalid cell %d was not rejected: %+v", i, res)
+		}
+	}
+}
+
 // TestJSONLRoundTrip: the streaming writer's output parses back into
 // the same results.
 func TestJSONLRoundTrip(t *testing.T) {
@@ -107,7 +185,7 @@ func TestParseSpecs(t *testing.T) {
 	good := []string{
 		"dfs", "dpor", "dpor+sleep", "lazy-dpor", "hbr-caching", "lazy-hbr-caching",
 		"random", "random:9", "pb:2", "pb:1:hbr", "pb:1:lazy", "db:3",
-		"chess-pb:2", "chess-db:2", "pdfs", "pdfs:4", "pdpor:2", "prandom:5:2",
+		"chess-pb:2", "chess-db:2", "pdfs", "pdfs:4", "pdpor:2", "pdpor-static:2", "prandom:5:2",
 	}
 	for _, s := range good {
 		if _, err := EngineSpec(s).Build(); err != nil {

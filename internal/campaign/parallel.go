@@ -27,6 +27,7 @@ package campaign
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -198,14 +199,38 @@ func ParallelDFS(src model.Source, opt explore.Options, workers int) explore.Res
 		explore.NewDFS, src, opt, workers)
 }
 
-// ParallelDPOR explores src with DPOR beneath an exhaustively
-// partitioned top layer, fanned across workers. On exhausted spaces
-// its #HBRs/#lazy HBRs/#states match sequential explore.NewDPOR;
-// #schedules is ≥ the sequential count (no reduction across the
-// partition layer).
+// ParallelDPOR explores src with work-stealing DPOR: one DPOR search
+// spans all workers, exchanging frontier units (donated pending
+// backtrack branches, and backtrack points escaping a unit's prefix)
+// over a striped steal deque with a shared claim table, so the
+// partial-order reduction survives the fan-out. On exhausted spaces
+// with SleepSets off, every counter except Events — including
+// #schedules — is byte-identical to sequential explore.NewDPOR for
+// every backend and worker count. With SleepSets the coverage counters
+// (#HBRs/#lazy HBRs/#states) remain exact while #schedules and
+// #sleep-blocked depend on unit boundaries. Result.Steal carries the
+// worker/unit statistics.
 func ParallelDPOR(src model.Source, opt explore.Options, workers int) explore.Result {
+	workers = normWorkers(workers)
+	outcomes, dedup, stats := workStealDPOR(src, opt, workers)
+	sort.Slice(outcomes, func(i, j int) bool { return outcomes[i].key < outcomes[j].key })
+	units := make([]explore.Result, len(outcomes))
+	for i, o := range outcomes {
+		units[i] = o.res
+	}
+	res := mergeUnits(fmt.Sprintf("pdpor[%d]", workers), src, opt, dedup, units)
+	res.Steal = &stats
+	return res
+}
+
+// ParallelDPORStatic is the pre-work-stealing parallel DPOR: full DPOR
+// beneath an exhaustively partitioned top layer. Its distinct-coverage
+// counters match sequential DPOR but #schedules is ≥ the sequential
+// count — the partition layer itself applies no reduction. Kept as the
+// ablation baseline the work-stealing engine is measured against.
+func ParallelDPORStatic(src model.Source, opt explore.Options, workers int) explore.Result {
 	sleep := opt.SleepSets
-	return subtreeSearch(fmt.Sprintf("pdpor[%d]", normWorkers(workers)),
+	return subtreeSearch(fmt.Sprintf("pdpor-static[%d]", normWorkers(workers)),
 		func() explore.Engine { return explore.NewDPOR(sleep) }, src, opt, workers)
 }
 
@@ -259,9 +284,16 @@ func NewParallelDFS(workers int) explore.Engine {
 	return &parallelEngine{kind: "pdfs", workers: workers}
 }
 
-// NewParallelDPOR returns ParallelDPOR as an explore.Engine.
+// NewParallelDPOR returns the work-stealing ParallelDPOR as an
+// explore.Engine.
 func NewParallelDPOR(workers int) explore.Engine {
 	return &parallelEngine{kind: "pdpor", workers: workers}
+}
+
+// NewParallelDPORStatic returns the static-partition baseline
+// ParallelDPORStatic as an explore.Engine.
+func NewParallelDPORStatic(workers int) explore.Engine {
+	return &parallelEngine{kind: "pdpor-static", workers: workers}
 }
 
 // NewParallelRandomWalk returns ParallelRandomWalk as an
@@ -280,6 +312,8 @@ func (e *parallelEngine) Explore(src model.Source, opt explore.Options) explore.
 	switch e.kind {
 	case "pdpor":
 		return ParallelDPOR(src, opt, e.workers)
+	case "pdpor-static":
+		return ParallelDPORStatic(src, opt, e.workers)
 	case "prandom":
 		return ParallelRandomWalk(e.seed, src, opt, e.workers)
 	default:

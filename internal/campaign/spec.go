@@ -21,7 +21,8 @@ import (
 //	db:N                    delay bounding
 //	chess-pb:N | chess-db:N iterative bound deepening
 //	pdfs[:W]                parallel DFS over W workers
-//	pdpor[:W]               parallel DPOR over W workers
+//	pdpor[:W]               work-stealing parallel DPOR over W workers
+//	pdpor-static[:W]        static-partition parallel DPOR (baseline)
 //	prandom[:seed[:W]]      parallel random walk
 //
 // W and seed default to GOMAXPROCS and 1.
@@ -109,6 +110,12 @@ func (s EngineSpec) Build() (explore.Engine, error) {
 			return nil, err
 		}
 		return NewParallelDPOR(w), nil
+	case "pdpor-static":
+		w, err := num(0, 0)
+		if err != nil {
+			return nil, err
+		}
+		return NewParallelDPORStatic(w), nil
 	case "prandom":
 		seed, err := num(0, 1)
 		if err != nil {

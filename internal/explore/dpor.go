@@ -2,6 +2,7 @@ package explore
 
 import (
 	"repro/internal/event"
+	"repro/internal/hb"
 	"repro/internal/model"
 )
 
@@ -171,6 +172,19 @@ func disjoint(a, b csSummary) bool {
 	return true
 }
 
+// pnode is the slim per-depth state work-stealing mode retains for the
+// pinned prefix: enough to compute escaped backtrack additions exactly
+// as sequential DPOR would at that node.
+type pnode struct {
+	enabled    []event.ThreadID
+	enabledSet tset
+	steps      []int32
+	// claimed caches the masks already handed to Steal.Escape for
+	// this node: the claim table is monotone, so a covered mask needs
+	// no repeat round-trip (hot prefix races recur every schedule).
+	claimed tset
+}
+
 // dnode is one state on the current DPOR stack.
 type dnode struct {
 	enabled    []event.ThreadID
@@ -289,15 +303,156 @@ func (e *dporEngine) Explore(src model.Source, opt Options) Result {
 	rec := newRecorder(src, e.Name(), opt)
 	nthreads := src.NumThreads()
 
+	steal := opt.Steal
+
 	// A pinned prefix is replayed through st.step so the access logs
-	// cover it, but owns no stack nodes: race reversals that would
-	// seed a backtrack point inside the prefix are dropped, because
-	// the campaign partitioner that pins prefixes enumerates every
-	// sibling prefix exhaustively — the reversed schedule lives in
-	// (and is found by) another partition's subtree.
-	base := c.replayPrefix(opt.Prefix, st.step)
+	// cover it, but owns no stack nodes. Without a Steal coordinator,
+	// race reversals that would seed a backtrack point inside the
+	// prefix are dropped: the static campaign partitioner enumerates
+	// every sibling prefix exhaustively, so the reversed schedule
+	// lives in (and is found by) another partition's subtree. In
+	// work-stealing mode those reversals escape instead (see below),
+	// which is what recovers the reduction across the partition
+	// layer; pnodes retain the per-depth prefix state the escape
+	// computation needs.
+	var pnodes []pnode
+	replayStep := st.step
+	if steal != nil {
+		pnodes = make([]pnode, 0, len(opt.Prefix))
+		replayStep = func(t event.ThreadID) {
+			pn := pnode{
+				enabled: append([]event.ThreadID(nil), c.enabled()...),
+				steps:   make([]int32, nthreads),
+			}
+			for _, q := range pn.enabled {
+				pn.enabledSet.add(q)
+			}
+			for q := 0; q < nthreads; q++ {
+				pn.steps[q] = c.m.Steps(event.ThreadID(q))
+			}
+			pnodes = append(pnodes, pn)
+			st.step(t)
+		}
+	}
+	base := c.replayPrefix(opt.Prefix, replayStep)
 
 	var nodes []*dnode
+
+	// pubLocal counts the local stack nodes (from the bottom) that
+	// have been published to the Steal coordinator: backtrack
+	// additions at depths below base+pubLocal are globally claimed
+	// escapes, not local set updates.
+	pubLocal := 0
+
+	// seedAt returns a maker of private tracker clones for the state
+	// at absolute depth d, or nil when the backend keeps no per-depth
+	// tracker there (replay backend, or a depth covered by this
+	// unit's own shipped seed).
+	seedAt := func(d int) func() *hb.Tracker {
+		var tr *hb.Tracker
+		switch c.backend {
+		case BackendUndo:
+			if d < len(c.trSnaps) {
+				tr = c.trSnaps[d]
+			}
+		case BackendSnapshot:
+			if d < len(c.snaps) {
+				tr = c.snaps[d].tr
+			}
+		}
+		if tr == nil {
+			return nil
+		}
+		return func() *hb.Tracker { return tr.Clone() }
+	}
+
+	// escape computes the exact Flanagan–Godefroid backtrack addition
+	// for the published node preceding trace event i — p itself if
+	// enabled there; otherwise the first enabled thread with a later
+	// event ordered before p's next transition; otherwise every
+	// enabled thread — and routes it through the coordinator's claim
+	// table. Additions targeting a node this engine still owns (a
+	// published node of its own stack) are claimed and folded back
+	// into the local backtrack set, so they are explored in place;
+	// only additions into the foreign pinned prefix ship as units.
+	escape := func(i int, p event.ThreadID) {
+		var en []event.ThreadID
+		var eset tset
+		var steps []int32
+		if i < base {
+			pn := &pnodes[i]
+			en, eset, steps = pn.enabled, pn.enabledSet, pn.steps
+		} else {
+			n := nodes[i-base]
+			en, eset, steps = n.enabled, n.enabledSet, n.steps
+		}
+		var mask tset
+		if eset.has(p) {
+			mask.add(p)
+		} else {
+			for _, q := range en {
+				if c.tr.ThreadClock(p).Get(int(q)) >= steps[q]+1 {
+					mask.add(q)
+					break
+				}
+			}
+			if mask.empty() {
+				mask = eset
+			}
+		}
+		if i < base {
+			pn := &pnodes[i]
+			if mask&^pn.claimed != 0 {
+				steal.Escape(c.choices[:i], uint64(mask), seedAt(i))
+				pn.claimed |= mask
+			}
+			return
+		}
+		// Published own-stack node: the local backtrack set is always a
+		// subset of the node's global claim set, so a mask already
+		// covered locally needs no table round-trip (the sequential
+		// engine's backtrack.has fast path, kept here to spare the
+		// shard mutex and key allocation on every update).
+		n := nodes[i-base]
+		if mask&^n.backtrack != 0 {
+			n.backtrack |= tset(steal.Claim(c.choices[:i], uint64(mask)))
+		}
+	}
+
+	// maybeDonate ships pending backtrack branches to starving
+	// workers: the shallowest local node with pending candidates is
+	// published (along with every unpublished node above it, so
+	// escapes from the donated subtrees always find their target) and
+	// its pending branches become frontier units for other workers.
+	maybeDonate := func() {
+		if steal == nil || !steal.Starving() {
+			return
+		}
+		dIdx := -1
+		for j := pubLocal; j < len(nodes); j++ {
+			if !(nodes[j].backtrack &^ nodes[j].done).empty() {
+				dIdx = j
+				break
+			}
+		}
+		if dIdx < 0 {
+			return
+		}
+		for j := pubLocal; j <= dIdx; j++ {
+			n := nodes[j]
+			pending := tset(0)
+			if j == dIdx {
+				pending = n.backtrack &^ n.done
+			}
+			// Only the branches the coordinator actually shipped are
+			// retired locally: pending bits already claimed in the
+			// table are this engine's own earlier Claim grants, which
+			// it still owes an in-place exploration.
+			shipped := steal.Publish(c.choices[:base+j], uint64(n.done), uint64(pending), seedAt(base+j))
+			n.done |= tset(shipped)
+		}
+		pubLocal = dIdx + 1
+	}
 
 	// addBacktrack seeds the backtrack set of the state preceding
 	// trace event i on behalf of thread p's pending transition,
@@ -305,8 +460,14 @@ func (e *dporEngine) Explore(src model.Source, opt Options) Result {
 	// otherwise any enabled thread with a later event ordered before
 	// p's transition; otherwise every enabled thread.
 	addBacktrack := func(i int, p event.ThreadID) {
-		if i < base {
-			return // reversal beneath the pinned prefix: sibling partition's job
+		if i < base+pubLocal {
+			// Reversal beneath the pinned prefix or a published
+			// node: globally claimed in work-stealing mode, a
+			// sibling partition's job under static partitioning.
+			if steal != nil {
+				escape(i, p)
+			}
+			return
 		}
 		n := nodes[i-base]
 		if n.backtrack.has(p) {
@@ -479,17 +640,27 @@ func (e *dporEngine) Explore(src model.Source, opt Options) Result {
 		return rec.finish(c)
 	}
 	for len(nodes) > 0 {
+		maybeDonate()
 		d := len(nodes) - 1
 		n := nodes[d]
-		// Sleeping backtrack candidates are covered elsewhere;
-		// retire them without exploration.
-		if e.sleep {
-			n.done |= n.backtrack & n.sleep
-		}
+		// Sleeping backtrack candidates are explored like any other:
+		// their subtrees sleep-block quickly, but skipping them
+		// outright is unsound under selective search — the sibling
+		// subtree that would cover them was itself pruned by DPOR, and
+		// the fuzz harness (FuzzEngineEquivalence) found programs
+		// where the shortcut silently dropped happens-before classes.
+		// Sleep sets here prune continuations, never branch choices.
 		cand := n.backtrack &^ n.done
 		if cand.empty() {
 			freeNode(n)
 			nodes = nodes[:d]
+			// A popped published node leaves the published region; a
+			// later re-extension re-uses its depth for a different
+			// node, whose reversals must stay local until it is
+			// published itself.
+			if pubLocal > d {
+				pubLocal = d
+			}
 			continue
 		}
 		p := cand.first()

@@ -84,6 +84,44 @@ type Options struct {
 	// token pool shared by concurrently running engine instances.
 	// Nil means no shared budget.
 	SharedBudget *Budget
+
+	// TrackerSeed, when non-nil, is a private happens-before tracker
+	// clone covering the first len(Prefix)-1 events of Prefix: the
+	// prefix replay then advances only the machine (and the engines'
+	// access logs) and installs the seed instead of re-deriving the
+	// clocks from the root. The seed's universe must match the
+	// explored program. Ignored unless len(Prefix) > 1.
+	TrackerSeed *hb.Tracker
+
+	// Steal, when non-nil, puts the DPOR engine in work-stealing
+	// mode: backtrack points that escape the pinned prefix are handed
+	// over instead of dropped, and pending local branches can be
+	// donated to starving workers. See the Steal interface.
+	Steal Steal
+}
+
+// Validate reports structurally invalid option combinations. Engines
+// do not call it on their hot paths; batch drivers (the campaign
+// runner) validate cells up front so a bad grid fails loudly instead
+// of producing a half-meaningful Result.
+func (o Options) Validate() error {
+	if o.ScheduleLimit < 0 {
+		return fmt.Errorf("explore: negative ScheduleLimit %d", o.ScheduleLimit)
+	}
+	if o.MaxSteps < 0 {
+		return fmt.Errorf("explore: negative MaxSteps %d", o.MaxSteps)
+	}
+	if o.Backend > BackendReplay {
+		return fmt.Errorf("explore: unknown backend %q", o.Backend)
+	}
+	if ms := o.maxSteps(); len(o.Prefix) > ms {
+		return fmt.Errorf("explore: prefix length %d exceeds step bound %d", len(o.Prefix), ms)
+	}
+	if o.TrackerSeed != nil && len(o.Prefix) > 1 && o.TrackerSeed.Events() != len(o.Prefix)-1 {
+		return fmt.Errorf("explore: tracker seed covers %d events, prefix wants %d",
+			o.TrackerSeed.Events(), len(o.Prefix)-1)
+	}
+	return nil
 }
 
 // BackendKind names a cursor backtracking implementation.
@@ -212,6 +250,11 @@ type Result struct {
 	// States holds the sorted distinct terminal state keys when
 	// Options.RecordStates was set.
 	States []string
+
+	// Steal describes the work-stealing execution that produced a
+	// parallel DPOR result (worker and unit counts); nil for
+	// sequential searches and the static-partition engines.
+	Steal *StealStats `json:"steal,omitempty"`
 }
 
 // CheckInvariant validates the paper's Section 3 inequality chain.
@@ -256,6 +299,9 @@ func (s tset) first() event.ThreadID {
 }
 
 func checkThreadCount(src model.Source) {
+	if src == nil {
+		panic("explore: nil source")
+	}
 	if src.NumThreads() > MaxThreads {
 		panic(fmt.Sprintf("explore: program %q has %d threads; limit is %d",
 			src.Name(), src.NumThreads(), MaxThreads))
@@ -398,9 +444,19 @@ type cursor struct {
 	// trSnaps[d] is the tracker state at depth d (undo backend). The
 	// machine itself rewinds through its undo log: with undo enabled
 	// every step appends exactly one record, so depth == undo mark.
+	// Depths covered by a shipped tracker seed hold nil placeholders;
+	// engines never reset below their prefix, so those entries are
+	// only read by seed export (which treats nil as "unavailable").
 	trSnaps []*hb.Tracker
-	// snaps[d] is the deep snapshot at depth d (legacy backend).
+	// snaps[d] is the deep snapshot at depth d (legacy backend), with
+	// the same nil-placeholder convention under a tracker seed.
 	snaps []snapPair
+
+	// seed is the shipped tracker installed once the replayed prefix
+	// reaches seedDepth events; until then step skips all
+	// happens-before work (see Options.TrackerSeed).
+	seed      *hb.Tracker
+	seedDepth int
 
 	enabledBuf []event.ThreadID
 	events     int64
@@ -429,6 +485,19 @@ func newCursor(src model.Source, opt Options) *cursor {
 			c.backend = BackendReplay
 		}
 	}
+	if seed := opt.TrackerSeed; seed != nil && len(opt.Prefix) > 1 {
+		nt, nv, nm := seed.Universe()
+		if nt != src.NumThreads() || nv != src.NumVars() || nm != src.NumMutexes() {
+			panic(fmt.Sprintf("explore: tracker seed universe (%d,%d,%d) does not match program %q (%d,%d,%d)",
+				nt, nv, nm, src.Name(), src.NumThreads(), src.NumVars(), src.NumMutexes()))
+		}
+		if seed.Events() != len(opt.Prefix)-1 {
+			panic(fmt.Sprintf("explore: tracker seed covers %d events, prefix wants %d",
+				seed.Events(), len(opt.Prefix)-1))
+		}
+		c.seed = seed
+		c.seedDepth = len(opt.Prefix) - 1
+	}
 	return c
 }
 
@@ -446,6 +515,27 @@ func (c *cursor) truncated() bool { return len(c.trace) >= c.maxSteps }
 
 // step executes thread t and folds the event into the trackers.
 func (c *cursor) step(t event.ThreadID) event.Event {
+	if len(c.trace) < c.seedDepth {
+		// The shipped tracker seed covers this prefix event: advance
+		// the machine only, keep the depth-indexed snapshot slices
+		// aligned with nil placeholders, and install the seed when
+		// the covered prefix is fully replayed.
+		ev := c.m.Step(t)
+		c.trace = append(c.trace, ev)
+		c.choices = append(c.choices, t)
+		c.events++
+		switch c.backend {
+		case BackendUndo:
+			c.trSnaps = append(c.trSnaps, nil)
+		case BackendSnapshot:
+			c.snaps = append(c.snaps, snapPair{})
+		}
+		if len(c.trace) == c.seedDepth {
+			c.tr = c.seed
+			c.seed = nil
+		}
+		return ev
+	}
 	ev := c.m.Step(t)
 	c.tr.ApplyFast(ev)
 	c.trace = append(c.trace, ev)

@@ -1,0 +1,121 @@
+package explore
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/progdsl"
+)
+
+// fuzzProbeLimit bounds each engine run on a fuzz-decoded program; the
+// deep agreement checks apply only when exhaustive DFS finishes under
+// it, so adversarial inputs cannot stall the fuzzer.
+const fuzzProbeLimit = 3000
+
+// checkEngineEquivalence is the differential oracle shared by the fuzz
+// target and the committed-corpus regression test: decode data into a
+// program, then require that
+//
+//   - every engine × backend run satisfies the paper's counting chain;
+//   - each engine's Result counters are byte-identical across the
+//     undo-log, deep-snapshot and replay backends;
+//   - when exhaustive DFS exhausts the space, every complete engine
+//     (DPOR ± sleep sets, lazy DPOR, HBR/lazy-HBR caching) agrees with
+//     it on the distinct-state/HBR/lazy-HBR counts and on the state
+//     set itself.
+func checkEngineEquivalence(t *testing.T, data []byte) {
+	src := progdsl.FromBytes("fuzz", data)
+	if src == nil {
+		t.Skip("input too short to decode")
+	}
+	mkOpt := func(b BackendKind) Options {
+		return Options{ScheduleLimit: fuzzProbeLimit, MaxSteps: 500, RecordStates: true, Backend: b}
+	}
+
+	dfs := NewDFS().Explore(src, mkOpt(BackendUndo))
+	if err := dfs.CheckInvariant(); err != nil {
+		t.Fatalf("dfs: %v", err)
+	}
+	exhausted := !dfs.HitLimit && dfs.Truncated == 0
+
+	engines := []struct {
+		eng Engine
+		// fullCoverage engines must match DFS's distinct HBR and lazy
+		// HBR counts, not just the state set: DPOR prunes only
+		// HBR-equivalent schedules. The caching and lazy-DPOR engines
+		// deliberately stop exploring an equivalence class early, so
+		// only their state coverage is complete.
+		fullCoverage bool
+	}{
+		{NewDFS(), true},
+		{NewDPOR(false), true},
+		{NewDPOR(true), true},
+		{NewLazyDPOR(), false},
+		{NewHBRCache(), false},
+		{NewLazyHBRCache(), false},
+	}
+	for _, e := range engines {
+		eng := e.eng
+		undo := eng.Explore(src, mkOpt(BackendUndo))
+		snap := eng.Explore(src, mkOpt(BackendSnapshot))
+		repl := eng.Explore(src, mkOpt(BackendReplay))
+		if err := undo.CheckInvariant(); err != nil {
+			t.Errorf("%s: %v", eng.Name(), err)
+		}
+		if got, want := countersOf(undo), countersOf(snap); got != want {
+			t.Errorf("%s: undo and snapshot backends disagree:\n undo=%+v\n snap=%+v", eng.Name(), got, want)
+		}
+		if got, want := countersOf(undo), countersOf(repl); got != want {
+			t.Errorf("%s: undo and replay backends disagree:\n undo=%+v\n repl=%+v", eng.Name(), got, want)
+		}
+		if exhausted && !undo.HitLimit {
+			if e.fullCoverage &&
+				(undo.DistinctHBRs != dfs.DistinctHBRs || undo.DistinctLazyHBRs != dfs.DistinctLazyHBRs) {
+				t.Errorf("%s HBR coverage disagrees with exhaustive DFS:\n %s=%+v\n dfs=%+v",
+					eng.Name(), eng.Name(), countersOf(undo), countersOf(dfs))
+			}
+			if undo.DistinctStates != dfs.DistinctStates || !reflect.DeepEqual(undo.States, dfs.States) {
+				t.Errorf("%s found a different state set than exhaustive DFS (%d vs %d states)",
+					eng.Name(), undo.DistinctStates, dfs.DistinctStates)
+			}
+			if (undo.AssertFailures > 0) != (dfs.AssertFailures > 0) ||
+				(undo.Deadlocks > 0) != (dfs.Deadlocks > 0) ||
+				(undo.Races > 0) != (dfs.Races > 0) {
+				t.Errorf("%s safety verdicts disagree with exhaustive DFS", eng.Name())
+			}
+		}
+	}
+}
+
+// FuzzEngineEquivalence is the native fuzz target behind the committed
+// corpus in testdata/fuzz/FuzzEngineEquivalence. Run it open-endedly
+// with
+//
+//	go test -fuzz FuzzEngineEquivalence -fuzztime 30s ./internal/explore
+//
+// Plain `go test` replays the committed corpus as ordinary subtests.
+func FuzzEngineEquivalence(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 2, 1, 2, 17, 3, 33, 4, 49})
+	for _, data := range progdsl.FuzzCorpus(8, 42) {
+		f.Add(data)
+	}
+	f.Fuzz(checkEngineEquivalence)
+}
+
+// TestEngineEquivalenceCorpus replays a bounded deterministic slice of
+// the fuzz input space in the normal -short suite, so the differential
+// oracle gates every CI run rather than only explicit fuzz sessions.
+func TestEngineEquivalenceCorpus(t *testing.T) {
+	n := 120
+	if testing.Short() {
+		n = 30
+	}
+	for i, data := range progdsl.FuzzCorpus(n, 7) {
+		i, data := i, data
+		t.Run(fmt.Sprintf("corpus-%03d", i), func(t *testing.T) {
+			checkEngineEquivalence(t, data)
+		})
+	}
+}

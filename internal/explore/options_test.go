@@ -1,0 +1,171 @@
+package explore
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/hb"
+)
+
+// TestOptionsValidate pins the structural validation batch drivers run
+// before exploring a grid.
+func TestOptionsValidate(t *testing.T) {
+	seed := hb.NewTracker(2, 1, 1)
+	cases := []struct {
+		name    string
+		opt     Options
+		wantErr string
+	}{
+		{"zero value", Options{}, ""},
+		{"typical", Options{ScheduleLimit: 1000, MaxSteps: 200, Backend: BackendSnapshot}, ""},
+		{"negative limit", Options{ScheduleLimit: -1}, "negative ScheduleLimit"},
+		{"negative max steps", Options{MaxSteps: -3}, "negative MaxSteps"},
+		{"unknown backend", Options{Backend: BackendReplay + 1}, "unknown backend"},
+		{"prefix beyond bound", Options{MaxSteps: 2, Prefix: []event.ThreadID{0, 1, 0}}, "exceeds step bound"},
+		{"seed/prefix mismatch", Options{TrackerSeed: seed, Prefix: []event.ThreadID{0, 1, 0}}, "tracker seed covers"},
+		{"seed ignored on short prefix", Options{TrackerSeed: seed, Prefix: []event.ThreadID{0}}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opt.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestNilSourcePanics: handing an engine a nil program is a caller bug
+// and must fail loudly, not explore an empty space.
+func TestNilSourcePanics(t *testing.T) {
+	for _, eng := range []Engine{NewDFS(), NewDPOR(false), NewHBRCache(), NewRandomWalk(1)} {
+		eng := eng
+		t.Run(eng.Name(), func(t *testing.T) {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatal("exploring a nil source did not panic")
+				}
+			}()
+			eng.Explore(nil, Options{})
+		})
+	}
+}
+
+// TestZeroBudgetMeansUnlimited: a non-positive shared budget is "no
+// budget" (nil), mirroring ScheduleLimit <= 0.
+func TestZeroBudgetMeansUnlimited(t *testing.T) {
+	if b := NewBudget(0); b != nil {
+		t.Errorf("NewBudget(0) = %v, want nil", b)
+	}
+	if b := NewBudget(-5); b != nil {
+		t.Errorf("NewBudget(-5) = %v, want nil", b)
+	}
+	src := curatedSharedCounter()
+	full := NewDFS().Explore(src, Options{MaxSteps: 2000})
+	unlimited := NewDFS().Explore(src, Options{MaxSteps: 2000, SharedBudget: NewBudget(0)})
+	if unlimited.Schedules != full.Schedules || unlimited.HitLimit {
+		t.Errorf("zero budget limited the search: %+v vs %+v", unlimited, full)
+	}
+}
+
+// TestUnknownBackendDegradesToReplay: an out-of-range BackendKind is
+// caught by Validate; an engine handed one anyway degrades to replay
+// (the backend that is correct for every program) rather than
+// panicking mid-campaign.
+func TestUnknownBackendDegradesToReplay(t *testing.T) {
+	bogus := BackendReplay + 7
+	if got := bogus.String(); !strings.Contains(got, "backend(") {
+		t.Errorf("stringer hid the bogus kind: %q", got)
+	}
+	c := newCursor(curatedFigure1(), Options{Backend: bogus})
+	defer c.close()
+	if c.backend != BackendReplay {
+		t.Errorf("bogus backend resolved to %v, want replay", c.backend)
+	}
+	res := NewDFS().Explore(curatedFigure1(), Options{Backend: bogus, MaxSteps: 2000})
+	want := NewDFS().Explore(curatedFigure1(), Options{MaxSteps: 2000})
+	if res.Schedules != want.Schedules || res.DistinctStates != want.DistinctStates {
+		t.Errorf("degraded backend changed results: %+v vs %+v", res, want)
+	}
+}
+
+// TestCancelledCtxStopsEveryEngine: a context cancelled before the
+// search starts stops every engine at its first schedule boundary with
+// Interrupted set — the counters cover exactly the one execution that
+// ran.
+func TestCancelledCtxStopsEveryEngine(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	engines := []Engine{
+		NewDFS(),
+		NewDPOR(false),
+		NewDPOR(true),
+		NewLazyDPOR(),
+		NewHBRCache(),
+		NewLazyHBRCache(),
+		NewPreemptionBounded(2),
+		NewDelayBounded(2),
+		NewRandomWalk(3),
+	}
+	src := curatedSharedCounter()
+	for _, eng := range engines {
+		eng := eng
+		t.Run(eng.Name(), func(t *testing.T) {
+			res := eng.Explore(src, Options{MaxSteps: 2000, Ctx: ctx})
+			if !res.Interrupted {
+				t.Fatalf("cancelled context did not interrupt: %+v", res)
+			}
+			if res.Schedules != 1 {
+				t.Errorf("interrupted search ran %d schedules, want 1 (stop at first boundary)", res.Schedules)
+			}
+			if err := res.CheckInvariant(); err != nil {
+				t.Errorf("partial result breaks the invariant chain: %v", err)
+			}
+		})
+	}
+}
+
+// pollCtx reports cancellation after a fixed number of Err polls — a
+// deterministic "deadline fires mid-search" for engines that check the
+// context once per schedule boundary.
+type pollCtx struct {
+	context.Context
+	polls int
+}
+
+func (c *pollCtx) Err() error {
+	if c.polls--; c.polls < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCtxCancelMidSearch: a context that dies partway through the
+// search leaves a consistent partial result — some but not all
+// schedules explored, Interrupted set, invariant chain intact.
+func TestCtxCancelMidSearch(t *testing.T) {
+	src := curatedSharedCounter()
+	full := NewDFS().Explore(src, Options{MaxSteps: 2000})
+	if full.Schedules <= 4 {
+		t.Fatalf("test program too small (%d schedules)", full.Schedules)
+	}
+	interrupted := NewDFS().Explore(src, Options{MaxSteps: 2000, Ctx: &pollCtx{Context: context.Background(), polls: 3}})
+	if !interrupted.Interrupted {
+		t.Fatalf("mid-search cancellation not reported: %+v", interrupted)
+	}
+	if interrupted.Schedules == 0 || interrupted.Schedules >= full.Schedules {
+		t.Errorf("cancelled search explored %d of %d schedules, want a strict partial",
+			interrupted.Schedules, full.Schedules)
+	}
+	if err := interrupted.CheckInvariant(); err != nil {
+		t.Errorf("partial result breaks the invariant chain: %v", err)
+	}
+}

@@ -207,6 +207,13 @@ func NewTracker(nthreads, nvars, nmutexes int) *Tracker {
 // Events returns the number of events applied so far.
 func (tr *Tracker) Events() int { return tr.events }
 
+// Universe returns the program universe sizes the tracker was created
+// for, so consumers of shipped tracker clones (work-stealing frontier
+// units) can validate a seed against the program it will explore.
+func (tr *Tracker) Universe() (nthreads, nvars, nmutexes int) {
+	return tr.nthreads, tr.nvars, tr.nmutexes
+}
+
 // HBFingerprint returns the fingerprint of the regular HBR of the
 // event prefix applied so far.
 func (tr *Tracker) HBFingerprint() Fingerprint { return tr.hbFP }

@@ -1,0 +1,97 @@
+package progdsl
+
+import "fmt"
+
+// FromBytes decodes an arbitrary byte string into a small, loop-free,
+// guaranteed-terminating program, for fuzz-driven differential testing
+// of the exploration engines: any two engines (or any engine under any
+// backend or worker count) must agree on the decoded program's
+// schedule-space statistics exactly as the theory predicts.
+//
+// The encoding is total on inputs of at least four bytes (shorter
+// inputs return nil): three header bytes size the universe — threads,
+// variables, mutexes — and every following pair of bytes appends one
+// operation to the threads in round-robin order. Operations are
+// straight-line (reads, writes, read-modify-write, single well-nested
+// critical sections, assertions), so every decoded program terminates
+// on every schedule, keeps its schedule space exhaustible, and can
+// still exhibit races, assertion failures and mutex contention.
+func FromBytes(name string, data []byte) *Program {
+	if len(data) < 4 {
+		return nil
+	}
+	nthreads := 2 + int(data[0]%2)
+	nvars := 1 + int(data[1]%3)
+	nmutexes := 1 + int(data[2]%2)
+	b := New(name).AutoStart()
+	vars := b.VarArray("v", nvars)
+	mus := b.MutexArray("m", nmutexes)
+	threads := make([]*ThreadBuilder, nthreads)
+	for i := range threads {
+		threads[i] = b.Thread()
+	}
+
+	// maxOps bounds the decoded program so exhaustive enumeration stays
+	// cheap even on adversarial inputs; surplus bytes are ignored.
+	const maxOps = 10
+	body := data[3:]
+	for k := 0; k+1 < len(body) && k/2 < maxOps; k += 2 {
+		op, arg := body[k], body[k+1]
+		th := threads[(k/2)%nthreads]
+		v := vars.At(int(arg) % nvars)
+		m := mus.At(int(arg) % nmutexes)
+		imm := int64(arg >> 4)
+		switch op % 6 {
+		case 0:
+			th.Read(0, v)
+		case 1:
+			th.WriteConst(v, imm)
+		case 2:
+			th.Read(0, v).AddConst(0, 0, 1).Write(v, 0)
+		case 3:
+			th.Lock(m)
+			if arg%2 == 0 {
+				th.Read(1, v)
+			} else {
+				th.WriteConst(v, imm)
+			}
+			th.Unlock(m)
+		case 4:
+			// An assertion that real interleavings can fail: reading a
+			// counter both racy and lock-protected writers bump.
+			th.Read(0, v).AssertLt(0, 1+imm%4)
+		default:
+			th.Lock(m)
+			th.Read(1, v).AddConst(1, 1, imm%3).Write(v, 1)
+			th.Unlock(m)
+		}
+	}
+	return b.Build()
+}
+
+// FuzzCorpus returns n deterministic FromBytes inputs derived from
+// seed — the shared program source for differential tests that need a
+// sizeable generated corpus without checking hundreds of files in.
+func FuzzCorpus(n int, seed uint64) [][]byte {
+	out := make([][]byte, 0, n)
+	state := seed
+	next := func() byte {
+		// splitmix64 step; byte taken from the top, which mixes best.
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return byte((z ^ (z >> 31)) >> 56)
+	}
+	for i := 0; i < n; i++ {
+		data := make([]byte, 4+int(next())%16)
+		for j := range data {
+			data[j] = next()
+		}
+		out = append(out, data)
+	}
+	return out
+}
+
+// CorpusName renders a stable program name for the i-th corpus entry.
+func CorpusName(prefix string, i int) string { return fmt.Sprintf("%s-%03d", prefix, i) }
