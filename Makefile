@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race ci bench bench-smoke bench-json fuzz-smoke fmt vet eval
+.PHONY: build test race ci bench bench-smoke bench-json fuzz-smoke repro-smoke fmt vet eval
 
 build:
 	$(GO) build ./...
@@ -52,10 +52,26 @@ fuzz-smoke:
 		done; \
 	done
 
+# Capture → replay → minimize one known-buggy benchmark end-to-end:
+# the firstbug sweep writes one minimized counterexample artifact per
+# (benchmark, engine) cell and -verify re-reads and replays each from
+# disk — the CI gate on the repro subsystem.
+REPRO_DIR ?= /tmp/repro-smoke
+repro-smoke:
+	rm -rf $(REPRO_DIR)
+	$(GO) run ./cmd/eval -fig firstbug -bench philosophers-3 \
+		-engines dpor,random,pdpor:2 -limit 5000 -maxsteps 500 \
+		-quiet -repro $(REPRO_DIR) -minimize -verify
+	$(GO) run ./cmd/lazylocks -bench philosophers-3 \
+		-replay $(REPRO_DIR)/philosophers-3__dpor.json > /dev/null
+	@echo "repro-smoke: artifacts in $(REPRO_DIR) captured, minimized and replay-verified"
+
 # Headline hot-path benchmarks, filtered to the ones tracked in the
 # perf trajectory, rendered as a machine-readable JSON artifact
-# (BENCH_PR2.json and successors; see cmd/benchjson).
-BENCH_JSON ?= BENCH_PR3.json
+# (BENCH_PR<PR>.json and successors; see cmd/benchjson). Set PR to the
+# current PR number: make bench-json PR=4.
+PR ?= 4
+BENCH_JSON ?= BENCH_PR$(PR).json
 BENCH_FILTER ?= BenchmarkTracker$$|BenchmarkVClock/|BenchmarkExecutor$$|BenchmarkEngine/|BenchmarkSnapshotVsReplay/|BenchmarkWorkStealDPOR/
 # Two steps (not a pipe) so a failing benchmark run fails the target
 # instead of silently producing an empty artifact.

@@ -24,12 +24,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/campaign"
 	"repro/internal/figures"
+	"repro/internal/repro"
 )
 
 func main() {
@@ -41,24 +43,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig     = fs.String("fig", "all", `figure to regenerate: "2", "3", "all" or "campaign"`)
-		limit   = fs.Int("limit", 100000, "schedule limit per benchmark (paper: 100000)")
-		steps   = fs.Int("maxsteps", 2000, "per-execution event bound")
-		filter  = fs.String("bench", "", "only benchmarks whose name contains this substring")
-		family  = fs.String("family", "", "only benchmarks of this family")
-		md      = fs.Bool("md", false, "emit markdown tables instead of TSV")
-		quiet   = fs.Bool("quiet", false, "suppress per-benchmark progress on stderr")
-		scatter = fs.Bool("scatter", true, "print the ASCII log-log scatter")
-		par     = fs.Int("parallel", -1, "cells explored concurrently (-1 = GOMAXPROCS, 1 = sequential)")
-		engines = fs.String("engines", "dpor", "comma-separated engine specs for -fig campaign")
-		asJSON  = fs.Bool("json", false, "stream campaign results as JSON lines (campaign mode)")
-		timeout = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+		fig      = fs.String("fig", "all", `figure to regenerate: "2", "3", "all", "campaign" or "firstbug"`)
+		limit    = fs.Int("limit", 100000, "schedule limit per benchmark (paper: 100000)")
+		steps    = fs.Int("maxsteps", 2000, "per-execution event bound")
+		filter   = fs.String("bench", "", "only benchmarks whose name contains this substring")
+		family   = fs.String("family", "", "only benchmarks of this family")
+		md       = fs.Bool("md", false, "emit markdown tables instead of TSV")
+		quiet    = fs.Bool("quiet", false, "suppress per-benchmark progress on stderr")
+		scatter  = fs.Bool("scatter", true, "print the ASCII log-log scatter")
+		par      = fs.Int("parallel", -1, "cells explored concurrently (-1 = GOMAXPROCS, 1 = sequential)")
+		engines  = fs.String("engines", "", "comma-separated engine specs for campaign/firstbug mode (default: dpor; firstbug default spans all techniques)")
+		asJSON   = fs.Bool("json", false, "stream campaign results as JSON lines (campaign/firstbug mode)")
+		timeout  = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+		reproDir = fs.String("repro", "", "firstbug mode: write one counterexample artifact per buggy cell into this directory")
+		minimize = fs.Bool("minimize", false, "firstbug mode: ddmin-minimize artifacts before writing them")
+		verify   = fs.Bool("verify", false, "firstbug mode: re-read each written artifact and verify its replay reproduces")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+	if *engines == "" {
+		if *fig == "firstbug" {
+			*engines = firstBugDefaultEngines
+		} else {
+			*engines = "dpor"
+		}
 	}
 
 	ctx := context.Background()
@@ -90,6 +102,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *fig == "campaign" {
 		return runCampaign(ctx, selected, *engines, *limit, *steps, *par, *asJSON, stdout, stderr)
+	}
+
+	if *fig == "firstbug" {
+		return runFirstBug(ctx, selected, *engines, firstBugConfig{
+			limit: *limit, steps: *steps, par: *par,
+			asJSON: *asJSON, md: *md, quiet: *quiet,
+			reproDir: *reproDir, minimize: *minimize, verify: *verify,
+		}, stdout, stderr)
 	}
 
 	if *fig == "2" || *fig == "all" {
@@ -135,23 +155,167 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runCampaign executes the benchmark × engine grid and writes one
-// result per cell: JSON lines with -json, a readable table otherwise.
-func runCampaign(ctx context.Context, selected []bench.Benchmark, engineList string, limit, steps, par int, asJSON bool, stdout, stderr io.Writer) int {
+// firstBugDefaultEngines is the technique grid of the paper-style
+// bug-finding table: every sequential engine family plus work-stealing
+// parallel DPOR at 1, 2 and 4 workers.
+const firstBugDefaultEngines = "dfs,dpor,dpor+sleep,lazy-dpor,hbr-caching,lazy-hbr-caching,pb:2,db:2,random,pdpor:1,pdpor:2,pdpor:4"
+
+// buildGrid parses the engine list and builds the benchmark × engine
+// cell grid shared by the campaign and firstbug modes.
+func buildGrid(selected []bench.Benchmark, engineList string, limit, steps int) ([]campaign.Cell, error) {
 	specs, err := campaign.ParseSpecs(engineList)
 	if err != nil {
-		fmt.Fprintln(stderr, "eval:", err)
-		return 2
+		return nil, err
 	}
 	names := make([]string, len(selected))
 	for i, b := range selected {
 		names[i] = b.Name
 	}
-	cells := campaign.Grid(names, specs, limit, steps)
-	runner := campaign.Runner{Workers: par}
-	if par < 0 {
-		runner.Workers = 0 // GOMAXPROCS
+	return campaign.Grid(names, specs, limit, steps), nil
+}
+
+// firstBugConfig bundles the firstbug-mode knobs.
+type firstBugConfig struct {
+	limit, steps, par int
+	asJSON, md, quiet bool
+	reproDir          string
+	minimize, verify  bool
+}
+
+// runFirstBug runs every (benchmark, engine) cell in bug-finding mode
+// (stop at first violation), streams schedules-to-first-bug per cell,
+// renders the paper-style bug-finding table, and optionally writes a
+// (minimized) counterexample artifact per buggy cell.
+func runFirstBug(ctx context.Context, selected []bench.Benchmark, engineList string, cfg firstBugConfig, stdout, stderr io.Writer) int {
+	cells, err := buildGrid(selected, engineList, cfg.limit, cfg.steps)
+	if err != nil {
+		fmt.Fprintln(stderr, "eval:", err)
+		return 2
 	}
+	for i := range cells {
+		cells[i].StopAtFirstBug = true
+	}
+	// Workers <= 0 already means GOMAXPROCS to the runner.
+	runner := campaign.Runner{Workers: cfg.par}
+	switch {
+	case cfg.asJSON:
+		runner.OnResult = campaign.JSONLWriter(stdout)
+	case !cfg.quiet:
+		runner.OnResult = func(r campaign.CellResult) {
+			bug := "no bug"
+			if r.Result.FirstViolation != nil {
+				bug = fmt.Sprintf("%s at schedule %d", r.Result.ViolationKind, r.Result.FirstBugSchedule)
+			} else if r.Result.HitLimit {
+				bug = "no bug within limit"
+			}
+			fmt.Fprintf(stderr, "%-24s %-18s %s (%d schedules, %dms)\n",
+				r.Cell.Bench, r.Cell.Engine, bug, r.Result.Schedules, r.ElapsedMS)
+		}
+	}
+	results, err := runner.Run(ctx, cells)
+	if err != nil {
+		fmt.Fprintln(stderr, "eval: firstbug campaign interrupted:", err)
+		return 1
+	}
+	if err := campaign.FirstError(results); err != nil {
+		fmt.Fprintln(stderr, "eval:", err)
+		return 1
+	}
+	table := figures.FirstBugFromCells(results)
+	if !cfg.asJSON {
+		fmt.Fprintln(stdout, "== Bug finding: schedules to first bug ==")
+		if cfg.md {
+			fmt.Fprint(stdout, figures.MarkdownFirstBug(table, cfg.limit))
+		} else {
+			fmt.Fprint(stdout, figures.TSVFirstBug(table))
+			fmt.Fprint(stdout, figures.SummaryFirstBug(table))
+		}
+	}
+	if cfg.reproDir != "" {
+		if code := writeArtifacts(results, cfg, stdout, stderr); code != 0 {
+			return code
+		}
+	}
+	return 0
+}
+
+// writeArtifacts captures (and optionally minimizes and verifies) one
+// counterexample artifact per buggy cell.
+func writeArtifacts(results []campaign.CellResult, cfg firstBugConfig, stdout, stderr io.Writer) int {
+	if err := os.MkdirAll(cfg.reproDir, 0o755); err != nil {
+		fmt.Fprintln(stderr, "eval:", err)
+		return 1
+	}
+	sanitize := strings.NewReplacer(":", "-", "/", "-", "[", "", "]", "")
+	wrote := 0
+	for _, r := range results {
+		w, ok := repro.FromResult(r.Result)
+		if !ok {
+			continue
+		}
+		bm, ok := bench.ByName(r.Cell.Bench)
+		if !ok {
+			fmt.Fprintf(stderr, "eval: unknown benchmark %q in results\n", r.Cell.Bench)
+			return 1
+		}
+		a, err := repro.Capture(bm.Program, w, r.Cell.MaxSteps)
+		if err != nil {
+			fmt.Fprintln(stderr, "eval:", err)
+			return 1
+		}
+		if cfg.minimize {
+			min, stats, err := repro.Minimize(bm.Program, a, 0)
+			if err != nil {
+				fmt.Fprintln(stderr, "eval:", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "minimized %s/%s: %d→%d choices, %d→%d preemptions (%d replays)\n",
+				r.Cell.Bench, r.Cell.Engine, stats.OriginalChoices, stats.MinChoices,
+				stats.OriginalPreemptions, stats.MinPreemptions, stats.Replays)
+			a = min
+		}
+		path := filepath.Join(cfg.reproDir, fmt.Sprintf("%s__%s.json", r.Cell.Bench, sanitize.Replace(string(r.Cell.Engine))))
+		if err := a.WriteFile(path); err != nil {
+			fmt.Fprintln(stderr, "eval:", err)
+			return 1
+		}
+		if cfg.verify {
+			back, err := repro.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "eval:", err)
+				return 1
+			}
+			if _, err := back.Replay(bm.Program); err != nil {
+				fmt.Fprintf(stderr, "eval: artifact %s failed verification: %v\n", path, err)
+				return 1
+			}
+		}
+		wrote++
+	}
+	verified := ""
+	if cfg.verify {
+		verified = ", all replay-verified"
+	}
+	// In -json mode stdout is a JSONL stream; the summary goes to
+	// stderr like the other progress lines.
+	dst := stdout
+	if cfg.asJSON {
+		dst = stderr
+	}
+	fmt.Fprintf(dst, "wrote %d counterexample artifacts to %s%s\n", wrote, cfg.reproDir, verified)
+	return 0
+}
+
+// runCampaign executes the benchmark × engine grid and writes one
+// result per cell: JSON lines with -json, a readable table otherwise.
+func runCampaign(ctx context.Context, selected []bench.Benchmark, engineList string, limit, steps, par int, asJSON bool, stdout, stderr io.Writer) int {
+	cells, err := buildGrid(selected, engineList, limit, steps)
+	if err != nil {
+		fmt.Fprintln(stderr, "eval:", err)
+		return 2
+	}
+	// Workers <= 0 already means GOMAXPROCS to the runner.
+	runner := campaign.Runner{Workers: par}
 	if asJSON {
 		runner.OnResult = campaign.JSONLWriter(stdout)
 	} else {

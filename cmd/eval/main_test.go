@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/campaign"
 	"repro/internal/figures"
+	"repro/internal/repro"
 )
 
 // TestCampaignSmoke runs a tiny campaign end-to-end through the real
@@ -154,6 +157,97 @@ func TestCampaignStealStats(t *testing.T) {
 	}
 	if !strings.Contains(table.String(), "steal[w=2") {
 		t.Errorf("table output missing steal stats:\n%s", table.String())
+	}
+}
+
+// TestFirstBugMode drives the bug-finding pipeline end-to-end through
+// the CLI: the default engine grid (including pdpor at 1/2/4 workers)
+// sweeps a deadlocking benchmark, the table reports schedules-to-
+// first-bug per engine, and -repro/-minimize/-verify write replay-
+// verified counterexample artifacts.
+func TestFirstBugMode(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-fig", "firstbug",
+		"-bench", "philosophers-",
+		"-limit", "5000",
+		"-maxsteps", "500",
+		"-quiet",
+		"-repro", dir,
+		"-minimize", "-verify",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("eval exited %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"schedules to first bug",
+		"philosophers-2", "philosophers-3",
+		"pdpor:1", "pdpor:2", "pdpor:4",
+		"deadlock",
+		"all replay-verified",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("firstbug output missing %q:\n%s", want, out)
+		}
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two deadlocking benchmarks × 12 default engines.
+	if len(files) != 24 {
+		t.Errorf("wrote %d artifacts, want 24: %v", len(files), files)
+	}
+	a, err := repro.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Minimized || a.Kind != "deadlock" || a.SchedulesToBug < 1 {
+		t.Errorf("artifact not minimized deadlock with bug index: %+v", a)
+	}
+	bm, ok := bench.ByName(a.Trace.Program)
+	if !ok {
+		t.Fatalf("artifact names unknown program %q", a.Trace.Program)
+	}
+	if _, err := a.Replay(bm.Program); err != nil {
+		t.Errorf("artifact does not replay: %v", err)
+	}
+}
+
+// TestFirstBugJSONStream: -json streams one parseable cell per line
+// with the first-bug fields populated — and stays parseable when
+// artifact writing is enabled alongside (its summary goes to stderr).
+func TestFirstBugJSONStream(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-fig", "firstbug",
+		"-bench", "philosophers-3",
+		"-engines", "dpor,pdpor:2",
+		"-limit", "5000",
+		"-maxsteps", "500",
+		"-json", "-quiet",
+		"-repro", t.TempDir(),
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("eval exited %d\nstderr: %s", code, stderr.String())
+	}
+	results, err := campaign.ReadJSONL(&stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d cells, want 2", len(results))
+	}
+	for _, r := range results {
+		if !r.Cell.StopAtFirstBug {
+			t.Errorf("cell %s lost StopAtFirstBug", r.Cell.Engine)
+		}
+		if r.Result.FirstBugSchedule < 1 || r.Result.ViolationKind != "deadlock" {
+			t.Errorf("cell %s: first-bug fields missing: idx=%d kind=%q",
+				r.Cell.Engine, r.Result.FirstBugSchedule, r.Result.ViolationKind)
+		}
 	}
 }
 

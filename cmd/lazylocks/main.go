@@ -9,132 +9,177 @@
 // prints the paper's headline counters (#schedules, #HBRs, #lazy HBRs,
 // #states) and, when a safety violation is found, replays and prints
 // the violating schedule.
+//
+// The repro workflow: -save writes the violation as a portable
+// counterexample artifact (-minimize ddmin-shrinks it first), and
+// -replay re-executes a saved artifact — or a bare internal/trace
+// schedule file — verifying it reproduces identically.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/explore"
+	"repro/internal/repro"
 	"repro/internal/trace"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code
+// (0 clean, 1 tool error, 2 usage, 3 violation found).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lazylocks", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list   = flag.Bool("list", false, "list benchmarks and exit")
-		name   = flag.String("bench", "", "benchmark name (see -list)")
-		engine = flag.String("engine", "dpor", fmt.Sprintf("engine: one of %v", core.EngineNames()))
-		limit  = flag.Int("limit", 100000, "schedule limit (0 = unlimited)")
-		steps  = flag.Int("maxsteps", 2000, "per-execution event bound")
-		printT = flag.Bool("trace", true, "print the violating trace when one is found")
-		save   = flag.String("save", "", "write the violating schedule to this JSON file")
-		replay = flag.String("replay", "", "replay a schedule JSON file instead of exploring")
+		list     = fs.Bool("list", false, "list benchmarks and exit")
+		name     = fs.String("bench", "", "benchmark name (see -list)")
+		engine   = fs.String("engine", "dpor", fmt.Sprintf("engine: one of %v", core.EngineNames()))
+		limit    = fs.Int("limit", 100000, "schedule limit (0 = unlimited)")
+		steps    = fs.Int("maxsteps", 2000, "per-execution event bound")
+		firstBug = fs.Bool("firstbug", false, "stop at the first violation and report schedules-to-first-bug")
+		printT   = fs.Bool("trace", true, "print the violating trace when one is found")
+		save     = fs.String("save", "", "write the violation as a counterexample artifact to this JSON file")
+		minimize = fs.Bool("minimize", false, "ddmin-minimize the artifact before saving")
+		replay   = fs.String("replay", "", "replay a counterexample artifact (or bare schedule file) instead of exploring")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, b := range bench.All() {
-			fmt.Printf("%2d %-26s %-16s %s\n", b.ID, b.Name, b.Family, b.Notes)
+			fmt.Fprintf(stdout, "%2d %-26s %-16s %s\n", b.ID, b.Name, b.Family, b.Notes)
 		}
-		return
+		return 0
 	}
 	b, ok := bench.ByName(*name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "lazylocks: unknown benchmark %q (use -list)\n", *name)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "lazylocks: unknown benchmark %q (use -list)\n", *name)
+		return 2
 	}
 	if *replay != "" {
-		replayFile(b, *replay, *steps)
-		return
+		return replayFile(b, *replay, *steps, stdout, stderr)
 	}
 	rep, err := core.Check(b.Program, core.EngineName(*engine), explore.Options{
-		ScheduleLimit: *limit,
-		MaxSteps:      *steps,
+		ScheduleLimit:  *limit,
+		MaxSteps:       *steps,
+		StopAtFirstBug: *firstBug,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lazylocks:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "lazylocks:", err)
+		return 1
 	}
 	r := rep.Result
-	fmt.Printf("benchmark : %s (id %d, %s)\n", b.Name, b.ID, b.Family)
-	fmt.Printf("engine    : %s\n", r.Engine)
-	fmt.Printf("schedules : %d (terminals %d, pruned %d, truncated %d)%s\n",
+	fmt.Fprintf(stdout, "benchmark : %s (id %d, %s)\n", b.Name, b.ID, b.Family)
+	fmt.Fprintf(stdout, "engine    : %s\n", r.Engine)
+	fmt.Fprintf(stdout, "schedules : %d (terminals %d, pruned %d, truncated %d)%s\n",
 		r.Schedules, r.Terminals, r.Pruned, r.Truncated, hitLimitNote(r.HitLimit))
-	fmt.Printf("classes   : #HBRs=%d  #lazy HBRs=%d  #states=%d\n",
+	fmt.Fprintf(stdout, "classes   : #HBRs=%d  #lazy HBRs=%d  #states=%d\n",
 		r.DistinctHBRs, r.DistinctLazyHBRs, r.DistinctStates)
-	fmt.Printf("safety    : deadlocks=%d assert-failures=%d lock-errors=%d races=%d\n",
+	fmt.Fprintf(stdout, "safety    : deadlocks=%d assert-failures=%d lock-errors=%d races=%d\n",
 		r.Deadlocks, r.AssertFailures, r.LockErrors, r.Races)
-	if rep.Violation != nil {
-		fmt.Printf("violation : %s\n", rep.Violation)
-		if *save != "" {
-			rec := trace.FromOutcome(b.Program, rep.Violation.Outcome, rep.Violation.Kind)
-			f, err := os.Create(*save)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "lazylocks:", err)
-				os.Exit(1)
-			}
-			if err := rec.Write(f); err != nil {
-				fmt.Fprintln(os.Stderr, "lazylocks:", err)
-				os.Exit(1)
-			}
-			f.Close()
-			fmt.Printf("saved     : %s\n", *save)
-		}
-		if *printT {
-			fmt.Println("trace:")
-			for i, ev := range rep.Violation.Outcome.Trace {
-				fmt.Printf("  %3d %v\n", i, ev)
-			}
-			for _, f := range rep.Violation.Outcome.Failures {
-				fmt.Printf("  failure: %v\n", f)
-			}
-			for _, race := range rep.Violation.Outcome.Races {
-				fmt.Printf("  race: %v\n", race)
-			}
-			if rep.Violation.Outcome.Deadlock {
-				fmt.Println("  deadlock: no enabled thread at end of trace")
-			}
-		}
-		os.Exit(3)
+	if rep.Violation == nil {
+		return 0
 	}
+	fmt.Fprintf(stdout, "violation : %s (schedule %d)\n", rep.Violation, r.FirstBugSchedule)
+	if *save != "" {
+		w, _ := repro.FromResult(r)
+		a, err := repro.Capture(b.Program, w, *steps)
+		if err != nil {
+			fmt.Fprintln(stderr, "lazylocks:", err)
+			return 1
+		}
+		if *minimize {
+			min, stats, err := repro.Minimize(b.Program, a, 0)
+			if err != nil {
+				fmt.Fprintln(stderr, "lazylocks:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "minimized : %d→%d choices, %d→%d preemptions (%d replays)\n",
+				stats.OriginalChoices, stats.MinChoices,
+				stats.OriginalPreemptions, stats.MinPreemptions, stats.Replays)
+			a = min
+		}
+		if err := a.WriteFile(*save); err != nil {
+			fmt.Fprintln(stderr, "lazylocks:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "saved     : %s\n", *save)
+	}
+	if *printT {
+		fmt.Fprintln(stdout, "trace:")
+		for i, ev := range rep.Violation.Outcome.Trace {
+			fmt.Fprintf(stdout, "  %3d %v\n", i, ev)
+		}
+		for _, f := range rep.Violation.Outcome.Failures {
+			fmt.Fprintf(stdout, "  failure: %v\n", f)
+		}
+		for _, race := range rep.Violation.Outcome.Races {
+			fmt.Fprintf(stdout, "  race: %v\n", race)
+		}
+		if rep.Violation.Outcome.Deadlock {
+			fmt.Fprintln(stdout, "  deadlock: no enabled thread at end of trace")
+		}
+	}
+	return 3
 }
 
-// replayFile loads a recorded schedule and re-executes it against the
-// benchmark, printing the reproduced trace.
-func replayFile(b bench.Benchmark, path string, steps int) {
-	f, err := os.Open(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lazylocks:", err)
-		os.Exit(1)
+// replayFile loads a counterexample artifact (preferred) or a bare
+// trace schedule and re-executes it against the benchmark, verifying
+// the reproduction and printing the reproduced trace.
+func replayFile(b bench.Benchmark, path string, steps int, stdout, stderr io.Writer) int {
+	var out exec.Outcome
+	var kind string
+	if a, err := repro.ReadFile(path); err == nil {
+		out, err = a.Replay(b.Program)
+		if err != nil {
+			fmt.Fprintln(stderr, "lazylocks:", err)
+			return 1
+		}
+		kind = a.Kind
+		fmt.Fprintf(stdout, "artifact  : %s\n", a)
+	} else {
+		f, ferr := os.Open(path)
+		if ferr != nil {
+			fmt.Fprintln(stderr, "lazylocks:", ferr)
+			return 1
+		}
+		rec, rerr := trace.Read(f)
+		f.Close()
+		if rerr != nil {
+			fmt.Fprintf(stderr, "lazylocks: %s is neither an artifact (%v) nor a schedule (%v)\n", path, err, rerr)
+			return 1
+		}
+		out, rerr = rec.Replay(b.Program, exec.Options{MaxSteps: steps})
+		if rerr != nil {
+			fmt.Fprintln(stderr, "lazylocks:", rerr)
+			return 1
+		}
+		kind = rec.Kind
 	}
-	defer f.Close()
-	rec, err := trace.Read(f)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lazylocks:", err)
-		os.Exit(1)
-	}
-	out, err := rec.Replay(b.Program, exec.Options{MaxSteps: steps})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lazylocks:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("replayed %d events of %s (%s)\n", len(out.Trace), b.Name, rec.Kind)
+	fmt.Fprintf(stdout, "replayed %d events of %s (%s)\n", len(out.Trace), b.Name, kind)
 	for i, ev := range out.Trace {
-		fmt.Printf("  %3d %v\n", i, ev)
+		fmt.Fprintf(stdout, "  %3d %v\n", i, ev)
 	}
 	if out.Deadlock {
-		fmt.Println("  deadlock reproduced")
+		fmt.Fprintln(stdout, "  deadlock reproduced")
 	}
 	for _, fl := range out.Failures {
-		fmt.Printf("  failure: %v\n", fl)
+		fmt.Fprintf(stdout, "  failure: %v\n", fl)
 	}
 	for _, r := range out.Races {
-		fmt.Printf("  race: %v\n", r)
+		fmt.Fprintf(stdout, "  race: %v\n", r)
 	}
+	return 0
 }
 
 func hitLimitNote(hit bool) string {

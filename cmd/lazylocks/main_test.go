@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/repro"
+)
+
+// TestListAndUnknownBench covers the front-door paths.
+func TestListAndUnknownBench(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "philosophers-3") {
+		t.Errorf("-list output missing benchmarks:\n%s", stdout.String())
+	}
+	if code := run([]string{"-bench", "no-such"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown benchmark exited %d, want 2", code)
+	}
+	if code := run([]string{"-bench", "philosophers-3", "-engine", "bogus"}, &stdout, &stderr); code != 1 {
+		t.Errorf("unknown engine exited %d, want 1", code)
+	}
+}
+
+// TestCleanBenchmarkExitsZero: a violation-free exploration reports
+// its counters and exits 0.
+func TestCleanBenchmarkExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-bench", "philosophers-ordered-2", "-engine", "dpor", "-maxsteps", "500"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("clean benchmark exited %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"benchmark : philosophers-ordered-2", "schedules :", "#lazy HBRs="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFindSaveMinimizeReplay drives the repro workflow end-to-end
+// through the CLI: find the deadlock in first-bug mode, save a
+// minimized artifact, read it back and replay it.
+func TestFindSaveMinimizeReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "phil3.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-bench", "philosophers-3", "-engine", "dpor",
+		"-firstbug", "-maxsteps", "500",
+		"-save", path, "-minimize", "-trace=false",
+	}, &stdout, &stderr)
+	if code != 3 {
+		t.Fatalf("violating benchmark exited %d, want 3\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"violation : deadlock", "minimized :", "saved     :"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	a, err := repro.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Minimized || a.Kind != "deadlock" || a.Engine != "dpor" {
+		t.Errorf("saved artifact wrong: %+v", a)
+	}
+
+	stdout.Reset()
+	code = run([]string{"-bench", "philosophers-3", "-replay", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("replay exited %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "deadlock reproduced") {
+		t.Errorf("replay output missing reproduction:\n%s", stdout.String())
+	}
+
+	// Replaying against the wrong benchmark must fail loudly.
+	if code := run([]string{"-bench", "philosophers-2", "-replay", path}, &stdout, &stderr); code != 1 {
+		t.Errorf("cross-program replay exited %d, want 1", code)
+	}
+}

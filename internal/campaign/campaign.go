@@ -36,6 +36,10 @@ type Cell struct {
 	// RecordStates retains the distinct terminal state keys in the
 	// result (costly on large spaces).
 	RecordStates bool `json:"record_states,omitempty"`
+	// StopAtFirstBug runs the cell in bug-finding mode: the engine
+	// stops at the first terminal violation and the result's
+	// FirstBugSchedule reports the schedules-to-first-bug metric.
+	StopAtFirstBug bool `json:"stop_at_first_bug,omitempty"`
 }
 
 // CellResult is one completed cell, the unit of the runner's streaming
@@ -139,10 +143,11 @@ func runCell(ctx context.Context, index int, c Cell) (out CellResult) {
 		return out
 	}
 	opt := explore.Options{
-		ScheduleLimit: c.ScheduleLimit,
-		MaxSteps:      c.MaxSteps,
-		RecordStates:  c.RecordStates,
-		Ctx:           ctx,
+		ScheduleLimit:  c.ScheduleLimit,
+		MaxSteps:       c.MaxSteps,
+		RecordStates:   c.RecordStates,
+		StopAtFirstBug: c.StopAtFirstBug,
+		Ctx:            ctx,
 	}
 	if err := opt.Validate(); err != nil {
 		out.Err = err.Error()

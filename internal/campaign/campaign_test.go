@@ -3,10 +3,13 @@ package campaign
 import (
 	"bytes"
 	"context"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/explore"
 )
 
 // TestRunnerGrid: a small benchmark × engine grid runs to completion,
@@ -203,5 +206,68 @@ func TestParseSpecs(t *testing.T) {
 	}
 	if _, err := ParseSpecs(" , "); err == nil {
 		t.Error("empty list accepted")
+	}
+}
+
+// TestCellStopAtFirstBug: a first-bug cell stops at the violating
+// schedule and reports the schedules-to-first-bug index; the field
+// survives the JSONL stream.
+func TestCellStopAtFirstBug(t *testing.T) {
+	var buf bytes.Buffer
+	r := Runner{Workers: 1, OnResult: JSONLWriter(&buf)}
+	results, err := r.Run(nil, []Cell{
+		{Bench: "philosophers-3", Engine: "dpor", ScheduleLimit: 5000, MaxSteps: 500, StopAtFirstBug: true},
+		{Bench: "philosophers-ordered-2", Engine: "dpor", ScheduleLimit: 5000, MaxSteps: 500, StopAtFirstBug: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buggy, clean := results[0].Result, results[1].Result
+	if buggy.FirstViolation == nil || buggy.ViolationKind != "deadlock" {
+		t.Fatalf("philosophers-3 first-bug cell found no deadlock: %+v", buggy)
+	}
+	if buggy.FirstBugSchedule != buggy.Schedules {
+		t.Errorf("stopped after %d schedules but the bug was schedule %d", buggy.Schedules, buggy.FirstBugSchedule)
+	}
+	if clean.FirstViolation != nil || clean.FirstBugSchedule != 0 || clean.HitLimit {
+		t.Errorf("deadlock-free benchmark misreported: %+v", clean)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back[0].Cell.StopAtFirstBug || back[0].Result.FirstBugSchedule != buggy.FirstBugSchedule {
+		t.Errorf("first-bug fields lost in JSONL round trip: %+v", back[0])
+	}
+}
+
+// TestParallelFirstBugDeterministicMerge: without StopAtFirstBug the
+// parallel engines' merged FirstViolation/FirstBugSchedule come from
+// the deterministic unit order, so repeated runs agree with each other
+// regardless of worker interleaving.
+func TestParallelFirstBugDeterministicMerge(t *testing.T) {
+	bm := mustProgram(t, "philosophers-3")
+	opt := explore.Options{MaxSteps: 2000}
+	base := ParallelDPOR(bm.Program, opt, 4)
+	if base.FirstViolation == nil || base.FirstBugSchedule < 1 || base.FirstBugSchedule > base.Schedules {
+		t.Fatalf("merged first-bug fields invalid: idx=%d of %d", base.FirstBugSchedule, base.Schedules)
+	}
+	for rep := 0; rep < 3; rep++ {
+		again := ParallelDPOR(bm.Program, opt, 4)
+		if again.FirstBugSchedule != base.FirstBugSchedule ||
+			!reflect.DeepEqual(again.FirstViolation, base.FirstViolation) {
+			t.Fatalf("merged witness not deterministic: idx %d vs %d", again.FirstBugSchedule, base.FirstBugSchedule)
+		}
+	}
+	// With StopAtFirstBug the search winds down early: fewer schedules
+	// than the exhaustive run, and a witness is still captured.
+	stop := opt
+	stop.StopAtFirstBug = true
+	early := ParallelDPOR(bm.Program, stop, 4)
+	if early.FirstViolation == nil {
+		t.Fatal("StopAtFirstBug run lost the witness")
+	}
+	if early.Schedules > base.Schedules {
+		t.Errorf("StopAtFirstBug explored %d schedules, exhaustive run %d", early.Schedules, base.Schedules)
 	}
 }

@@ -132,6 +132,10 @@ func mergeUnits(name string, src model.Source, opt explore.Options, dedup *explo
 		if merged.FirstViolation == nil && u.FirstViolation != nil {
 			merged.FirstViolation = u.FirstViolation
 			merged.ViolationKind = u.ViolationKind
+			// Schedules-to-first-bug in the deterministic unit order:
+			// units merged before this one ran to completion without a
+			// witness, so their schedules all precede the bug.
+			merged.FirstBugSchedule = merged.Schedules - u.Schedules + u.FirstBugSchedule
 		}
 	}
 	merged.DistinctHBRs, merged.DistinctLazyHBRs, merged.DistinctStates = dedup.Counts()

@@ -30,10 +30,13 @@ import (
 // wsUnit is one frontier unit: explore the subtree beneath prefix. The
 // seed, when non-nil, is a private tracker clone covering the first
 // len(prefix)-1 events, so the unit's prefix replay advances only the
-// machine.
+// machine. sleep is the sleep set of the unit's root state (the
+// explore.Options.SleepSeed the unit engine starts from); always zero
+// when the search runs without sleep sets.
 type wsUnit struct {
 	prefix []event.ThreadID
 	seed   *hb.Tracker
+	sleep  uint64
 }
 
 // key renders the unit's prefix as a map key (one byte per choice;
@@ -175,6 +178,18 @@ func (q *stealQueue) complete() { q.outstanding.Add(-1) }
 // with FNV.
 const nodeShards = 64
 
+// nodeEntry is one published node's table state: the monotone claim
+// set, plus the node's sleep-set context (write-once at publish, read
+// without the shard lock afterwards — only done mutates under it).
+type nodeEntry struct {
+	done uint64
+	// Sleep-set context copied from the publisher's explore.NodeInfo;
+	// zero/nil when the search runs without sleep sets.
+	sleep   uint64
+	pendSet uint64
+	pend    []event.Op
+}
+
 // nodeTable is the shared claim registry of published schedule-tree
 // nodes: done[t] means branch t of the node has been (or is being)
 // explored by some unit. Escaped backtrack additions claim against it,
@@ -182,21 +197,21 @@ const nodeShards = 64
 type nodeTable struct {
 	shards [nodeShards]struct {
 		mu sync.Mutex
-		m  map[string]uint64
+		m  map[string]*nodeEntry
 	}
 }
 
 func newNodeTable() *nodeTable {
 	t := &nodeTable{}
 	for i := range t.shards {
-		t.shards[i].m = map[string]uint64{}
+		t.shards[i].m = map[string]*nodeEntry{}
 	}
 	return t
 }
 
 func (t *nodeTable) shard(key string) *struct {
 	mu sync.Mutex
-	m  map[string]uint64
+	m  map[string]*nodeEntry
 } {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {
@@ -207,36 +222,50 @@ func (t *nodeTable) shard(key string) *struct {
 
 // publish registers the node with the given claimed set and claims the
 // pending branches on top, returning the pending branches that were
-// actually fresh. By the publish-before-ship invariant each key is
-// published exactly once and escapes only target published keys, so
-// done is zero here and fresh == pending; the dedup is kept as a cheap
-// safety net should that invariant ever break.
-func (t *nodeTable) publish(key string, claimed, pending uint64) uint64 {
+// actually fresh plus the node's entry (with the claim set as it stood
+// before this call folded in). By the publish-before-ship invariant
+// each key is published exactly once and escapes only target published
+// keys, so prior is zero here and fresh == pending; the dedup is kept
+// as a cheap safety net should that invariant ever break. info's Pend
+// view is copied.
+func (t *nodeTable) publish(key string, claimed, pending uint64, info *explore.NodeInfo) (fresh, prior uint64, e *nodeEntry) {
 	s := t.shard(key)
 	s.mu.Lock()
-	done := s.m[key]
-	fresh := pending &^ done
-	s.m[key] = done | claimed | pending
+	e = s.m[key]
+	if e == nil {
+		e = &nodeEntry{}
+		s.m[key] = e
+	}
+	prior = e.done
+	fresh = pending &^ prior
+	e.done = prior | claimed | pending
+	if info != nil && e.pendSet == 0 {
+		e.sleep = info.Sleep
+		e.pendSet = info.PendSet
+		e.pend = append([]event.Op(nil), info.Pend...)
+	}
 	s.mu.Unlock()
-	return fresh
+	return fresh, prior, e
 }
 
-// claim marks cands as taken and returns the subset that was fresh.
+// claim marks cands as taken and returns the subset that was fresh
+// plus the claim set as it stood before the call and the node's entry.
 // The node must have been published — an escape can only target a
 // node some unit's prefix runs through, and every unit's proper
 // prefixes are published before the unit exists.
-func (t *nodeTable) claim(key string, cands uint64) uint64 {
+func (t *nodeTable) claim(key string, cands uint64) (fresh, prior uint64, e *nodeEntry) {
 	s := t.shard(key)
 	s.mu.Lock()
-	done, ok := s.m[key]
+	e, ok := s.m[key]
 	if !ok {
 		s.mu.Unlock()
 		panic("campaign: escaped backtrack point targets an unpublished node")
 	}
-	fresh := cands &^ done
-	s.m[key] = done | cands
+	prior = e.done
+	fresh = cands &^ prior
+	e.done = prior | cands
 	s.mu.Unlock()
-	return fresh
+	return fresh, prior, e
 }
 
 // sharedHooks is the per-search coordinator state shared by every
@@ -257,17 +286,54 @@ type workerHooks struct {
 	worker int
 }
 
+// forceDonate, set by tests before a search starts, makes every worker
+// report starvation so donation — and with it the unit-shipping paths
+// (tracker seeds, sleep seeds, escapes into foreign prefixes) — fires
+// at every opportunity. With one worker the resulting search is fully
+// deterministic, which is what the shipping exactness tests pin.
+var forceDonate bool
+
 // Starving implements explore.Steal: donate only while spinning
 // workers outnumber the units already queued.
-func (h workerHooks) Starving() bool { return h.q.starving.Load() > h.q.queued.Load() }
+func (h workerHooks) Starving() bool {
+	return forceDonate || h.q.starving.Load() > h.q.queued.Load()
+}
+
+// unitSleep derives the root sleep set of a unit that takes branch t
+// from the published node e while done holds the branches claimed
+// before t — the sequential child-node rule: a thread in
+// sleep ∪ (done ∖ {t}) stays asleep iff its pending operation at the
+// node is independent of the operation t executes there. Zero when the
+// node carries no sleep context (sleep sets off).
+func unitSleep(e *nodeEntry, done uint64, t event.ThreadID) uint64 {
+	if e == nil || e.pendSet == 0 || e.pendSet&(1<<uint(t)) == 0 {
+		return 0
+	}
+	inherit := (e.sleep | (done &^ (1 << uint(t)))) & e.pendSet
+	var s uint64
+	for m := inherit; m != 0; m &= m - 1 {
+		q := bits.TrailingZeros64(m)
+		if !event.Dependent(e.pend[q], e.pend[t]) {
+			s |= 1 << uint(q)
+		}
+	}
+	return s
+}
 
 // ship creates one unit per set bit of fresh, branching the node
-// prefix, and pushes them onto the worker's stripe.
-func (h workerHooks) ship(prefix []event.ThreadID, fresh uint64, seed func() *hb.Tracker, donated bool) {
+// prefix, and pushes them onto the worker's stripe. done holds the
+// node's claim set before the first shipped branch; sleep seeds are
+// derived as if the branches were explored in bit order, mirroring the
+// sequential engine's ascending backtrack pops.
+func (h workerHooks) ship(prefix []event.ThreadID, fresh, done uint64, e *nodeEntry, seed func() *hb.Tracker, donated bool) {
 	for fresh != 0 {
 		t := event.ThreadID(bits.TrailingZeros64(fresh))
 		fresh &= fresh - 1
-		u := &wsUnit{prefix: append(append([]event.ThreadID(nil), prefix...), t)}
+		u := &wsUnit{
+			prefix: append(append([]event.ThreadID(nil), prefix...), t),
+			sleep:  unitSleep(e, done, t),
+		}
+		done |= 1 << uint(t)
 		// A seed pays off only when it covers at least one event: the
 		// engine ignores TrackerSeed on single-choice prefixes.
 		if seed != nil && len(prefix) > 0 {
@@ -284,22 +350,22 @@ func (h workerHooks) ship(prefix []event.ThreadID, fresh uint64, seed func() *hb
 }
 
 // Publish implements explore.Steal.
-func (h workerHooks) Publish(prefix []event.ThreadID, claimed, pending uint64, seed func() *hb.Tracker) uint64 {
-	fresh := h.table.publish(prefixKey(prefix), claimed, pending)
-	h.ship(prefix, fresh, seed, true)
+func (h workerHooks) Publish(prefix []event.ThreadID, claimed, pending uint64, seed func() *hb.Tracker, info *explore.NodeInfo) uint64 {
+	fresh, prior, e := h.table.publish(prefixKey(prefix), claimed, pending, info)
+	h.ship(prefix, fresh, prior|claimed, e, seed, true)
 	return fresh
 }
 
 // Escape implements explore.Steal.
 func (h workerHooks) Escape(prefix []event.ThreadID, cands uint64, seed func() *hb.Tracker) {
-	fresh := h.table.claim(prefixKey(prefix), cands)
-	h.ship(prefix, fresh, seed, false)
+	fresh, prior, e := h.table.claim(prefixKey(prefix), cands)
+	h.ship(prefix, fresh, prior, e, seed, false)
 }
 
 // Claim implements explore.Steal: grant the fresh branches to the
 // calling engine for in-place exploration.
 func (h workerHooks) Claim(prefix []event.ThreadID, cands uint64) uint64 {
-	fresh := h.table.claim(prefixKey(prefix), cands)
+	fresh, _, _ := h.table.claim(prefixKey(prefix), cands)
 	if fresh != 0 {
 		h.localClaims.Add(1)
 	}
@@ -335,6 +401,11 @@ func workStealDPOR(src model.Source, opt explore.Options, workers int) ([]unitOu
 	// soon as the other workers report starvation.
 	q.push(0, &wsUnit{})
 
+	// bugFound flips once any worker's unit captured a violation under
+	// StopAtFirstBug: units already running stop at their own first
+	// bug, queued units drain as no-ops so the search winds down fast.
+	var bugFound atomic.Bool
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -348,6 +419,8 @@ func workStealDPOR(src model.Source, opt explore.Options, workers int) ([]unitOu
 				}
 				var res explore.Result
 				switch {
+				case opt.StopAtFirstBug && bugFound.Load():
+					res = explore.Result{}
 				case budget != nil && budget.Exhausted():
 					res = explore.Result{HitLimit: true}
 				case unitOpt.Ctx != nil && unitOpt.Ctx.Err() != nil:
@@ -356,8 +429,12 @@ func workStealDPOR(src model.Source, opt explore.Options, workers int) ([]unitOu
 					o := unitOpt
 					o.Prefix = u.prefix
 					o.TrackerSeed = u.seed
+					o.SleepSeed = u.sleep
 					o.Steal = hooks
 					res = explore.NewDPOR(opt.SleepSets).Explore(src, o)
+					if opt.StopAtFirstBug && res.FirstViolation != nil {
+						bugFound.Store(true)
+					}
 				}
 				mu.Lock()
 				outcomes = append(outcomes, unitOutcome{key: u.key(), res: res})

@@ -107,6 +107,77 @@ func TestWorkStealDPORSleepCoverage(t *testing.T) {
 	}
 }
 
+// TestWorkStealDPORShippedSleepExact pins the sleep-set shipping
+// contract. Forced donation fragments the search into one unit per
+// branch, so every unit's root sleep set comes from the shipping path
+// (the TrackerSeed route the ROADMAP item calls for) instead of the
+// engine's local inheritance. With one worker the search is fully
+// deterministic and must be byte-identical to sequential DPOR+sleep —
+// including #schedules and #sleep-blocked, the counters the unshipped
+// scheme inflated. At higher worker counts claim order is timing-
+// dependent (sleep sets make the schedule list order-dependent), so
+// there the pinned properties are exact coverage plus the pruning
+// actually biting: no more schedules than the sleep-free search.
+func TestWorkStealDPORShippedSleepExact(t *testing.T) {
+	forceDonate = true
+	defer func() { forceDonate = false }()
+	for _, name := range exactBenches {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			bm := mustProgram(t, name)
+			opt := explore.Options{MaxSteps: 2000, RecordStates: true, SleepSets: true}
+			seq := explore.NewDPOR(true).Explore(bm.Program, opt)
+			noSleep := explore.NewDPOR(false).Explore(bm.Program, explore.Options{MaxSteps: 2000})
+
+			solo := ParallelDPOR(bm.Program, opt, 1)
+			assertExact(t, 1, seq, solo, true)
+			if solo.SleepBlocked != seq.SleepBlocked {
+				t.Errorf("workers=1: sleep-blocked %d, sequential %d", solo.SleepBlocked, seq.SleepBlocked)
+			}
+			if solo.Steal.Units < seq.Schedules/2 {
+				t.Errorf("forced donation shipped only %d units over %d schedules; the shipping path is not exercised",
+					solo.Steal.Units, solo.Schedules)
+			}
+
+			for _, workers := range []int{2, 4} {
+				par := ParallelDPOR(bm.Program, opt, workers)
+				if par.DistinctHBRs != seq.DistinctHBRs ||
+					par.DistinctLazyHBRs != seq.DistinctLazyHBRs ||
+					par.DistinctStates != seq.DistinctStates {
+					t.Errorf("workers=%d coverage mismatch: par hbrs=%d lazy=%d states=%d, seq hbrs=%d lazy=%d states=%d",
+						workers, par.DistinctHBRs, par.DistinctLazyHBRs, par.DistinctStates,
+						seq.DistinctHBRs, seq.DistinctLazyHBRs, seq.DistinctStates)
+				}
+				if par.Schedules > noSleep.Schedules {
+					t.Errorf("workers=%d: shipped sleep sets explored %d schedules, more than sleep-free DPOR's %d",
+						workers, par.Schedules, noSleep.Schedules)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkStealDPORForcedDonationExact extends the no-sleep exactness
+// contract to maximal fragmentation: even when every pending branch is
+// donated as its own unit, the claim table keeps the merged counters —
+// including #schedules — byte-identical to sequential DPOR.
+func TestWorkStealDPORForcedDonationExact(t *testing.T) {
+	forceDonate = true
+	defer func() { forceDonate = false }()
+	for _, name := range exactBenches {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			bm := mustProgram(t, name)
+			opt := explore.Options{MaxSteps: 2000, RecordStates: true}
+			seq := explore.NewDPOR(false).Explore(bm.Program, opt)
+			for _, workers := range stealWorkerCounts {
+				par := ParallelDPOR(bm.Program, opt, workers)
+				assertExact(t, workers, seq, par, true)
+			}
+		})
+	}
+}
+
 // TestWorkStealDPORBudget: the shared budget stops the work-stealing
 // search within workers−1 schedules of the limit, and a one-worker run
 // reproduces the sequential limit exactly.
@@ -257,26 +328,27 @@ func TestStealQueueRaceStress(t *testing.T) {
 func TestNodeTableClaims(t *testing.T) {
 	tab := newNodeTable()
 	key := prefixKey([]event.ThreadID{0, 1, 2})
-	if fresh := tab.publish(key, 0b001, 0b110); fresh != 0b110 {
+	if fresh, _, _ := tab.publish(key, 0b001, 0b110, nil); fresh != 0b110 {
 		t.Fatalf("publish returned fresh=%b, want 110", fresh)
 	}
-	if fresh := tab.claim(key, 0b111); fresh != 0 {
+	if fresh, _, _ := tab.claim(key, 0b111); fresh != 0 {
 		t.Fatalf("claim of taken branches returned %b, want 0", fresh)
 	}
-	if fresh := tab.claim(key, 0b1011); fresh != 0b1000 {
-		t.Fatalf("claim returned %b, want 1000", fresh)
+	if fresh, prior, _ := tab.claim(key, 0b1011); fresh != 0b1000 || prior != 0b111 {
+		t.Fatalf("claim returned fresh=%b prior=%b, want 1000/111", fresh, prior)
 	}
 
 	workers := runtime.GOMAXPROCS(0)
 	var wg sync.WaitGroup
 	var granted atomic64
-	tab.publish("shared", 0, 0)
+	tab.publish("shared", 0, 0, nil)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for bit := 0; bit < 64; bit++ {
-				granted.add(int64(bits.OnesCount64(tab.claim("shared", 1<<uint(bit)))))
+				fresh, _, _ := tab.claim("shared", 1<<uint(bit))
+				granted.add(int64(bits.OnesCount64(fresh)))
 			}
 		}()
 	}

@@ -118,9 +118,11 @@ type Outcome struct {
 	// happens-before relations.
 	HBFP, LazyFP hb.Fingerprint
 	// StateKey exactly encodes the final machine state; StateHash is
-	// its 64-bit digest.
+	// its 64-bit digest and StateSig the 128-bit digest the
+	// exploration engines' distinct-state sets key on.
 	StateKey  string
 	StateHash uint64
+	StateSig  model.StateSig
 	// Deadlock is set when the execution ended with blocked threads
 	// and nothing enabled.
 	Deadlock bool
@@ -139,6 +141,14 @@ type Outcome struct {
 // (assertion failure, lock misuse, deadlock or data race).
 func (o *Outcome) Failed() bool {
 	return len(o.Failures) > 0 || o.Deadlock || len(o.Races) > 0
+}
+
+// ViolationKind names the outcome's most severe safety violation,
+// using the classes and precedence shared with the exploration
+// recorder (model.ViolationKind); "" when the execution is
+// violation-free.
+func (o *Outcome) ViolationKind() string {
+	return model.ViolationKind(o.Deadlock, o.Failures, len(o.Races) > 0)
 }
 
 // Run executes src to completion under ch.
@@ -189,6 +199,7 @@ func Run(src model.Source, ch Chooser, opt Options) Outcome {
 	out.LazyFP = tr.LazyFingerprint()
 	out.StateKey = m.StateKey()
 	out.StateHash = m.StateHash()
+	out.StateSig = m.StateSig()
 	out.Failures = m.Failures()
 	out.Races = tr.Races()
 	return out

@@ -185,9 +185,15 @@ func (e *iterEngine) Explore(src model.Source, opt Options) Result {
 		if merged.FirstViolation == nil && res.FirstViolation != nil {
 			merged.FirstViolation = res.FirstViolation
 			merged.ViolationKind = res.ViolationKind
+			// merged.Schedules already includes this round's, so the
+			// rounds before it contributed Schedules − res.Schedules.
+			merged.FirstBugSchedule = merged.Schedules - res.Schedules + res.FirstBugSchedule
 		}
 		if opt.RecordStates && len(res.States) >= len(merged.States) {
 			merged.States = res.States
+		}
+		if opt.StopAtFirstBug && merged.FirstViolation != nil {
+			break
 		}
 		if budget > 0 {
 			budget -= res.Schedules

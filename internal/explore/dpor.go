@@ -448,7 +448,11 @@ func (e *dporEngine) Explore(src model.Source, opt Options) Result {
 			// retired locally: pending bits already claimed in the
 			// table are this engine's own earlier Claim grants, which
 			// it still owes an in-place exploration.
-			shipped := steal.Publish(c.choices[:base+j], uint64(n.done), uint64(pending), seedAt(base+j))
+			var info *NodeInfo
+			if e.sleep {
+				info = &NodeInfo{Sleep: uint64(n.sleep), Pend: n.pend, PendSet: uint64(n.pendSet)}
+			}
+			shipped := steal.Publish(c.choices[:base+j], uint64(n.done), uint64(pending), seedAt(base+j), info)
 			n.done |= tset(shipped)
 		}
 		pubLocal = dIdx + 1
@@ -580,6 +584,13 @@ func (e *dporEngine) Explore(src model.Source, opt Options) Result {
 				n.pend[q] = op
 				n.pendSet.add(t)
 			}
+		}
+		if e.sleep && len(nodes) == 0 {
+			// The subtree root: a work-stealing coordinator shipped the
+			// sleep set this node would carry in the sequential search
+			// (already filtered by dependence against the prefix's last
+			// event); a standalone search starts with nothing asleep.
+			n.sleep = tset(opt.SleepSeed)
 		}
 		if e.sleep && len(nodes) > 0 {
 			parent := nodes[len(nodes)-1]

@@ -98,6 +98,51 @@ type Options struct {
 	// over instead of dropped, and pending local branches can be
 	// donated to starving workers. See the Steal interface.
 	Steal Steal
+
+	// SleepSeed is the sleep set (a thread bitmask) of the state
+	// reached after replaying Prefix — the root of the explored
+	// subtree. Work-stealing coordinators compute it when shipping a
+	// unit so DPOR with sleep sets prunes beneath a pinned prefix
+	// exactly as the sequential engine would at that node. Zero (the
+	// default) means no thread sleeps at the root. Ignored by engines
+	// without sleep sets.
+	SleepSeed uint64
+
+	// StopAtFirstBug stops the search the moment a terminal execution
+	// exhibits a safety violation: the violating execution is counted,
+	// Result.FirstViolation/ViolationKind/FirstBugSchedule describe
+	// the witness, and no further schedules run. This is the paper's
+	// bug-finding metric — schedules executed until the first bug.
+	StopAtFirstBug bool
+
+	// OnViolation, when non-nil, is invoked (on the engine's
+	// goroutine) for every terminal execution that exhibits a safety
+	// violation, with a self-contained witness. Parallel searches call
+	// it from multiple worker goroutines concurrently; callbacks must
+	// synchronise internally.
+	OnViolation func(Witness)
+}
+
+// Witness describes one violating terminal execution the moment it is
+// seen: everything the repro subsystem needs to capture a portable,
+// deterministically replayable counterexample.
+type Witness struct {
+	// Program names the program under test; Engine the engine that
+	// found the witness.
+	Program, Engine string
+	// Choices is the complete schedule — the thread scheduled at every
+	// step, including any pinned Options.Prefix. Replaying it through
+	// an exec.Prefix chooser reproduces the violation.
+	Choices []event.ThreadID
+	// Kind names the violation class ("deadlock", "assertion failure",
+	// "lock misuse", "data race").
+	Kind string
+	// Schedule is the 1-based index of the violating execution within
+	// this engine instance's run: the engine executed Schedule-1
+	// schedules before the bug.
+	Schedule int
+	// StateSig is the 128-bit digest of the violating terminal state.
+	StateSig model.StateSig
 }
 
 // Validate reports structurally invalid option combinations. Engines
@@ -244,8 +289,14 @@ type Result struct {
 
 	// FirstViolation replays the first safety violation found
 	// (thread choice per step); ViolationKind names it.
-	FirstViolation []event.ThreadID
-	ViolationKind  string
+	// FirstBugSchedule is the 1-based index of the violating execution
+	// — the schedules-to-first-bug metric of the paper's evaluation; 0
+	// when no violation was seen. For deterministic merges of parallel
+	// searches it is the index in the deterministic unit order, not
+	// wall-clock discovery order.
+	FirstViolation   []event.ThreadID
+	ViolationKind    string
+	FirstBugSchedule int `json:"first_bug_schedule,omitempty"`
 
 	// States holds the sorted distinct terminal state keys when
 	// Options.RecordStates was set.
@@ -335,6 +386,12 @@ func newRecorder(src model.Source, engine string, opt Options) *recorder {
 // search.
 func (r *recorder) schedule() bool {
 	r.res.Schedules++
+	if r.opt.StopAtFirstBug && r.res.FirstViolation != nil {
+		// The witness is captured; the bug-finding run is over. This
+		// is a successful stop, not a budget stop: HitLimit stays
+		// unset.
+		return true
+	}
 	if r.opt.limitReached(r.res.Schedules) {
 		r.res.HitLimit = true
 		return true
@@ -372,13 +429,13 @@ func (r *recorder) terminal(c *cursor) {
 		}
 	}
 
-	violation := ""
-	if c.m.Deadlocked() {
+	deadlocked := c.m.Deadlocked()
+	if deadlocked {
 		r.res.Deadlocks++
-		violation = "deadlock"
 	}
+	failures := c.m.Failures()
 	asserts, lockErrs := 0, 0
-	for _, f := range c.m.Failures() {
+	for _, f := range failures {
 		switch f.Kind {
 		case model.FailAssert:
 			asserts++
@@ -388,23 +445,33 @@ func (r *recorder) terminal(c *cursor) {
 	}
 	if asserts > 0 {
 		r.res.AssertFailures++
-		violation = "assertion failure"
 	}
 	if lockErrs > 0 {
 		r.res.LockErrors++
-		if violation == "" {
-			violation = "lock misuse"
-		}
 	}
-	if len(c.tr.Races()) > 0 {
+	raced := len(c.tr.Races()) > 0
+	if raced {
 		r.res.Races++
-		if violation == "" {
-			violation = "data race"
-		}
 	}
-	if violation != "" && r.res.FirstViolation == nil {
-		r.res.FirstViolation = append([]event.ThreadID(nil), c.choices...)
-		r.res.ViolationKind = violation
+	violation := model.ViolationKind(deadlocked, failures, raced)
+	if violation != "" {
+		if r.res.FirstViolation == nil {
+			r.res.FirstViolation = append([]event.ThreadID(nil), c.choices...)
+			r.res.ViolationKind = violation
+			// terminal runs before schedule counts this execution, so
+			// the violating execution's 1-based index is Schedules+1.
+			r.res.FirstBugSchedule = r.res.Schedules + 1
+		}
+		if r.opt.OnViolation != nil {
+			r.opt.OnViolation(Witness{
+				Program:  r.res.Program,
+				Engine:   r.res.Engine,
+				Choices:  append([]event.ThreadID(nil), c.choices...),
+				Kind:     violation,
+				Schedule: r.res.Schedules + 1,
+				StateSig: c.m.StateSig(),
+			})
+		}
 	}
 }
 

@@ -87,8 +87,9 @@ func (e *randomEngine) Explore(src model.Source, opt Options) Result {
 	// Random walks revisit schedules, so the invariant chain over
 	// *distinct* quantities still holds; exhausting the walk budget
 	// is the normal exit and counts as hitting the limit — unless a
-	// context cancellation cut the run short instead.
-	if !rec.res.Interrupted {
+	// context cancellation or a first-bug stop cut the run short
+	// instead.
+	if !rec.res.Interrupted && !(opt.StopAtFirstBug && rec.res.FirstViolation != nil) {
 		rec.res.HitLimit = true
 	}
 	return rec.finish(c)

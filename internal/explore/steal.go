@@ -60,9 +60,12 @@ type Steal interface {
 	// and returns that shipped subset (the engine keeps exploring the
 	// rest locally). seed, when non-nil, returns a private tracker
 	// clone covering len(prefix) events for seeding those units.
-	// prefix is a view into engine state: implementations must copy
-	// what they retain.
-	Publish(prefix []event.ThreadID, claimed, pending uint64, seed func() *hb.Tracker) (shipped uint64)
+	// info, when non-nil, carries the node's sleep-set context so
+	// units branching off it (now or through later escapes) inherit
+	// the sleep set the sequential engine would compute; nil when the
+	// search runs without sleep sets. prefix and info.Pend are views
+	// into engine state: implementations must copy what they retain.
+	Publish(prefix []event.ThreadID, claimed, pending uint64, seed func() *hb.Tracker, info *NodeInfo) (shipped uint64)
 
 	// Escape hands over a backtrack addition (a thread bitmask,
 	// computed exactly as sequential DPOR would) for a published node
@@ -80,6 +83,23 @@ type Steal interface {
 	// no prefix replay. The non-fresh rest is someone else's (or was
 	// already claimed here earlier).
 	Claim(prefix []event.ThreadID, cands uint64) (fresh uint64)
+}
+
+// NodeInfo is the sleep-set context of a published node, captured by
+// the owning engine at publish time. A coordinator that ships a unit
+// for branch t of the node derives the unit's root sleep set
+// (Options.SleepSeed) exactly as the sequential engine's child-node
+// rule: every thread in sleep ∪ (done-before-t ∖ {t}) stays asleep iff
+// its pending operation at the node is independent of the operation t
+// executes there.
+type NodeInfo struct {
+	// Sleep is the node's own sleep set (thread bitmask).
+	Sleep uint64
+	// Pend[q] is thread q's pending operation at the node, valid where
+	// PendSet has bit q. The slice is a view into engine state:
+	// implementations must copy what they retain.
+	Pend    []event.Op
+	PendSet uint64
 }
 
 // StealStats summarises one work-stealing parallel search; attached to

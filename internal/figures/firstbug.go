@@ -1,0 +1,214 @@
+// The bug-finding table: for every benchmark × engine cell run in
+// first-bug mode (campaign.Cell.StopAtFirstBug), how many schedules
+// each technique executed before hitting its first violation — the
+// paper's core comparison of testing techniques.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/campaign"
+)
+
+// FirstBugCell is one (benchmark, engine) bug-finding measurement.
+type FirstBugCell struct {
+	// Schedules is the schedules-to-first-bug index; 0 when the engine
+	// found no violation within its budget.
+	Schedules int
+	// Kind names the violation found ("" when none).
+	Kind string
+	// HitLimit marks a bug-free cell that exhausted its schedule
+	// budget (so a bug might still hide beyond it); a bug-free cell
+	// without HitLimit proved its space violation-free.
+	HitLimit bool
+	// Err carries a cell-level failure.
+	Err string
+}
+
+// FirstBugRow is one benchmark's row across all engines.
+type FirstBugRow struct {
+	Bench string
+	Cells []FirstBugCell
+}
+
+// FirstBugTable is the assembled benchmark × engine bug-finding grid.
+type FirstBugTable struct {
+	// Engines are the column labels, in campaign order.
+	Engines []string
+	Rows    []FirstBugRow
+}
+
+// FirstBugFromCells assembles the table from first-bug campaign
+// results (any order; cell Index restores the grid order).
+func FirstBugFromCells(results []campaign.CellResult) FirstBugTable {
+	sorted := append([]campaign.CellResult(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+
+	var t FirstBugTable
+	engineIdx := map[string]int{}
+	rowIdx := map[string]int{}
+	for _, r := range sorted {
+		eng := string(r.Cell.Engine)
+		if _, ok := engineIdx[eng]; !ok {
+			engineIdx[eng] = len(t.Engines)
+			t.Engines = append(t.Engines, eng)
+		}
+		if _, ok := rowIdx[r.Cell.Bench]; !ok {
+			rowIdx[r.Cell.Bench] = len(t.Rows)
+			t.Rows = append(t.Rows, FirstBugRow{Bench: r.Cell.Bench})
+		}
+	}
+	for i := range t.Rows {
+		t.Rows[i].Cells = make([]FirstBugCell, len(t.Engines))
+	}
+	for _, r := range sorted {
+		cell := FirstBugCell{
+			Schedules: r.Result.FirstBugSchedule,
+			Kind:      r.Result.ViolationKind,
+			HitLimit:  r.Result.HitLimit,
+			Err:       r.Err,
+		}
+		t.Rows[rowIdx[r.Cell.Bench]].Cells[engineIdx[string(r.Cell.Engine)]] = cell
+	}
+	return t
+}
+
+// cellText renders one cell: the schedules-to-first-bug count, "-"
+// for a proven-clean cell, ">limit" for a budget-exhausted clean cell,
+// "ERR" for a failed cell.
+func (c FirstBugCell) cellText() string {
+	switch {
+	case c.Err != "":
+		return "ERR"
+	case c.Schedules > 0:
+		return fmt.Sprintf("%d", c.Schedules)
+	case c.HitLimit:
+		return ">limit"
+	default:
+		return "-"
+	}
+}
+
+// FirstBugSummary aggregates one engine column.
+type FirstBugSummary struct {
+	Engine string
+	// Found counts benchmarks where the engine hit a bug; Buggy is
+	// the number of benchmarks where *any* engine did.
+	Found, Buggy int
+	// TotalSchedules sums schedules-to-first-bug over the benchmarks
+	// where every engine found a bug (the paper's comparable subset);
+	// Comparable is that subset's size.
+	TotalSchedules int
+	Comparable     int
+}
+
+// SummarizeFirstBug aggregates per-engine bug-finding power: how many
+// of the buggy benchmarks each engine cracked, and the total
+// schedules-to-first-bug over the subset every engine cracked.
+func SummarizeFirstBug(t FirstBugTable) []FirstBugSummary {
+	buggy := 0
+	allFound := make([]bool, len(t.Rows))
+	for i, row := range t.Rows {
+		any, all := false, true
+		for _, c := range row.Cells {
+			if c.Schedules > 0 {
+				any = true
+			} else {
+				all = false
+			}
+		}
+		if any {
+			buggy++
+		}
+		allFound[i] = any && all
+	}
+	out := make([]FirstBugSummary, len(t.Engines))
+	for e := range t.Engines {
+		s := FirstBugSummary{Engine: t.Engines[e], Buggy: buggy}
+		for i, row := range t.Rows {
+			c := row.Cells[e]
+			if c.Schedules > 0 {
+				s.Found++
+			}
+			if allFound[i] {
+				s.Comparable++
+				s.TotalSchedules += c.Schedules
+			}
+		}
+		out[e] = s
+	}
+	return out
+}
+
+// TSVFirstBug renders the table as TSV (benchmarks × engines).
+func TSVFirstBug(t FirstBugTable) string {
+	var b strings.Builder
+	b.WriteString("benchmark")
+	for _, e := range t.Engines {
+		b.WriteString("\t")
+		b.WriteString(e)
+	}
+	b.WriteString("\tkind\n")
+	for _, row := range t.Rows {
+		b.WriteString(row.Bench)
+		kind := ""
+		for _, c := range row.Cells {
+			fmt.Fprintf(&b, "\t%s", c.cellText())
+			if kind == "" {
+				kind = c.Kind
+			}
+		}
+		fmt.Fprintf(&b, "\t%s\n", kind)
+	}
+	return b.String()
+}
+
+// MarkdownFirstBug renders the table plus per-engine summary as
+// markdown.
+func MarkdownFirstBug(t FirstBugTable, limit int) string {
+	var b strings.Builder
+	b.WriteString("| benchmark |")
+	for _, e := range t.Engines {
+		fmt.Fprintf(&b, " %s |", e)
+	}
+	b.WriteString(" kind |\n|---|")
+	for range t.Engines {
+		b.WriteString("---:|")
+	}
+	b.WriteString(":--|\n")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "| %s |", row.Bench)
+		kind := ""
+		for _, c := range row.Cells {
+			fmt.Fprintf(&b, " %s |", c.cellText())
+			if kind == "" {
+				kind = c.Kind
+			}
+		}
+		fmt.Fprintf(&b, " %s |\n", kind)
+	}
+	fmt.Fprintf(&b, "\nSchedule limit %d; cells show schedules executed until the first bug (\"-\" = space exhausted bug-free, \">limit\" = budget exhausted without a bug).\n\n", limit)
+	b.WriteString(firstBugSummaryText(t))
+	return b.String()
+}
+
+// firstBugSummaryText renders the per-engine summary lines shared by
+// the markdown and plain renderings.
+func firstBugSummaryText(t FirstBugTable) string {
+	var b strings.Builder
+	for _, s := range SummarizeFirstBug(t) {
+		line := fmt.Sprintf("%-20s found %d/%d bugs", s.Engine, s.Found, s.Buggy)
+		if s.Comparable > 0 {
+			line += fmt.Sprintf("; %d schedules total over the %d bugs every engine found",
+				s.TotalSchedules, s.Comparable)
+		}
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// SummaryFirstBug renders the per-engine summary for terminal output.
+func SummaryFirstBug(t FirstBugTable) string { return firstBugSummaryText(t) }

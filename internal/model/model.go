@@ -139,6 +139,33 @@ func (f Failure) String() string {
 	return fmt.Sprintf("t%d#%d: %s", f.Thread, f.Index, f.Msg)
 }
 
+// ViolationKind names the most severe safety violation of a terminal
+// execution — the single source of the violation classes and their
+// precedence (assertion failure > deadlock > lock misuse > data race)
+// shared by the exploration recorder and replayed outcomes; "" when
+// the execution is violation-free.
+func ViolationKind(deadlocked bool, failures []Failure, raced bool) string {
+	asserts, lockErrs := 0, 0
+	for _, f := range failures {
+		if f.Kind == FailAssert {
+			asserts++
+		} else {
+			lockErrs++
+		}
+	}
+	switch {
+	case asserts > 0:
+		return "assertion failure"
+	case deadlocked:
+		return "deadlock"
+	case lockErrs > 0:
+		return "lock misuse"
+	case raced:
+		return "data race"
+	}
+	return ""
+}
+
 // Machine is one live execution instance of a Source.
 type Machine struct {
 	src      Source

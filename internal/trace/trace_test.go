@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -105,5 +106,80 @@ func TestEventRecordFidelity(t *testing.T) {
 		if ev.Kind == event.KindRead && er.Seen != ev.Seen {
 			t.Errorf("read result lost at %d", i)
 		}
+	}
+}
+
+// TestRoundTripAllEventKinds: a program exercising every visible
+// operation kind survives serialisation byte-for-byte — the artifact
+// format must be lossless for any trace the machine can produce.
+func TestRoundTripAllEventKinds(t *testing.T) {
+	b := progdsl.New("all-kinds")
+	x := b.Var("x")
+	m := b.Mutex("m")
+	main := b.Thread()
+	worker := b.Thread()
+	worker.Lock(m).Read(0, x).AddConst(0, 0, 5).Write(x, 0).Unlock(m)
+	main.Spawn(worker).Lock(m).WriteConst(x, 1).Unlock(m).Join(worker).Read(1, x).AssertEq(1, 6)
+	prog := b.Build()
+
+	out := exec.Run(prog, exec.FirstEnabled{}, exec.Options{})
+	rec := FromOutcome(prog, out, "assertion failure")
+
+	kinds := map[string]bool{}
+	for _, ev := range rec.Events {
+		kinds[ev.Kind] = true
+	}
+	for _, want := range []string{"read", "write", "lock", "unlock", "spawn", "join", "assert"} {
+		if !kinds[want] {
+			t.Errorf("trace misses event kind %q (got %v)", want, kinds)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, back) {
+		t.Errorf("round trip not lossless:\n want %+v\n  got %+v", rec, back)
+	}
+	if _, err := back.Replay(prog, exec.Options{}); err != nil {
+		t.Errorf("round-tripped record does not replay: %v", err)
+	}
+}
+
+// TestReplayEventMismatchDiagnostics: tampered event payloads are
+// reported with a diagnostic, not silently accepted.
+func TestReplayEventMismatchDiagnostics(t *testing.T) {
+	prog := sample()
+	out := exec.Run(prog, exec.FirstEnabled{}, exec.Options{})
+
+	short := FromOutcome(prog, out, "")
+	short.Events = short.Events[:len(short.Events)-1]
+	if _, err := short.Replay(prog, exec.Options{}); err == nil || !strings.Contains(err.Error(), "events") {
+		t.Errorf("truncated event list must be diagnosed, got %v", err)
+	}
+
+	swapped := FromOutcome(prog, out, "")
+	swapped.Events = append([]EventRecord(nil), swapped.Events...)
+	swapped.Events[0].Kind = "write"
+	if _, err := swapped.Replay(prog, exec.Options{}); err == nil || !strings.Contains(err.Error(), "event 0") {
+		t.Errorf("tampered event kind must be diagnosed, got %v", err)
+	}
+}
+
+// TestKindNamesTotal: every trace-visible event kind has a stable
+// serialised name and parses back to itself.
+func TestKindNamesTotal(t *testing.T) {
+	for k, name := range kindNames {
+		if got, ok := kindByName[name]; !ok || got != k {
+			t.Errorf("kind %v name %q does not round-trip", k, name)
+		}
+	}
+	if len(kindNames) != 7 {
+		t.Errorf("kindNames covers %d kinds; update the table when event kinds change", len(kindNames))
 	}
 }
