@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race ci bench bench-smoke bench-json fuzz-smoke repro-smoke fmt vet eval
+.PHONY: build test race ci bench bench-smoke bench-json fuzz-smoke repro-smoke api-check fmt vet eval
 
 build:
 	$(GO) build ./...
@@ -80,6 +80,24 @@ bench-json:
 	$(GO) run ./cmd/benchjson < $(BENCH_JSON).txt > $(BENCH_JSON)
 	@rm -f $(BENCH_JSON).txt
 	@echo "wrote $(BENCH_JSON)"
+
+# Facade hygiene — the CI api-check job. The public sct package is the
+# only supported entry point: examples must build against it alone
+# (no repro/internal imports at all), the cmd tools must not reach
+# into the explore/campaign/repro internals, and the godoc examples
+# (sct.ExampleRun is the embedding quickstart) must run.
+api-check:
+	$(GO) build ./examples/... ./cmd/... ./sct/...
+	@bad="$$(grep -rn 'repro/internal' examples/ || true)"; \
+	if [ -n "$$bad" ]; then \
+		echo "examples/ must use only the public sct facade:"; echo "$$bad"; exit 1; \
+	fi
+	@bad="$$(grep -rnE '"repro/internal/(explore|campaign|repro)"' cmd/ || true)"; \
+	if [ -n "$$bad" ]; then \
+		echo "cmd/ must not import explore/campaign/repro internals:"; echo "$$bad"; exit 1; \
+	fi
+	$(GO) test -run '^Example' -count=1 ./sct/ ./internal/...
+	@echo "api-check: facade clean"
 
 # Regenerate the paper figures at the full budget (slow; see -help for
 # -bench/-family filters, -fig campaign -json for streaming results).

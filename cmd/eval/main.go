@@ -13,8 +13,14 @@
 //
 //	eval -fig campaign -engines dpor,lazy-dpor,pdfs:4 -bench coarse -json
 //
-// Streamed JSONL parses back via campaign.ReadJSONL; Figure rows can
-// be rebuilt from a stream with figures.Fig2FromCells/Fig3FromCells.
+// A partial JSONL stream checkpoint-resumes a campaign: with
+// `-resume cells.jsonl` every cell already present in the stream is
+// skipped and only the remainder runs (append new output with `>>`).
+// Streamed JSONL parses back via sct.ReadResults; Figure rows can be
+// rebuilt from a stream with figures.Fig2FromCells/Fig3FromCells.
+//
+// The tool runs entirely on the public sct facade; engine specs are
+// registry specs (see `sct.EngineNames`).
 package main
 
 import (
@@ -29,9 +35,8 @@ import (
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/campaign"
 	"repro/internal/figures"
-	"repro/internal/repro"
+	"repro/sct"
 )
 
 func main() {
@@ -52,9 +57,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quiet    = fs.Bool("quiet", false, "suppress per-benchmark progress on stderr")
 		scatter  = fs.Bool("scatter", true, "print the ASCII log-log scatter")
 		par      = fs.Int("parallel", -1, "cells explored concurrently (-1 = GOMAXPROCS, 1 = sequential)")
-		engines  = fs.String("engines", "", "comma-separated engine specs for campaign/firstbug mode (default: dpor; firstbug default spans all techniques)")
+		engines  = fs.String("engines", "", "comma-separated engine specs for campaign/firstbug mode (default: dpor; firstbug default: the registry's canonical grid)")
 		asJSON   = fs.Bool("json", false, "stream campaign results as JSON lines (campaign/firstbug mode)")
 		timeout  = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+		resume   = fs.String("resume", "", "campaign/firstbug mode: skip cells already present in this JSONL result stream")
 		reproDir = fs.String("repro", "", "firstbug mode: write one counterexample artifact per buggy cell into this directory")
 		minimize = fs.Bool("minimize", false, "firstbug mode: ddmin-minimize artifacts before writing them")
 		verify   = fs.Bool("verify", false, "firstbug mode: re-read each written artifact and verify its replay reproduces")
@@ -67,7 +73,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *engines == "" {
 		if *fig == "firstbug" {
-			*engines = firstBugDefaultEngines
+			// The paper-style technique grid, derived from the shared
+			// engine registry's canonical ordering.
+			*engines = strings.Join(sct.DefaultGrid(), ",")
 		} else {
 			*engines = "dpor"
 		}
@@ -100,14 +108,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opt.Progress = stderr
 	}
 
+	if *resume != "" && *fig != "campaign" && *fig != "firstbug" {
+		fmt.Fprintln(stderr, "eval: -resume applies only to -fig campaign/firstbug")
+		return 2
+	}
+	if (*reproDir != "" || *minimize || *verify) && *fig != "firstbug" {
+		fmt.Fprintln(stderr, "eval: -repro/-minimize/-verify apply only to -fig firstbug")
+		return 2
+	}
+
 	if *fig == "campaign" {
-		return runCampaign(ctx, selected, *engines, *limit, *steps, *par, *asJSON, stdout, stderr)
+		return runCampaign(ctx, selected, *engines, campaignConfig{
+			limit: *limit, steps: *steps, par: *par,
+			asJSON: *asJSON, resume: *resume,
+		}, stdout, stderr)
 	}
 
 	if *fig == "firstbug" {
 		return runFirstBug(ctx, selected, *engines, firstBugConfig{
 			limit: *limit, steps: *steps, par: *par,
 			asJSON: *asJSON, md: *md, quiet: *quiet,
+			resume:   *resume,
 			reproDir: *reproDir, minimize: *minimize, verify: *verify,
 		}, stdout, stderr)
 	}
@@ -155,15 +176,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// firstBugDefaultEngines is the technique grid of the paper-style
-// bug-finding table: every sequential engine family plus work-stealing
-// parallel DPOR at 1, 2 and 4 workers.
-const firstBugDefaultEngines = "dfs,dpor,dpor+sleep,lazy-dpor,hbr-caching,lazy-hbr-caching,pb:2,db:2,random,pdpor:1,pdpor:2,pdpor:4"
-
-// buildGrid parses the engine list and builds the benchmark × engine
-// cell grid shared by the campaign and firstbug modes.
-func buildGrid(selected []bench.Benchmark, engineList string, limit, steps int) ([]campaign.Cell, error) {
-	specs, err := campaign.ParseSpecs(engineList)
+// buildCampaign parses the engine list and assembles the campaign
+// over the benchmark × engine cell grid shared by the campaign and
+// firstbug modes.
+func buildCampaign(selected []bench.Benchmark, engineList string, par int, gridOpts ...sct.Option) (*sct.Campaign, error) {
+	specs, err := sct.ParseSpecs(engineList)
 	if err != nil {
 		return nil, err
 	}
@@ -171,15 +188,44 @@ func buildGrid(selected []bench.Benchmark, engineList string, limit, steps int) 
 	for i, b := range selected {
 		names[i] = b.Name
 	}
-	return campaign.Grid(names, specs, limit, steps), nil
+	cells, err := sct.Grid(names, specs, gridOpts...)
+	if err != nil {
+		return nil, err
+	}
+	// Workers <= 0 already means GOMAXPROCS.
+	return sct.NewCampaign(cells, sct.WithWorkers(par))
+}
+
+// campaignConfig bundles the campaign-mode knobs.
+type campaignConfig struct {
+	limit, steps, par int
+	asJSON            bool
+	resume            string
 }
 
 // firstBugConfig bundles the firstbug-mode knobs.
 type firstBugConfig struct {
 	limit, steps, par int
 	asJSON, md, quiet bool
+	resume            string
 	reproDir          string
 	minimize, verify  bool
+}
+
+// resumeFromFile feeds a JSONL checkpoint into the campaign and logs
+// how many cells it satisfied.
+func resumeFromFile(camp *sct.Campaign, path string, stderr io.Writer) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n, err := camp.Resume(f)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(stderr, "resume: %d cells already done in %s, skipping\n", n, path)
+	return n, nil
 }
 
 // runFirstBug runs every (benchmark, engine) cell in bug-finding mode
@@ -187,21 +233,24 @@ type firstBugConfig struct {
 // renders the paper-style bug-finding table, and optionally writes a
 // (minimized) counterexample artifact per buggy cell.
 func runFirstBug(ctx context.Context, selected []bench.Benchmark, engineList string, cfg firstBugConfig, stdout, stderr io.Writer) int {
-	cells, err := buildGrid(selected, engineList, cfg.limit, cfg.steps)
+	camp, err := buildCampaign(selected, engineList, cfg.par,
+		sct.WithBounds(cfg.limit, cfg.steps), sct.StopAtFirstBug())
 	if err != nil {
 		fmt.Fprintln(stderr, "eval:", err)
 		return 2
 	}
-	for i := range cells {
-		cells[i].StopAtFirstBug = true
+	if cfg.resume != "" {
+		if _, err := resumeFromFile(camp, cfg.resume, stderr); err != nil {
+			fmt.Fprintln(stderr, "eval:", err)
+			return 2
+		}
 	}
-	// Workers <= 0 already means GOMAXPROCS to the runner.
-	runner := campaign.Runner{Workers: cfg.par}
+	emit := func(sct.CellResult) {}
 	switch {
 	case cfg.asJSON:
-		runner.OnResult = campaign.JSONLWriter(stdout)
+		emit = sct.JSONLWriter(stdout)
 	case !cfg.quiet:
-		runner.OnResult = func(r campaign.CellResult) {
+		emit = func(r sct.CellResult) {
 			bug := "no bug"
 			if r.Result.FirstViolation != nil {
 				bug = fmt.Sprintf("%s at schedule %d", r.Result.ViolationKind, r.Result.FirstBugSchedule)
@@ -212,12 +261,19 @@ func runFirstBug(ctx context.Context, selected []bench.Benchmark, engineList str
 				r.Cell.Bench, r.Cell.Engine, bug, r.Result.Schedules, r.ElapsedMS)
 		}
 	}
-	results, err := runner.Run(ctx, cells)
-	if err != nil {
+	// The resumed cells join the streamed ones for the table and the
+	// artifact pass: only the new cells are emitted, but the table is
+	// always the full grid.
+	results := camp.Resumed()
+	for r := range camp.Results(ctx) {
+		emit(r)
+		results = append(results, r)
+	}
+	if err := camp.Err(); err != nil {
 		fmt.Fprintln(stderr, "eval: firstbug campaign interrupted:", err)
 		return 1
 	}
-	if err := campaign.FirstError(results); err != nil {
+	if err := sct.FirstError(results); err != nil {
 		fmt.Fprintln(stderr, "eval:", err)
 		return 1
 	}
@@ -241,7 +297,7 @@ func runFirstBug(ctx context.Context, selected []bench.Benchmark, engineList str
 
 // writeArtifacts captures (and optionally minimizes and verifies) one
 // counterexample artifact per buggy cell.
-func writeArtifacts(results []campaign.CellResult, cfg firstBugConfig, stdout, stderr io.Writer) int {
+func writeArtifacts(results []sct.CellResult, cfg firstBugConfig, stdout, stderr io.Writer) int {
 	if err := os.MkdirAll(cfg.reproDir, 0o755); err != nil {
 		fmt.Fprintln(stderr, "eval:", err)
 		return 1
@@ -249,8 +305,7 @@ func writeArtifacts(results []campaign.CellResult, cfg firstBugConfig, stdout, s
 	sanitize := strings.NewReplacer(":", "-", "/", "-", "[", "", "]", "")
 	wrote := 0
 	for _, r := range results {
-		w, ok := repro.FromResult(r.Result)
-		if !ok {
+		if r.Result.FirstViolation == nil {
 			continue
 		}
 		bm, ok := bench.ByName(r.Cell.Bench)
@@ -258,13 +313,13 @@ func writeArtifacts(results []campaign.CellResult, cfg firstBugConfig, stdout, s
 			fmt.Fprintf(stderr, "eval: unknown benchmark %q in results\n", r.Cell.Bench)
 			return 1
 		}
-		a, err := repro.Capture(bm.Program, w, r.Cell.MaxSteps)
+		cx, err := sct.NewCounterexample(bm.Program, r.Result, r.Cell.MaxSteps)
 		if err != nil {
 			fmt.Fprintln(stderr, "eval:", err)
 			return 1
 		}
 		if cfg.minimize {
-			min, stats, err := repro.Minimize(bm.Program, a, 0)
+			stats, err := cx.Minimize()
 			if err != nil {
 				fmt.Fprintln(stderr, "eval:", err)
 				return 1
@@ -272,15 +327,14 @@ func writeArtifacts(results []campaign.CellResult, cfg firstBugConfig, stdout, s
 			fmt.Fprintf(stderr, "minimized %s/%s: %d→%d choices, %d→%d preemptions (%d replays)\n",
 				r.Cell.Bench, r.Cell.Engine, stats.OriginalChoices, stats.MinChoices,
 				stats.OriginalPreemptions, stats.MinPreemptions, stats.Replays)
-			a = min
 		}
 		path := filepath.Join(cfg.reproDir, fmt.Sprintf("%s__%s.json", r.Cell.Bench, sanitize.Replace(string(r.Cell.Engine))))
-		if err := a.WriteFile(path); err != nil {
+		if err := cx.Save(path); err != nil {
 			fmt.Fprintln(stderr, "eval:", err)
 			return 1
 		}
 		if cfg.verify {
-			back, err := repro.ReadFile(path)
+			back, err := sct.Load(path)
 			if err != nil {
 				fmt.Fprintln(stderr, "eval:", err)
 				return 1
@@ -308,49 +362,65 @@ func writeArtifacts(results []campaign.CellResult, cfg firstBugConfig, stdout, s
 
 // runCampaign executes the benchmark × engine grid and writes one
 // result per cell: JSON lines with -json, a readable table otherwise.
-func runCampaign(ctx context.Context, selected []bench.Benchmark, engineList string, limit, steps, par int, asJSON bool, stdout, stderr io.Writer) int {
-	cells, err := buildGrid(selected, engineList, limit, steps)
+// With -resume, cells already present in the given JSONL stream are
+// skipped.
+func runCampaign(ctx context.Context, selected []bench.Benchmark, engineList string, cfg campaignConfig, stdout, stderr io.Writer) int {
+	camp, err := buildCampaign(selected, engineList, cfg.par, sct.WithBounds(cfg.limit, cfg.steps))
 	if err != nil {
 		fmt.Fprintln(stderr, "eval:", err)
 		return 2
 	}
-	// Workers <= 0 already means GOMAXPROCS to the runner.
-	runner := campaign.Runner{Workers: par}
-	if asJSON {
-		runner.OnResult = campaign.JSONLWriter(stdout)
-	} else {
-		runner.OnResult = func(r campaign.CellResult) {
-			if r.Err != "" {
-				fmt.Fprintf(stdout, "%-24s %-18s ERROR %s\n", r.Cell.Bench, r.Cell.Engine, r.Err)
-				return
-			}
-			suffix := ""
-			if s := r.Result.Steal; s != nil {
-				suffix = fmt.Sprintf(" steal[w=%d units=%d donated=%d escaped=%d stolen=%d]",
-					s.Workers, s.Units, s.Donated, s.Escaped, s.Steals)
-			}
-			if r.Cancelled {
-				if r.Result.Interrupted {
-					suffix += " CANCELLED (partial)"
-				} else {
-					suffix += " CANCELLED (never started)"
-				}
-			}
-			fmt.Fprintf(stdout, "%-24s %-18s schedules=%-7d hbrs=%-6d lazy=%-6d states=%-6d limit=%-5v %dms%s\n",
-				r.Cell.Bench, r.Cell.Engine, r.Result.Schedules, r.Result.DistinctHBRs,
-				r.Result.DistinctLazyHBRs, r.Result.DistinctStates, r.Result.HitLimit, r.ElapsedMS, suffix)
+	resumed := 0
+	if cfg.resume != "" {
+		if resumed, err = resumeFromFile(camp, cfg.resume, stderr); err != nil {
+			fmt.Fprintln(stderr, "eval:", err)
+			return 2
 		}
 	}
+	emit := func(r sct.CellResult) {
+		if r.Err != "" {
+			fmt.Fprintf(stdout, "%-24s %-18s ERROR %s\n", r.Cell.Bench, r.Cell.Engine, r.Err)
+			return
+		}
+		suffix := ""
+		if s := r.Result.Steal; s != nil {
+			suffix = fmt.Sprintf(" steal[w=%d units=%d donated=%d escaped=%d stolen=%d]",
+				s.Workers, s.Units, s.Donated, s.Escaped, s.Steals)
+		}
+		if r.Cancelled {
+			if r.Result.Interrupted {
+				suffix += " CANCELLED (partial)"
+			} else {
+				suffix += " CANCELLED (never started)"
+			}
+		}
+		fmt.Fprintf(stdout, "%-24s %-18s schedules=%-7d hbrs=%-6d lazy=%-6d states=%-6d limit=%-5v %dms%s\n",
+			r.Cell.Bench, r.Cell.Engine, r.Result.Schedules, r.Result.DistinctHBRs,
+			r.Result.DistinctLazyHBRs, r.Result.DistinctStates, r.Result.HitLimit, r.ElapsedMS, suffix)
+	}
+	if cfg.asJSON {
+		emit = sct.JSONLWriter(stdout)
+	}
 	start := time.Now()
-	results, err := runner.Run(ctx, cells)
-	if err != nil {
+	ran := 0
+	var results []sct.CellResult
+	for r := range camp.Results(ctx) {
+		emit(r)
+		results = append(results, r)
+		ran++
+	}
+	if err := camp.Err(); err != nil {
 		fmt.Fprintln(stderr, "eval: campaign interrupted:", err)
 		return 1
 	}
-	if err := campaign.FirstError(results); err != nil {
+	if err := sct.FirstError(results); err != nil {
 		fmt.Fprintln(stderr, "eval:", err)
 		return 1
 	}
-	fmt.Fprintf(stderr, "campaign: %d cells in %v\n", len(results), time.Since(start).Round(time.Millisecond))
+	note := ""
+	if resumed > 0 {
+		note = fmt.Sprintf(" (%d resumed)", resumed)
+	}
+	fmt.Fprintf(stderr, "campaign: %d cells%s in %v\n", ran, note, time.Since(start).Round(time.Millisecond))
 	return 0
 }

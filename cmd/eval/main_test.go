@@ -2,14 +2,14 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/bench"
-	"repro/internal/campaign"
 	"repro/internal/figures"
-	"repro/internal/repro"
+	"repro/sct"
 )
 
 // TestCampaignSmoke runs a tiny campaign end-to-end through the real
@@ -28,14 +28,14 @@ func TestCampaignSmoke(t *testing.T) {
 		t.Fatalf("eval exited %d\nstderr: %s", code, stderr.String())
 	}
 
-	results, err := campaign.ReadJSONL(&stdout)
+	results, err := sct.ReadResults(&stdout)
 	if err != nil {
 		t.Fatalf("campaign output is not valid JSONL: %v", err)
 	}
 	if len(results) != 3 {
 		t.Fatalf("got %d cells, want 3 (one per engine)", len(results))
 	}
-	seen := map[campaign.EngineSpec]bool{}
+	seen := map[sct.EngineSpec]bool{}
 	for _, r := range results {
 		if r.Cell.Bench != "counter-racy-2x2" {
 			t.Errorf("unexpected bench %q", r.Cell.Bench)
@@ -51,9 +51,62 @@ func TestCampaignSmoke(t *testing.T) {
 		}
 		seen[r.Cell.Engine] = true
 	}
-	for _, want := range []campaign.EngineSpec{"dfs", "dpor", "random:7"} {
+	for _, want := range []sct.EngineSpec{"dfs", "dpor", "random:7"} {
 		if !seen[want] {
 			t.Errorf("missing cell for engine %s", want)
+		}
+	}
+}
+
+// TestCampaignResume: a partial JSONL stream checkpoint-resumes a
+// campaign — resumed cells are skipped, the rest stream out, and the
+// concatenation of both parts is the full grid.
+func TestCampaignResume(t *testing.T) {
+	runJSON := func(extra ...string) []sct.CellResult {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		args := append([]string{
+			"-fig", "campaign",
+			"-bench", "counter-racy-2x2",
+			"-engines", "dfs,dpor,random:7",
+			"-limit", "300",
+			"-json", "-quiet",
+		}, extra...)
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("eval exited %d\nstderr: %s", code, stderr.String())
+		}
+		results, err := sct.ReadResults(&stdout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+
+	full := runJSON()
+	// Checkpoint only the dfs and random cells; dpor must re-run.
+	partial := filepath.Join(t.TempDir(), "cells.jsonl")
+	f, err := os.Create(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sct.JSONLWriter(f)
+	for _, r := range full {
+		if r.Cell.Engine != "dpor" {
+			w(r)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rest := runJSON("-resume", partial)
+	if len(rest) != 1 || rest[0].Cell.Engine != "dpor" {
+		t.Fatalf("resume re-ran %d cells %v, want just dpor", len(rest), rest)
+	}
+	for _, orig := range full {
+		if orig.Cell.Engine == "dpor" && orig.Result.Schedules != rest[0].Result.Schedules {
+			t.Errorf("resumed dpor cell diverged: %d schedules, want %d",
+				rest[0].Result.Schedules, orig.Result.Schedules)
 		}
 	}
 }
@@ -95,7 +148,7 @@ func TestCampaignJSONFeedsFigures(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("eval exited %d\nstderr: %s", code, stderr.String())
 	}
-	results, err := campaign.ReadJSONL(&stdout)
+	results, err := sct.ReadResults(&stdout)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,11 +181,11 @@ func TestCampaignStealStats(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("eval exited %d\nstderr: %s", code, stderr.String())
 	}
-	results, err := campaign.ReadJSONL(&stdout)
+	results, err := sct.ReadResults(&stdout)
 	if err != nil {
 		t.Fatal(err)
 	}
-	byEngine := map[campaign.EngineSpec]campaign.CellResult{}
+	byEngine := map[sct.EngineSpec]sct.CellResult{}
 	for _, r := range results {
 		byEngine[r.Cell.Engine] = r
 	}
@@ -161,10 +214,10 @@ func TestCampaignStealStats(t *testing.T) {
 }
 
 // TestFirstBugMode drives the bug-finding pipeline end-to-end through
-// the CLI: the default engine grid (including pdpor at 1/2/4 workers)
-// sweeps a deadlocking benchmark, the table reports schedules-to-
-// first-bug per engine, and -repro/-minimize/-verify write replay-
-// verified counterexample artifacts.
+// the CLI: the registry-derived default engine grid (including pdpor
+// at 1/2/4 workers) sweeps a deadlocking benchmark, the table reports
+// schedules-to-first-bug per engine, and -repro/-minimize/-verify
+// write replay-verified counterexample artifacts.
 func TestFirstBugMode(t *testing.T) {
 	dir := t.TempDir()
 	var stdout, stderr bytes.Buffer
@@ -196,23 +249,87 @@ func TestFirstBugMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Two deadlocking benchmarks × 12 default engines.
-	if len(files) != 24 {
-		t.Errorf("wrote %d artifacts, want 24: %v", len(files), files)
+	// Two deadlocking benchmarks × 12 default-grid engines.
+	if want := 2 * len(sct.DefaultGrid()); len(files) != want {
+		t.Errorf("wrote %d artifacts, want %d: %v", len(files), want, files)
 	}
-	a, err := repro.ReadFile(files[0])
+	cx, err := sct.Load(files[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !a.Minimized || a.Kind != "deadlock" || a.SchedulesToBug < 1 {
-		t.Errorf("artifact not minimized deadlock with bug index: %+v", a)
+	if !cx.Minimized() || cx.Kind() != "deadlock" || cx.SchedulesToBug() < 1 {
+		t.Errorf("artifact not minimized deadlock with bug index: %v", cx)
 	}
-	bm, ok := bench.ByName(a.Trace.Program)
+	bm, ok := bench.ByName(cx.Program())
 	if !ok {
-		t.Fatalf("artifact names unknown program %q", a.Trace.Program)
+		t.Fatalf("artifact names unknown program %q", cx.Program())
 	}
-	if _, err := a.Replay(bm.Program); err != nil {
+	if _, err := cx.Replay(bm.Program); err != nil {
 		t.Errorf("artifact does not replay: %v", err)
+	}
+}
+
+// TestFirstBugResume: a partial firstbug JSONL checkpoint resumes —
+// only the missing cell re-runs, yet the table and the artifact pass
+// still cover the full grid from the adopted results.
+func TestFirstBugResume(t *testing.T) {
+	args := func(extra ...string) []string {
+		return append([]string{
+			"-fig", "firstbug",
+			"-bench", "philosophers-3",
+			"-engines", "dpor,random:3",
+			"-limit", "5000",
+			"-maxsteps", "500",
+			"-json", "-quiet",
+		}, extra...)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run(args(), &stdout, &stderr); code != 0 {
+		t.Fatalf("eval exited %d\nstderr: %s", code, stderr.String())
+	}
+	full, err := sct.ReadResults(&stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 2 {
+		t.Fatalf("got %d cells", len(full))
+	}
+
+	checkpoint := filepath.Join(t.TempDir(), "cells.jsonl")
+	f, err := os.Create(checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sct.JSONLWriter(f)
+	for _, r := range full {
+		if r.Cell.Engine == "dpor" {
+			w(r)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(args("-resume", checkpoint, "-repro", dir), &stdout, &stderr); code != 0 {
+		t.Fatalf("resumed eval exited %d\nstderr: %s", code, stderr.String())
+	}
+	rest, err := sct.ReadResults(&stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 1 || rest[0].Cell.Engine != "random:3" {
+		t.Fatalf("resume re-ran %v, want just random:3", rest)
+	}
+	// Artifacts must cover the resumed dpor cell too.
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Errorf("artifact pass wrote %d files, want 2 (incl. resumed cell): %v", len(files), files)
 	}
 }
 
@@ -233,7 +350,7 @@ func TestFirstBugJSONStream(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("eval exited %d\nstderr: %s", code, stderr.String())
 	}
-	results, err := campaign.ReadJSONL(&stdout)
+	results, err := sct.ReadResults(&stdout)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,5 +376,14 @@ func TestBadFlags(t *testing.T) {
 	}
 	if code := run([]string{"-bench", "no-such-benchmark-xyz"}, &stdout, &stderr); code == 0 {
 		t.Error("empty benchmark selection exited 0")
+	}
+	if code := run([]string{"-fig", "campaign", "-bench", "counter-racy-2x2", "-resume", "/no/such/file.jsonl"}, &stdout, &stderr); code == 0 {
+		t.Error("missing resume file exited 0")
+	}
+	if code := run([]string{"-fig", "2", "-bench", "counter-racy-2x2", "-resume", "x.jsonl"}, &stdout, &stderr); code != 2 {
+		t.Error("-resume outside campaign/firstbug mode must be a usage error")
+	}
+	if code := run([]string{"-fig", "campaign", "-bench", "counter-racy-2x2", "-repro", t.TempDir()}, &stdout, &stderr); code != 2 {
+		t.Error("-repro outside firstbug mode must be a usage error, not a silent no-op")
 	}
 }

@@ -5,29 +5,31 @@
 //	lazylocks -bench philosophers-3 -engine dpor
 //	lazylocks -bench counter-racy-2x2 -engine lazy-hbr-caching -limit 100000
 //
-// It explores the benchmark's schedule space with the chosen engine,
-// prints the paper's headline counters (#schedules, #HBRs, #lazy HBRs,
-// #states) and, when a safety violation is found, replays and prints
-// the violating schedule.
+// It explores the benchmark's schedule space with the chosen engine
+// (any registry spec, e.g. "dpor+sleep", "pb:2:lazy", "pdpor:4"),
+// prints the paper's headline counters (#schedules, #HBRs, #lazy
+// HBRs, #states) and, when a safety violation is found, replays and
+// prints the violating schedule.
 //
 // The repro workflow: -save writes the violation as a portable
 // counterexample artifact (-minimize ddmin-shrinks it first), and
 // -replay re-executes a saved artifact — or a bare internal/trace
 // schedule file — verifying it reproduces identically.
+//
+// The tool runs entirely on the public sct facade.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/exec"
-	"repro/internal/explore"
-	"repro/internal/repro"
 	"repro/internal/trace"
+	"repro/sct"
 )
 
 func main() {
@@ -42,7 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		list     = fs.Bool("list", false, "list benchmarks and exit")
 		name     = fs.String("bench", "", "benchmark name (see -list)")
-		engine   = fs.String("engine", "dpor", fmt.Sprintf("engine: one of %v", core.EngineNames()))
+		engine   = fs.String("engine", "dpor", fmt.Sprintf("engine spec: one of %v (plus :args)", sct.EngineNames()))
 		limit    = fs.Int("limit", 100000, "schedule limit (0 = unlimited)")
 		steps    = fs.Int("maxsteps", 2000, "per-execution event bound")
 		firstBug = fs.Bool("firstbug", false, "stop at the first violation and report schedules-to-first-bug")
@@ -69,11 +71,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *replay != "" {
 		return replayFile(b, *replay, *steps, stdout, stderr)
 	}
-	rep, err := core.Check(b.Program, core.EngineName(*engine), explore.Options{
-		ScheduleLimit:  *limit,
-		MaxSteps:       *steps,
-		StopAtFirstBug: *firstBug,
-	})
+	opts := []sct.Option{sct.WithBounds(*limit, *steps)}
+	if *firstBug {
+		opts = append(opts, sct.StopAtFirstBug())
+	}
+	rep, err := sct.Run(context.Background(), b.Program, *engine, opts...)
 	if err != nil {
 		fmt.Fprintln(stderr, "lazylocks:", err)
 		return 1
@@ -92,14 +94,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "violation : %s (schedule %d)\n", rep.Violation, r.FirstBugSchedule)
 	if *save != "" {
-		w, _ := repro.FromResult(r)
-		a, err := repro.Capture(b.Program, w, *steps)
+		cx, err := rep.Counterexample()
 		if err != nil {
 			fmt.Fprintln(stderr, "lazylocks:", err)
 			return 1
 		}
 		if *minimize {
-			min, stats, err := repro.Minimize(b.Program, a, 0)
+			stats, err := cx.Minimize()
 			if err != nil {
 				fmt.Fprintln(stderr, "lazylocks:", err)
 				return 1
@@ -107,9 +108,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "minimized : %d→%d choices, %d→%d preemptions (%d replays)\n",
 				stats.OriginalChoices, stats.MinChoices,
 				stats.OriginalPreemptions, stats.MinPreemptions, stats.Replays)
-			a = min
 		}
-		if err := a.WriteFile(*save); err != nil {
+		if err := cx.Save(*save); err != nil {
 			fmt.Fprintln(stderr, "lazylocks:", err)
 			return 1
 		}
@@ -137,16 +137,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 // trace schedule and re-executes it against the benchmark, verifying
 // the reproduction and printing the reproduced trace.
 func replayFile(b bench.Benchmark, path string, steps int, stdout, stderr io.Writer) int {
-	var out exec.Outcome
+	var out sct.Outcome
 	var kind string
-	if a, err := repro.ReadFile(path); err == nil {
-		out, err = a.Replay(b.Program)
+	if cx, err := sct.Load(path); err == nil {
+		out, err = cx.Replay(b.Program)
 		if err != nil {
 			fmt.Fprintln(stderr, "lazylocks:", err)
 			return 1
 		}
-		kind = a.Kind
-		fmt.Fprintf(stdout, "artifact  : %s\n", a)
+		kind = cx.Kind()
+		fmt.Fprintf(stdout, "artifact  : %s\n", cx)
 	} else {
 		f, ferr := os.Open(path)
 		if ferr != nil {

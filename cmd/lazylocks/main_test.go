@@ -6,7 +6,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/repro"
+	"repro/sct"
 )
 
 // TestListAndUnknownBench covers the front-door paths.
@@ -62,12 +62,12 @@ func TestFindSaveMinimizeReplay(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
-	a, err := repro.ReadFile(path)
+	cx, err := sct.Load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !a.Minimized || a.Kind != "deadlock" || a.Engine != "dpor" {
-		t.Errorf("saved artifact wrong: %+v", a)
+	if !cx.Minimized() || cx.Kind() != "deadlock" || cx.Engine() != "dpor" {
+		t.Errorf("saved artifact wrong: %v", cx)
 	}
 
 	stdout.Reset()

@@ -7,24 +7,23 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/explore"
-	"repro/internal/goharness"
+	"repro/sct"
 )
 
 // account builds n depositors adding 10 each to one balance; locked
 // selects whether deposits take the account mutex. The main thread
 // audits the final balance.
-func account(n int, locked bool) *goharness.Program {
-	p := goharness.New(fmt.Sprintf("bank(n=%d,locked=%v)", n, locked))
+func account(n int, locked bool) *sct.Program {
+	p := sct.NewProgram(fmt.Sprintf("bank(n=%d,locked=%v)", n, locked))
 	balance := p.Var("balance")
 	mu := p.Mutex("mu")
 
-	var depositors []goharness.ThreadRef
-	p.Thread(func(g *goharness.G) {
+	var depositors []sct.ThreadRef
+	p.Thread(func(g *sct.G) {
 		for _, d := range depositors {
 			g.Spawn(d)
 		}
@@ -34,7 +33,7 @@ func account(n int, locked bool) *goharness.Program {
 		g.Assert(g.Read(balance) == int64(10*n))
 	})
 	for i := 0; i < n; i++ {
-		depositors = append(depositors, p.Thread(func(g *goharness.G) {
+		depositors = append(depositors, p.Thread(func(g *sct.G) {
 			if locked {
 				g.Lock(mu)
 			}
@@ -48,7 +47,8 @@ func account(n int, locked bool) *goharness.Program {
 }
 
 func main() {
-	racy, err := core.Check(account(2, false), core.EngineDPOR, explore.Options{ScheduleLimit: 100000})
+	ctx := context.Background()
+	racy, err := sct.Run(ctx, account(2, false), "dpor", sct.WithScheduleLimit(100000))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func main() {
 		}
 	}
 
-	safe, err := core.Check(account(2, true), core.EngineDPOR, explore.Options{ScheduleLimit: 100000})
+	safe, err := sct.Run(ctx, account(2, true), "dpor", sct.WithScheduleLimit(100000))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,12 +8,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/explore"
-	"repro/internal/goharness"
+	"repro/sct"
 )
 
 // workPool builds a properly-locked job pool with an atomicity bug:
@@ -24,12 +23,12 @@ import (
 // its unlocks, i.e. exactly one preemption. There are no data races:
 // every access is lock-protected, so only systematic exploration (not
 // a race detector) can find this.
-func workPool(extraWorkers int) *goharness.Program {
-	p := goharness.New("workpool").AutoStart()
+func workPool(extraWorkers int) *sct.Program {
+	p := sct.NewProgram("workpool").AutoStart()
 	mu := p.Mutex("mu")
 	result := p.Var("result")
 	done := p.Var("done")
-	p.Thread(func(g *goharness.G) { // the buggy worker
+	p.Thread(func(g *sct.G) { // the buggy worker
 		g.Lock(mu)
 		g.Write(result, 21) // provisional
 		g.Write(done, 1)    // published too early: the bug
@@ -38,7 +37,7 @@ func workPool(extraWorkers int) *goharness.Program {
 		g.Write(result, 42) // final
 		g.Unlock(mu)
 	})
-	p.Thread(func(g *goharness.G) { // auditor
+	p.Thread(func(g *sct.G) { // auditor
 		g.Lock(mu)
 		d := g.Read(done)
 		r := g.Read(result)
@@ -51,7 +50,7 @@ func workPool(extraWorkers int) *goharness.Program {
 	// the bug, making the exhaustive-vs-bounded contrast visible.
 	scratch := p.Var("scratch")
 	for i := 0; i < extraWorkers; i++ {
-		p.Thread(func(g *goharness.G) {
+		p.Thread(func(g *sct.G) {
 			g.Lock(mu)
 			g.Write(scratch, g.Read(scratch)+1)
 			g.Unlock(mu)
@@ -62,12 +61,12 @@ func workPool(extraWorkers int) *goharness.Program {
 
 func main() {
 	fmt.Println("engine                      schedules  violation")
-	for _, name := range []core.EngineName{
-		"pb0-dfs", "pb1-dfs", "chess-pb4",
-		"pb1-lazy-hbr-caching",
+	for _, spec := range []string{
+		"pb:0", "pb:1", "chess-pb:4",
+		"pb:1:lazy",
 		"dpor", "lazy-dpor", "dfs",
 	} {
-		rep, err := core.Check(workPool(3), name, explore.Options{ScheduleLimit: 1000000})
+		rep, err := sct.Run(context.Background(), workPool(3), spec, sct.WithScheduleLimit(1000000))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,9 +74,9 @@ func main() {
 		if rep.Violation != nil {
 			verdict = rep.Violation.String()
 		}
-		fmt.Printf("%-26s %10d  %s\n", name, rep.Schedules, verdict)
+		fmt.Printf("%-26s %10d  %s\n", spec, rep.Schedules, verdict)
 	}
 	fmt.Println("\nNo schedule has a data race (every access is locked); the bug is an")
-	fmt.Println("atomicity violation needing exactly one preemption. pb0 cannot see it,")
-	fmt.Println("pb1 finds it almost immediately, exhaustive DFS pays the whole space.")
+	fmt.Println("atomicity violation needing exactly one preemption. pb:0 cannot see it,")
+	fmt.Println("pb:1 finds it almost immediately, exhaustive DFS pays the whole space.")
 }

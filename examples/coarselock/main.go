@@ -8,26 +8,25 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/explore"
-	"repro/internal/goharness"
+	"repro/sct"
 )
 
 // coarse builds n threads that each increment a private cell k times
 // inside the same global lock.
-func coarse(n, k int) *goharness.Program {
-	p := goharness.New(fmt.Sprintf("coarselock-%dx%d", n, k)).AutoStart()
+func coarse(n, k int) *sct.Program {
+	p := sct.NewProgram(fmt.Sprintf("coarselock-%dx%d", n, k)).AutoStart()
 	g0 := p.Mutex("global")
-	cells := make([]goharness.Var, n)
+	cells := make([]sct.Var, n)
 	for i := range cells {
 		cells[i] = p.Var(fmt.Sprintf("cell%d", i))
 	}
 	for i := 0; i < n; i++ {
 		i := i
-		p.Thread(func(g *goharness.G) {
+		p.Thread(func(g *sct.G) {
 			g.Lock(g0)
 			for j := 0; j < k; j++ {
 				g.Write(cells[i], g.Read(cells[i])+1)
@@ -40,16 +39,16 @@ func coarse(n, k int) *goharness.Program {
 
 func main() {
 	prog := coarse(4, 2)
-	engines := []core.EngineName{
-		core.EngineDFS,
-		core.EngineDPOR,
-		core.EngineHBRCache,
-		core.EngineLazyHBRCache,
-		core.EngineLazyDPOR,
+	engines := []string{
+		"dfs",
+		"dpor",
+		"hbr-caching",
+		"lazy-hbr-caching",
+		"lazy-dpor",
 	}
 	fmt.Printf("%-18s %10s %8s %10s %8s\n", "engine", "schedules", "#HBRs", "#lazyHBRs", "#states")
 	for _, e := range engines {
-		rep, err := core.Check(prog, e, explore.Options{ScheduleLimit: 200000})
+		rep, err := sct.Run(context.Background(), prog, e, sct.WithScheduleLimit(200000))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,29 +7,28 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/explore"
-	"repro/internal/goharness"
+	"repro/sct"
 )
 
 // table builds the dining table: n philosophers, n fork mutexes. With
 // ordered=false every philosopher grabs left then right (circular wait
 // possible); with ordered=true the last philosopher grabs right then
 // left, breaking the cycle.
-func table(n int, ordered bool) *goharness.Program {
+func table(n int, ordered bool) *sct.Program {
 	name := fmt.Sprintf("philosophers-%d(ordered=%v)", n, ordered)
-	p := goharness.New(name).AutoStart()
-	forks := make([]goharness.Mutex, n)
+	p := sct.NewProgram(name).AutoStart()
+	forks := make([]sct.Mutex, n)
 	for i := range forks {
 		forks[i] = p.Mutex(fmt.Sprintf("fork%d", i))
 	}
 	meals := p.Var("meals")
 	for i := 0; i < n; i++ {
 		i := i
-		p.Thread(func(g *goharness.G) {
+		p.Thread(func(g *sct.G) {
 			first, second := forks[i], forks[(i+1)%n]
 			if ordered && i == n-1 {
 				first, second = second, first
@@ -46,8 +45,9 @@ func table(n int, ordered bool) *goharness.Program {
 
 func main() {
 	const n = 3
+	ctx := context.Background()
 
-	naive, err := core.Check(table(n, false), core.EngineDPOR, explore.Options{ScheduleLimit: 100000})
+	naive, err := sct.Run(ctx, table(n, false), "dpor", sct.WithScheduleLimit(100000))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func main() {
 		}
 	}
 
-	fixed, err := core.Check(table(n, true), core.EngineDPOR, explore.Options{ScheduleLimit: 100000})
+	fixed, err := sct.Run(ctx, table(n, true), "dpor", sct.WithScheduleLimit(100000))
 	if err != nil {
 		log.Fatal(err)
 	}

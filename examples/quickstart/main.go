@@ -1,17 +1,17 @@
-// Quickstart: write a small concurrent Go program against the harness,
-// explore every schedule with DPOR, and let the checker find the
-// classic lost-update bug that ordinary testing almost never hits.
+// Quickstart: write a small concurrent Go program against the public
+// sct facade, explore every schedule with DPOR, and let the checker
+// find the classic lost-update bug that ordinary testing almost never
+// hits.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/explore"
-	"repro/internal/goharness"
+	"repro/sct"
 )
 
 func main() {
@@ -19,14 +19,14 @@ func main() {
 	// main thread joins them and asserts the count. Each increment
 	// is a read-modify-write, so one update can be lost — but only
 	// under specific interleavings.
-	p := goharness.New("quickstart-counter")
+	p := sct.NewProgram("quickstart-counter")
 	counter := p.Var("counter")
 
-	var workers []goharness.ThreadRef
+	var workers []sct.ThreadRef
 	// Thread 0 (declared first) is the initial thread. Its body runs
 	// at exploration time, so it may capture the workers slice that
 	// is filled in just below.
-	p.Thread(func(g *goharness.G) {
+	p.Thread(func(g *sct.G) {
 		for _, w := range workers {
 			g.Spawn(w)
 		}
@@ -36,13 +36,13 @@ func main() {
 		g.Assert(g.Read(counter) == int64(len(workers)))
 	})
 	for i := 0; i < 2; i++ {
-		workers = append(workers, p.Thread(func(g *goharness.G) {
+		workers = append(workers, p.Thread(func(g *sct.G) {
 			v := g.Read(counter)
 			g.Write(counter, v+1)
 		}))
 	}
 
-	report, err := core.Check(p, core.EngineDPOR, explore.Options{ScheduleLimit: 10000})
+	report, err := sct.Run(context.Background(), p, "dpor", sct.WithScheduleLimit(10000))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,5 +56,5 @@ func main() {
 	for i, ev := range report.Violation.Outcome.Trace {
 		fmt.Printf("  %2d  %v\n", i, ev)
 	}
-	fmt.Println("replay it any time with exec.Replay and the recorded choices.")
+	fmt.Println("save it with report.Counterexample() and replay it any time with sct.Load.")
 }

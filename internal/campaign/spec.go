@@ -2,9 +2,8 @@ package campaign
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 
+	"repro/internal/engines"
 	"repro/internal/explore"
 )
 
@@ -25,129 +24,18 @@ import (
 //	pdpor-static[:W]        static-partition parallel DPOR (baseline)
 //	prandom[:seed[:W]]      parallel random walk
 //
-// W and seed default to GOMAXPROCS and 1.
+// W and seed default to GOMAXPROCS and 1. The grammar is backed by
+// the shared engine registry (internal/engines): any engine registered
+// there — including embedder-registered ones via sct.Register — is a
+// valid spec.
 type EngineSpec string
 
-// Build instantiates the engine the spec names.
+// Build instantiates the engine the spec names through the shared
+// registry.
 func (s EngineSpec) Build() (explore.Engine, error) {
-	name, args, _ := strings.Cut(string(s), ":")
-	argv := []string{}
-	if args != "" {
-		argv = strings.Split(args, ":")
+	eng, err := engines.Build(string(s))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
 	}
-	num := func(i, dflt int) (int, error) {
-		if i >= len(argv) {
-			return dflt, nil
-		}
-		n, err := strconv.Atoi(argv[i])
-		if err != nil {
-			return 0, fmt.Errorf("campaign: bad engine spec %q: %v", s, err)
-		}
-		return n, nil
-	}
-	switch name {
-	case "dfs":
-		return explore.NewDFS(), nil
-	case "dpor":
-		return explore.NewDPOR(false), nil
-	case "dpor+sleep":
-		return explore.NewDPOR(true), nil
-	case "lazy-dpor":
-		return explore.NewLazyDPOR(), nil
-	case "hbr-caching":
-		return explore.NewHBRCache(), nil
-	case "lazy-hbr-caching":
-		return explore.NewLazyHBRCache(), nil
-	case "random":
-		seed, err := num(0, 1)
-		if err != nil {
-			return nil, err
-		}
-		return explore.NewRandomWalk(int64(seed)), nil
-	case "pb":
-		bound, err := num(0, 2)
-		if err != nil {
-			return nil, err
-		}
-		if len(argv) > 1 {
-			switch argv[1] {
-			case "hbr":
-				return explore.NewPreemptionBoundedCache(bound, false), nil
-			case "lazy":
-				return explore.NewPreemptionBoundedCache(bound, true), nil
-			default:
-				return nil, fmt.Errorf("campaign: bad engine spec %q: cache mode %q", s, argv[1])
-			}
-		}
-		return explore.NewPreemptionBounded(bound), nil
-	case "db":
-		bound, err := num(0, 2)
-		if err != nil {
-			return nil, err
-		}
-		return explore.NewDelayBounded(bound), nil
-	case "chess-pb":
-		bound, err := num(0, 3)
-		if err != nil {
-			return nil, err
-		}
-		return explore.NewIterativePreemptionBounding(bound), nil
-	case "chess-db":
-		bound, err := num(0, 3)
-		if err != nil {
-			return nil, err
-		}
-		return explore.NewIterativeDelayBounding(bound), nil
-	case "pdfs":
-		w, err := num(0, 0)
-		if err != nil {
-			return nil, err
-		}
-		return NewParallelDFS(w), nil
-	case "pdpor":
-		w, err := num(0, 0)
-		if err != nil {
-			return nil, err
-		}
-		return NewParallelDPOR(w), nil
-	case "pdpor-static":
-		w, err := num(0, 0)
-		if err != nil {
-			return nil, err
-		}
-		return NewParallelDPORStatic(w), nil
-	case "prandom":
-		seed, err := num(0, 1)
-		if err != nil {
-			return nil, err
-		}
-		w, err := num(1, 0)
-		if err != nil {
-			return nil, err
-		}
-		return NewParallelRandomWalk(int64(seed), w), nil
-	default:
-		return nil, fmt.Errorf("campaign: unknown engine spec %q", s)
-	}
-}
-
-// ParseSpecs splits a comma-separated engine list and validates every
-// entry.
-func ParseSpecs(list string) ([]EngineSpec, error) {
-	var out []EngineSpec
-	for _, f := range strings.Split(list, ",") {
-		f = strings.TrimSpace(f)
-		if f == "" {
-			continue
-		}
-		spec := EngineSpec(f)
-		if _, err := spec.Build(); err != nil {
-			return nil, err
-		}
-		out = append(out, spec)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("campaign: empty engine list %q", list)
-	}
-	return out, nil
+	return eng, nil
 }

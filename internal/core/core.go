@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/engines"
 	"repro/internal/event"
 	"repro/internal/exec"
 	"repro/internal/explore"
@@ -34,49 +35,35 @@ const (
 	EngineRandom       EngineName = "random"
 )
 
-// NewEngine instantiates an engine by name. Random walks use seed 1.
-// Preemption-bounded engines are named "pb<k>-dfs", "pb<k>-hbr-caching"
-// and "pb<k>-lazy-hbr-caching" for a bound k (e.g. "pb2-dfs").
+// NewEngine instantiates an engine by name through the shared engine
+// registry (internal/engines): any canonical spec works ("dpor+sleep",
+// "pb:2:lazy", "random:7"). The historical bounded-engine spellings
+// "pb<k>-dfs", "pb<k>-hbr-caching", "pb<k>-lazy-hbr-caching",
+// "db<k>-dfs", "chess-pb<k>" and "chess-db<k>" are still accepted and
+// normalised to their registry specs.
 func NewEngine(name EngineName) (explore.Engine, error) {
-	if eng, ok := parsePreemptionBounded(string(name)); ok {
-		return eng, nil
+	spec := legacySpec(string(name))
+	eng, err := engines.Build(spec)
+	if err != nil {
+		base, _, _ := strings.Cut(spec, ":")
+		if _, known := engines.Lookup(base); !known {
+			return nil, fmt.Errorf("core: unknown engine %q (have %v)", name, EngineNames())
+		}
+		// A registered engine with bad arguments: surface the
+		// registry's precise diagnostic, not "unknown engine".
+		return nil, fmt.Errorf("core: engine %q: %w", name, err)
 	}
-	switch name {
-	case EngineDFS:
-		return explore.NewDFS(), nil
-	case EngineDPOR:
-		return explore.NewDPOR(false), nil
-	case EngineDPORSleep:
-		return explore.NewDPOR(true), nil
-	case EngineHBRCache:
-		return explore.NewHBRCache(), nil
-	case EngineLazyHBRCache:
-		return explore.NewLazyHBRCache(), nil
-	case EngineLazyDPOR:
-		return explore.NewLazyDPOR(), nil
-	case EngineRandom:
-		return explore.NewRandomWalk(1), nil
-	default:
-		return nil, fmt.Errorf("core: unknown engine %q (have %v)", name, EngineNames())
-	}
+	return eng, nil
 }
 
-// parsePreemptionBounded recognises the bounded-engine spellings:
-// "pb<k>-dfs", "pb<k>-hbr-caching", "pb<k>-lazy-hbr-caching",
-// "db<k>-dfs" (delay bounding) and the iterative-deepening loops
-// "chess-pb<k>" / "chess-db<k>".
-func parsePreemptionBounded(name string) (explore.Engine, bool) {
-	if rest, ok := strings.CutPrefix(name, "chess-pb"); ok {
-		if bound, err := strconv.Atoi(rest); err == nil && bound >= 0 {
-			return explore.NewIterativePreemptionBounding(bound), true
-		}
-		return nil, false
+// legacySpec rewrites the historical bounded-engine spellings into
+// canonical registry specs; anything else passes through unchanged.
+func legacySpec(name string) string {
+	if rest, ok := strings.CutPrefix(name, "chess-pb"); ok && isUint(rest) {
+		return "chess-pb:" + rest
 	}
-	if rest, ok := strings.CutPrefix(name, "chess-db"); ok {
-		if bound, err := strconv.Atoi(rest); err == nil && bound >= 0 {
-			return explore.NewIterativeDelayBounding(bound), true
-		}
-		return nil, false
+	if rest, ok := strings.CutPrefix(name, "chess-db"); ok && isUint(rest) {
+		return "chess-db:" + rest
 	}
 	kind := ""
 	switch {
@@ -85,35 +72,42 @@ func parsePreemptionBounded(name string) (explore.Engine, bool) {
 	case strings.HasPrefix(name, "db"):
 		kind = "db"
 	default:
-		return nil, false
+		return name
 	}
 	rest := name[2:]
 	dash := strings.IndexByte(rest, '-')
-	if dash <= 0 {
-		return nil, false
+	if dash <= 0 || !isUint(rest[:dash]) {
+		return name
 	}
-	bound, err := strconv.Atoi(rest[:dash])
-	if err != nil || bound < 0 {
-		return nil, false
-	}
+	bound := rest[:dash]
 	switch {
 	case kind == "pb" && rest[dash+1:] == "dfs":
-		return explore.NewPreemptionBounded(bound), true
+		return "pb:" + bound
 	case kind == "pb" && rest[dash+1:] == "hbr-caching":
-		return explore.NewPreemptionBoundedCache(bound, false), true
+		return "pb:" + bound + ":hbr"
 	case kind == "pb" && rest[dash+1:] == "lazy-hbr-caching":
-		return explore.NewPreemptionBoundedCache(bound, true), true
+		return "pb:" + bound + ":lazy"
 	case kind == "db" && rest[dash+1:] == "dfs":
-		return explore.NewDelayBounded(bound), true
+		return "db:" + bound
 	}
-	return nil, false
+	return name
 }
 
-// EngineNames lists the known engine names, sorted.
+func isUint(s string) bool {
+	n, err := strconv.Atoi(s)
+	return err == nil && n >= 0
+}
+
+// EngineNames lists the sequential engine names the registry knows in
+// this binary, sorted. (Parallel searches register from the campaign
+// package and are reachable through NewEngine wherever it is linked,
+// but they are not part of core's sequential catalogue.)
 func EngineNames() []EngineName {
-	names := []EngineName{
-		EngineDFS, EngineDPOR, EngineDPORSleep, EngineHBRCache,
-		EngineLazyHBRCache, EngineLazyDPOR, EngineRandom,
+	var names []EngineName
+	for _, info := range engines.All() {
+		if !info.Parallel {
+			names = append(names, EngineName(info.Name))
+		}
 	}
 	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
 	return names

@@ -39,12 +39,25 @@ func TestNewEngineAllNames(t *testing.T) {
 
 func TestEngineNamesSorted(t *testing.T) {
 	names := EngineNames()
-	if len(names) != 7 {
+	// The registry-backed catalogue: every sequential engine family,
+	// including the bounded ones that used to hide behind the
+	// "pb<k>-dfs" spellings.
+	if len(names) != 11 {
 		t.Fatalf("engines = %v", names)
 	}
-	for i := 1; i < len(names); i++ {
-		if names[i-1] >= names[i] {
+	have := map[EngineName]bool{}
+	for i, n := range names {
+		have[n] = true
+		if i > 0 && names[i-1] >= n {
 			t.Errorf("names not sorted: %v", names)
+		}
+	}
+	for _, want := range []EngineName{
+		EngineDFS, EngineDPOR, EngineDPORSleep, EngineHBRCache,
+		EngineLazyHBRCache, EngineLazyDPOR, EngineRandom,
+	} {
+		if !have[want] {
+			t.Errorf("catalogue lost %q: %v", want, names)
 		}
 	}
 }

@@ -25,7 +25,31 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/campaign"
+	"repro/internal/engines"
 )
+
+// The engine lists behind each figure come from the shared engine
+// registry (internal/engines) — the same canonical catalogue the
+// campaign grammar, cmd/eval's default grid and the sct facade use —
+// so a renamed or missing engine fails loudly at init, not as a
+// half-empty figure.
+var (
+	fig2Engines = registrySpecs("dpor")
+	fig3Engines = registrySpecs("hbr-caching", "lazy-hbr-caching")
+)
+
+// registrySpecs resolves engine names against the registry; an
+// unregistered name is a programmer error.
+func registrySpecs(names ...string) []campaign.EngineSpec {
+	out := make([]campaign.EngineSpec, len(names))
+	for i, n := range names {
+		if _, ok := engines.Lookup(n); !ok {
+			panic(fmt.Sprintf("figures: engine %q is not registered", n))
+		}
+		out[i] = campaign.EngineSpec(n)
+	}
+	return out
+}
 
 // Options configures a figure sweep.
 type Options struct {
@@ -109,7 +133,7 @@ type Fig2Row struct {
 // runner (in parallel when configured) and returns one row each, in
 // input order.
 func Fig2(benches []bench.Benchmark, opt Options) ([]Fig2Row, error) {
-	results, err := runCampaign(benches, []campaign.EngineSpec{"dpor"}, opt)
+	results, err := runCampaign(benches, fig2Engines, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +219,7 @@ type Fig3Row struct {
 // campaign runner (each engine is its own cell, so one benchmark's two
 // runs can proceed on different workers), in input order.
 func Fig3(benches []bench.Benchmark, opt Options) ([]Fig3Row, error) {
-	results, err := runCampaign(benches, []campaign.EngineSpec{"hbr-caching", "lazy-hbr-caching"}, opt)
+	results, err := runCampaign(benches, fig3Engines, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -221,10 +245,10 @@ func Fig3FromCells(results []campaign.CellResult) ([]Fig3Row, error) {
 			byBench[bm.Name] = row
 		}
 		switch r.Cell.Engine {
-		case "hbr-caching":
+		case fig3Engines[0]:
 			row.RegularCaching = r.Result.DistinctLazyHBRs
 			row.HitLimitReg = r.Result.HitLimit
-		case "lazy-hbr-caching":
+		case fig3Engines[1]:
 			row.LazyCaching = r.Result.DistinctLazyHBRs
 			row.HitLimitLazy = r.Result.HitLimit
 		default:

@@ -101,6 +101,11 @@ func Minimize(src model.Source, a Artifact, replayBudget int) (Artifact, Minimiz
 	if len(full.Choices) > stats.OriginalChoices || p > stats.OriginalPreemptions {
 		full = lowerPreemptions(src, orig, try)
 		p = Preemptions(src, full.Choices)
+		// The ddmin result was discarded: the emitted schedule is the
+		// (lowered) original, whose explicit constraint list is the
+		// full choice sequence — don't report the abandoned ddmin
+		// length as if it described the artifact.
+		stats.Constraints = len(full.Choices)
 	}
 	out := full
 	min := a

@@ -1,0 +1,142 @@
+package sct
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/repro"
+)
+
+// MinimizeStats reports what [Counterexample.Minimize] did: replays
+// spent and the schedule/preemption shrink.
+type MinimizeStats = repro.MinimizeStats
+
+// Counterexample is one portable counterexample: everything needed to
+// reproduce, verify, minimize and triage a violation without the run
+// that found it. Obtain one from [Report.Counterexample] (bound to
+// the explored program) or [Load]/[ReadCounterexample] (unbound until
+// the first [Counterexample.Replay]).
+type Counterexample struct {
+	artifact repro.Artifact
+	src      Source // nil until bound
+}
+
+// NewCounterexample captures the first violation recorded in a result
+// as an artifact bound to src — the program the result was explored
+// from. maxSteps must be the bound the exploration ran under (0 = the
+// executor default). It errors when the result saw no violation or
+// when the witness does not reproduce against src.
+func NewCounterexample(src Source, res Result, maxSteps int) (*Counterexample, error) {
+	w, ok := repro.FromResult(res)
+	if !ok {
+		return nil, fmt.Errorf("sct: %s/%s found no violation to capture", res.Program, res.Engine)
+	}
+	a, err := repro.Capture(src, w, maxSteps)
+	if err != nil {
+		return nil, fmt.Errorf("sct: %w", err)
+	}
+	return &Counterexample{artifact: a, src: src}, nil
+}
+
+// Minimize shrinks the counterexample in place: ddmin over the choice
+// sequence, then preemption lowering, every candidate validated by
+// replay. The result reproduces the same failure kind with no more
+// choices and no more preemptions than before. The counterexample
+// must be bound to its program (via [Report.Counterexample] or a
+// successful [Counterexample.Replay]).
+func (c *Counterexample) Minimize() (MinimizeStats, error) {
+	if c.src == nil {
+		return MinimizeStats{}, errors.New("sct: counterexample is not bound to a program; Replay it against one first")
+	}
+	min, stats, err := repro.Minimize(c.src, c.artifact, 0)
+	if err != nil {
+		return stats, fmt.Errorf("sct: %w", err)
+	}
+	c.artifact = min
+	return stats, nil
+}
+
+// Replay re-executes the counterexample against src and verifies it
+// reproduces: same trace, same terminal state, same failure kind,
+// same state digest. A nil src replays against the bound program; a
+// successful replay (re)binds the counterexample to src. The outcome
+// is returned even on mismatch, for triage; the error names exactly
+// what diverged.
+func (c *Counterexample) Replay(src Source) (Outcome, error) {
+	if src == nil {
+		src = c.src
+	}
+	if src == nil {
+		return Outcome{}, errors.New("sct: counterexample is not bound to a program; pass one to Replay")
+	}
+	out, err := c.artifact.Replay(src)
+	if err != nil {
+		return out, fmt.Errorf("sct: %w", err)
+	}
+	c.src = src
+	return out, nil
+}
+
+// Save writes the counterexample to path as a versioned JSON
+// artifact.
+func (c *Counterexample) Save(path string) error {
+	return c.artifact.WriteFile(path)
+}
+
+// Write serialises the counterexample as indented JSON.
+func (c *Counterexample) Write(w io.Writer) error {
+	return c.artifact.Write(w)
+}
+
+// Load reads a counterexample artifact from path. The result is
+// unbound: [Counterexample.Replay] it against the program it names
+// (see [Counterexample.Program]).
+func Load(path string) (*Counterexample, error) {
+	a, err := repro.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Counterexample{artifact: a}, nil
+}
+
+// ReadCounterexample parses a counterexample artifact from r.
+func ReadCounterexample(r io.Reader) (*Counterexample, error) {
+	a, err := repro.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Counterexample{artifact: a}, nil
+}
+
+// Program names the program under test the artifact was captured
+// from.
+func (c *Counterexample) Program() string { return c.artifact.Trace.Program }
+
+// Engine names the engine configuration that found the violation.
+func (c *Counterexample) Engine() string { return c.artifact.Engine }
+
+// Kind names the violation class ("deadlock", "assertion failure",
+// "lock misuse", "data race").
+func (c *Counterexample) Kind() string { return c.artifact.Kind }
+
+// SchedulesToBug is the 1-based index of the violating execution in
+// the finding run — the paper's bug-finding metric; 0 when unknown.
+func (c *Counterexample) SchedulesToBug() int { return c.artifact.SchedulesToBug }
+
+// Preemptions counts the preemptive context switches in the stored
+// schedule.
+func (c *Counterexample) Preemptions() int { return c.artifact.Preemptions }
+
+// Choices returns the stored schedule: the thread scheduled at every
+// step.
+func (c *Counterexample) Choices() []ThreadID {
+	return append([]ThreadID(nil), c.artifact.Trace.Choices...)
+}
+
+// Minimized reports whether the artifact went through
+// [Counterexample.Minimize].
+func (c *Counterexample) Minimized() bool { return c.artifact.Minimized }
+
+// String summarises the counterexample.
+func (c *Counterexample) String() string { return c.artifact.String() }

@@ -1,0 +1,194 @@
+package sct
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/explore"
+)
+
+// Backend names a cursor backtracking implementation — the ablation
+// knob of the copy-on-write exploration backend. The zero value
+// (BackendAuto) picks the fastest supported backend and is right
+// outside ablation studies.
+type Backend = explore.BackendKind
+
+// The backends. All are observationally identical; they differ only
+// in how executions rewind.
+const (
+	// BackendAuto picks the fastest supported backend: the undo log
+	// for snapshottable programs, replay otherwise.
+	BackendAuto Backend = explore.BackendAuto
+	// BackendUndo rewinds through an O(1)-per-step machine undo log
+	// plus copy-on-write tracker snapshots.
+	BackendUndo Backend = explore.BackendUndo
+	// BackendSnapshot stores a deep machine snapshot at every depth
+	// (the legacy ablation baseline).
+	BackendSnapshot Backend = explore.BackendSnapshot
+	// BackendReplay re-executes the retained prefix on every
+	// backtrack; it works for every program, including goroutine-
+	// backed ones that cannot snapshot.
+	BackendReplay Backend = explore.BackendReplay
+)
+
+// Option configures a [Run], [Grid] or [NewCampaign]. Options are
+// validated when the call constructs its configuration, so an invalid
+// value fails fast instead of producing a half-meaningful result.
+type Option func(*config) error
+
+// config is the compiled form of an option list; exploreOptions turns
+// it into the engine-level explore.Options.
+type config struct {
+	scheduleLimit int
+	maxSteps      int
+	backend       Backend
+	workers       int
+	recordStates  bool
+	firstBug      bool
+	onViolation   func(Witness)
+
+	// applied names every option that was set, so each construction
+	// site can reject options it cannot honour instead of silently
+	// dropping them.
+	applied map[string]bool
+}
+
+func (c *config) mark(name string) {
+	if c.applied == nil {
+		c.applied = map[string]bool{}
+	}
+	c.applied[name] = true
+}
+
+func newConfig(opts []Option) (config, error) {
+	var c config
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(&c); err != nil {
+			return c, fmt.Errorf("sct: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// reject errors when any of the named options was applied — the
+// fail-fast half of "options are validated at construction": an
+// option the call site cannot carry is a programming error, not a
+// silent no-op.
+func (c config) reject(site, hint string, names ...string) error {
+	for _, n := range names {
+		if c.applied[n] {
+			return fmt.Errorf("sct: %s does not apply to %s (%s)", n, site, hint)
+		}
+	}
+	return nil
+}
+
+func (c config) exploreOptions(ctx context.Context) explore.Options {
+	return explore.Options{
+		ScheduleLimit:  c.scheduleLimit,
+		MaxSteps:       c.maxSteps,
+		Backend:        c.backend,
+		RecordStates:   c.recordStates,
+		StopAtFirstBug: c.firstBug,
+		OnViolation:    c.onViolation,
+		Ctx:            ctx,
+	}
+}
+
+// WithScheduleLimit stops exploration after n executions. 0 (the
+// default) means unlimited; the paper's evaluation uses 100,000.
+func WithScheduleLimit(n int) Option {
+	return func(c *config) error {
+		c.mark("WithScheduleLimit")
+		if n < 0 {
+			return fmt.Errorf("negative schedule limit %d", n)
+		}
+		c.scheduleLimit = n
+		return nil
+	}
+}
+
+// WithBounds sets both exploration budgets at once: the schedule
+// limit (0 = unlimited) and the per-execution event bound (0 = the
+// executor default; executions hitting it count as truncated).
+func WithBounds(scheduleLimit, maxSteps int) Option {
+	return func(c *config) error {
+		c.mark("WithBounds")
+		if scheduleLimit < 0 {
+			return fmt.Errorf("negative schedule limit %d", scheduleLimit)
+		}
+		if maxSteps < 0 {
+			return fmt.Errorf("negative step bound %d", maxSteps)
+		}
+		c.scheduleLimit = scheduleLimit
+		c.maxSteps = maxSteps
+		return nil
+	}
+}
+
+// WithBackend selects the cursor backtracking implementation (an
+// ablation knob; the default BackendAuto is right otherwise).
+func WithBackend(b Backend) Option {
+	return func(c *config) error {
+		c.mark("WithBackend")
+		if b > BackendReplay {
+			return fmt.Errorf("unknown backend %q", b)
+		}
+		c.backend = b
+		return nil
+	}
+}
+
+// WithWorkers sets how many campaign cells run concurrently
+// ([NewCampaign]'s worker pool). n <= 0 (the default) uses all cores.
+// Single-search parallelism is an engine property instead: spell it
+// in the engine spec ("pdpor:8").
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		c.mark("WithWorkers")
+		if n < 0 {
+			n = 0
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithRecordStates retains the sorted distinct terminal state keys in
+// the result — a cross-engine agreement diagnostic, costly on large
+// spaces.
+func WithRecordStates() Option {
+	return func(c *config) error {
+		c.mark("WithRecordStates")
+		c.recordStates = true
+		return nil
+	}
+}
+
+// StopAtFirstBug stops the search the moment a terminal execution
+// exhibits a safety violation; Result.FirstBugSchedule then reports
+// the paper's schedules-to-first-bug metric.
+func StopAtFirstBug() Option {
+	return func(c *config) error {
+		c.mark("StopAtFirstBug")
+		c.firstBug = true
+		return nil
+	}
+}
+
+// OnViolation invokes fn for every violating terminal execution, with
+// a self-contained witness. Parallel searches call it from multiple
+// goroutines concurrently; fn must synchronise internally.
+func OnViolation(fn func(Witness)) Option {
+	return func(c *config) error {
+		c.mark("OnViolation")
+		if fn == nil {
+			return fmt.Errorf("nil OnViolation callback")
+		}
+		c.onViolation = fn
+		return nil
+	}
+}

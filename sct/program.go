@@ -1,0 +1,39 @@
+package sct
+
+import "repro/internal/goharness"
+
+// Program is a program under test built from ordinary Go closures:
+// declare shared variables, mutexes and threads, then hand it to
+// [Run] (it implements [Source]). Each thread body announces its
+// visible operations through the [G] handle, so the tester fully
+// controls the interleaving of visible operations even though the Go
+// runtime schedules the goroutines themselves.
+//
+// Thread bodies must be deterministic: all cross-thread communication
+// goes through the harness (G.Read/G.Write/G.Lock/...), and bodies
+// must not consult ambient nondeterminism (time, map iteration order,
+// mutable package state shared across executions).
+type Program = goharness.Program
+
+// G is the handle a thread body uses for all visible operations.
+type G = goharness.G
+
+// Body is the code of one thread.
+type Body = goharness.Body
+
+// Var names a shared variable of a program.
+type Var = goharness.Var
+
+// Mutex names a mutex of a program.
+type Mutex = goharness.Mutex
+
+// ThreadRef names a declared thread, for G.Spawn/G.Join.
+type ThreadRef = goharness.ThreadRef
+
+// NewProgram returns an empty program under test. Declare state with
+// Var/VarInit/Mutex, threads with Thread (the first declared thread
+// is the initial one; AutoStart makes all of them initially
+// runnable), then explore it with [Run].
+func NewProgram(name string) *Program {
+	return goharness.New(name)
+}
