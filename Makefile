@@ -70,9 +70,9 @@ repro-smoke:
 # perf trajectory, rendered as a machine-readable JSON artifact
 # (BENCH_PR<PR>.json and successors; see cmd/benchjson). Set PR to the
 # current PR number: make bench-json PR=4.
-PR ?= 4
+PR ?= 6
 BENCH_JSON ?= BENCH_PR$(PR).json
-BENCH_FILTER ?= BenchmarkTracker$$|BenchmarkVClock/|BenchmarkExecutor$$|BenchmarkEngine/|BenchmarkSnapshotVsReplay/|BenchmarkWorkStealDPOR/
+BENCH_FILTER ?= BenchmarkTracker$$|BenchmarkVClock/|BenchmarkExecutor$$|BenchmarkEngine/|BenchmarkSnapshotVsReplay/|BenchmarkWorkStealDPOR/|BenchmarkFirstBug/
 # Two steps (not a pipe) so a failing benchmark run fails the target
 # instead of silently producing an empty artifact.
 bench-json:
@@ -84,8 +84,9 @@ bench-json:
 # Facade hygiene — the CI api-check job. The public sct package is the
 # only supported entry point: examples must build against it alone
 # (no repro/internal imports at all), the cmd tools must not reach
-# into the explore/campaign/repro internals, and the godoc examples
-# (sct.ExampleRun is the embedding quickstart) must run.
+# into the explore/campaign/repro internals, the godoc examples
+# (sct.ExampleRun is the embedding quickstart) must run, and the
+# docs/ENGINES.md engine catalogue must match the registry.
 api-check:
 	$(GO) build ./examples/... ./cmd/... ./sct/...
 	@bad="$$(grep -rn 'repro/internal' examples/ || true)"; \
@@ -97,6 +98,7 @@ api-check:
 		echo "cmd/ must not import explore/campaign/repro internals:"; echo "$$bad"; exit 1; \
 	fi
 	$(GO) test -run '^Example' -count=1 ./sct/ ./internal/...
+	$(GO) test -run '^TestEnginesDocInSync$$' -count=1 ./sct/
 	@echo "api-check: facade clean"
 
 # Regenerate the paper figures at the full budget (slow; see -help for

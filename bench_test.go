@@ -158,6 +158,8 @@ func BenchmarkEngine(b *testing.B) {
 		explore.NewLazyHBRCache(),
 		explore.NewLazyDPOR(),
 		explore.NewRandomWalk(1),
+		explore.NewPCT(1, 3),
+		explore.NewPOS(1),
 	}
 	for _, eng := range engines {
 		eng := eng
@@ -169,6 +171,37 @@ func BenchmarkEngine(b *testing.B) {
 			}
 			b.ReportMetric(float64(last.Schedules), "schedules")
 			b.ReportMetric(float64(last.Events), "events")
+		})
+	}
+}
+
+// BenchmarkFirstBug measures bug-finding cost per technique on a
+// deadlocking corpus member: wall-clock ns/op plus the
+// schedules-to-first-bug metric the paper's evaluation compares —
+// tracked in the BENCH_PR*.json trajectory so sampler regressions
+// (a seed change silently inflating schedules-to-bug) are visible.
+func BenchmarkFirstBug(b *testing.B) {
+	bm := mustBench(b, "philosophers-3")
+	engines := []explore.Engine{
+		explore.NewDPOR(true),
+		explore.NewRandomWalk(1),
+		explore.NewPCT(1, 3),
+		explore.NewPOS(1),
+	}
+	for _, eng := range engines {
+		eng := eng
+		b.Run(eng.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			var last explore.Result
+			for i := 0; i < b.N; i++ {
+				last = eng.Explore(bm.Program, explore.Options{
+					ScheduleLimit: 20000, MaxSteps: 2000, StopAtFirstBug: true,
+				})
+			}
+			if last.FirstViolation == nil {
+				b.Fatalf("%s found no violation", eng.Name())
+			}
+			b.ReportMetric(float64(last.FirstBugSchedule), "schedules-to-bug")
 		})
 	}
 }

@@ -237,6 +237,7 @@ func TestFirstBugMode(t *testing.T) {
 	for _, want := range []string{
 		"schedules to first bug",
 		"philosophers-2", "philosophers-3",
+		"pct:3", "pos",
 		"pdpor:1", "pdpor:2", "pdpor:4",
 		"deadlock",
 		"all replay-verified",
@@ -249,7 +250,7 @@ func TestFirstBugMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Two deadlocking benchmarks × 12 default-grid engines.
+	// Two deadlocking benchmarks × the 14 default-grid engines.
 	if want := 2 * len(sct.DefaultGrid()); len(files) != want {
 		t.Errorf("wrote %d artifacts, want %d: %v", len(files), want, files)
 	}

@@ -185,7 +185,8 @@ func TestJSONLRoundTrip(t *testing.T) {
 func TestEngineSpecGrammar(t *testing.T) {
 	good := []string{
 		"dfs", "dpor", "dpor+sleep", "lazy-dpor", "hbr-caching", "lazy-hbr-caching",
-		"random", "random:9", "pb:2", "pb:1:hbr", "pb:1:lazy", "db:3",
+		"random", "random:9", "pct:3", "pct:2:9", "pos", "pos:9",
+		"pb:2", "pb:1:hbr", "pb:1:lazy", "db:3",
 		"chess-pb:2", "chess-db:2", "pdfs", "pdfs:4", "pdpor:2", "pdpor-static:2", "prandom:5:2",
 	}
 	for _, s := range good {
@@ -193,7 +194,7 @@ func TestEngineSpecGrammar(t *testing.T) {
 			t.Errorf("spec %q rejected: %v", s, err)
 		}
 	}
-	bad := []string{"", "nope", "pb:x", "pb:1:bogus", "random:zzz", "pdfs:w"}
+	bad := []string{"", "nope", "pb:x", "pb:1:bogus", "random:zzz", "pdfs:w", "pct:0", "pct:x", "pos:zzz"}
 	for _, s := range bad {
 		if _, err := EngineSpec(s).Build(); err == nil {
 			t.Errorf("spec %q unexpectedly accepted", s)

@@ -184,13 +184,27 @@ func subtreeSearch(name string, mk func() explore.Engine, src model.Source, opt 
 	unitOpt.Dedup = dedup
 	unitOpt.SharedBudget = budget
 
+	// bugFound flips once any unit's search captured a violation under
+	// StopAtFirstBug: units already running stop at their own first
+	// bug, units not yet started drain as no-ops — mirroring
+	// workStealDPOR — so a first-bug cell stops costing budget the
+	// moment the bug is found instead of letting sibling subtrees run
+	// to exhaustion.
+	var bugFound atomic.Bool
 	units := runUnits(workers, len(prefixes), func(i int) explore.Result {
+		if opt.StopAtFirstBug && bugFound.Load() {
+			return explore.Result{}
+		}
 		if budget != nil && budget.Exhausted() {
 			return explore.Result{HitLimit: true}
 		}
 		o := unitOpt
 		o.Prefix = prefixes[i]
-		return mk().Explore(src, o)
+		res := mk().Explore(src, o)
+		if opt.StopAtFirstBug && res.FirstViolation != nil {
+			bugFound.Store(true)
+		}
+		return res
 	})
 	return mergeUnits(name, src, opt, dedup, units)
 }
@@ -256,8 +270,15 @@ func ParallelRandomWalk(seed int64, src model.Source, opt explore.Options, worke
 	unitOpt.ScheduleLimit = 0
 	unitOpt.Dedup = dedup
 
+	// The same found-flag drain as subtreeSearch: under StopAtFirstBug,
+	// walk chunks that have not started yet become no-ops once any
+	// chunk found a violation.
+	var bugFound atomic.Bool
 	nchunks := (limit + randomChunk - 1) / randomChunk
 	units := runUnits(workers, nchunks, func(i int) explore.Result {
+		if opt.StopAtFirstBug && bugFound.Load() {
+			return explore.Result{}
+		}
 		first := i * randomChunk
 		n := randomChunk
 		if first+n > limit {
@@ -266,10 +287,17 @@ func ParallelRandomWalk(seed int64, src model.Source, opt explore.Options, worke
 		if unitOpt.Ctx != nil && unitOpt.Ctx.Err() != nil {
 			return explore.Result{Interrupted: true}
 		}
-		return explore.NewRandomWalkRange(seed, first, n).Explore(src, unitOpt)
+		res := explore.NewRandomWalkRange(seed, first, n).Explore(src, unitOpt)
+		if opt.StopAtFirstBug && res.FirstViolation != nil {
+			bugFound.Store(true)
+		}
+		return res
 	})
 	res := mergeUnits(fmt.Sprintf("prandom[%d]", workers), src, opt, dedup, units)
-	if !res.Interrupted {
+	// Exhausting the walk budget counts as hitting the limit, matching
+	// the sequential baseline — which also leaves HitLimit unset when a
+	// first-bug stop (not the budget) ended the run.
+	if !res.Interrupted && !(opt.StopAtFirstBug && res.FirstViolation != nil) {
 		res.HitLimit = true
 	}
 	return res

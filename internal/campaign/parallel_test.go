@@ -253,3 +253,49 @@ func isPrefix(a, b []event.ThreadID) bool {
 	}
 	return true
 }
+
+// TestStaticPartitionFirstBugDrain: under StopAtFirstBug the static-
+// partition searches share a found flag, so units queued behind the
+// one that captured the violation drain as no-ops instead of running
+// their whole subtree (or walk chunk). The stopped run must therefore
+// execute far fewer schedules than the exhaustive (or full-budget)
+// run, and its first-bug bookkeeping must stay consistent.
+func TestStaticPartitionFirstBugDrain(t *testing.T) {
+	bm := mustProgram(t, "philosophers-3")
+	const workers = 4
+	stop := explore.Options{MaxSteps: 2000, StopAtFirstBug: true}
+	full := ParallelDFS(bm.Program, explore.Options{MaxSteps: 2000}, workers)
+	if full.FirstViolation == nil {
+		t.Fatalf("corpus benchmark lost its deadlock")
+	}
+	for _, s := range []struct {
+		name string
+		run  func() explore.Result
+	}{
+		{"pdfs", func() explore.Result { return ParallelDFS(bm.Program, stop, workers) }},
+		{"pdpor-static", func() explore.Result { return ParallelDPORStatic(bm.Program, stop, workers) }},
+		{"prandom", func() explore.Result {
+			o := stop
+			o.ScheduleLimit = 50000
+			return ParallelRandomWalk(1, bm.Program, o, workers)
+		}},
+	} {
+		res := s.run()
+		if res.FirstViolation == nil {
+			t.Fatalf("%s: no violation under StopAtFirstBug", s.name)
+		}
+		if res.HitLimit {
+			t.Errorf("%s: first-bug stop must not report HitLimit", s.name)
+		}
+		if res.Schedules >= full.Schedules {
+			t.Errorf("%s: drained run executed %d schedules, exhaustive run %d — units did not drain",
+				s.name, res.Schedules, full.Schedules)
+		}
+		if res.FirstBugSchedule < 1 || res.FirstBugSchedule > res.Schedules {
+			t.Errorf("%s: FirstBugSchedule %d outside [1, %d]", s.name, res.FirstBugSchedule, res.Schedules)
+		}
+		if err := res.CheckInvariant(); err != nil {
+			t.Errorf("%s: %v", s.name, err)
+		}
+	}
+}

@@ -42,7 +42,7 @@ func TestEngineNamesSorted(t *testing.T) {
 	// The registry-backed catalogue: every sequential engine family,
 	// including the bounded ones that used to hide behind the
 	// "pb<k>-dfs" spellings.
-	if len(names) != 11 {
+	if len(names) != 13 {
 		t.Fatalf("engines = %v", names)
 	}
 	have := map[EngineName]bool{}

@@ -92,6 +92,37 @@ func init() {
 			return explore.NewRandomWalk(int64(seed)), nil
 		},
 	})
+	Register(Info{
+		Name: "pct", Usage: "pct:d[:seed]",
+		Summary: "probabilistic concurrency testing (Burckhardt et al.): priority scheduling with d-1 random change points",
+		Grid:    []string{"pct:3"},
+		Build: func(argv []string) (explore.Engine, error) {
+			d, err := IntArg(argv, 0, 3)
+			if err != nil {
+				return nil, err
+			}
+			if d < 1 {
+				return nil, fmt.Errorf("bug depth %d (want >= 1)", d)
+			}
+			seed, err := IntArg(argv, 1, 1)
+			if err != nil {
+				return nil, err
+			}
+			return explore.NewPCT(int64(seed), d), nil
+		},
+	})
+	Register(Info{
+		Name: "pos", Usage: "pos[:seed]",
+		Summary: "partial-order sampling: racing pending events redraw their random priorities (near-uniform over trace classes)",
+		Grid:    []string{"pos"},
+		Build: func(argv []string) (explore.Engine, error) {
+			seed, err := IntArg(argv, 0, 1)
+			if err != nil {
+				return nil, err
+			}
+			return explore.NewPOS(int64(seed)), nil
+		},
+	})
 }
 
 func buildPB(argv []string) (explore.Engine, error) {

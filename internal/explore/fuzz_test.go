@@ -86,6 +86,53 @@ func checkEngineEquivalence(t *testing.T, data []byte) {
 			}
 		}
 	}
+
+	// The sampling engines (random walk, PCT, POS) explore a seeded
+	// random subset of the space rather than all of it, so the oracle
+	// weakens to: the counting invariant holds, every backend reports
+	// byte-identical counters (walk i is a pure function of (seed, i)
+	// and the program), and — when exhaustive DFS finished — every
+	// terminal state the sampler reached is one DFS reached, and any
+	// violation it found is a violation class DFS confirmed exists.
+	for _, eng := range []Engine{
+		NewRandomWalk(3),
+		NewPCT(3, 1),
+		NewPCT(3, 3),
+		NewPOS(3),
+	} {
+		sOpt := func(b BackendKind) Options {
+			o := mkOpt(b)
+			o.ScheduleLimit = 40
+			return o
+		}
+		undo := eng.Explore(src, sOpt(BackendUndo))
+		if err := undo.CheckInvariant(); err != nil {
+			t.Errorf("%s: %v", eng.Name(), err)
+		}
+		if got, want := countersOf(undo), countersOf(eng.Explore(src, sOpt(BackendSnapshot))); got != want {
+			t.Errorf("%s: undo and snapshot backends disagree:\n undo=%+v\n snap=%+v", eng.Name(), got, want)
+		}
+		if got, want := countersOf(undo), countersOf(eng.Explore(src, sOpt(BackendReplay))); got != want {
+			t.Errorf("%s: undo and replay backends disagree:\n undo=%+v\n repl=%+v", eng.Name(), got, want)
+		}
+		if exhausted {
+			dfsStates := make(map[string]bool, len(dfs.States))
+			for _, s := range dfs.States {
+				dfsStates[s] = true
+			}
+			for _, s := range undo.States {
+				if !dfsStates[s] {
+					t.Errorf("%s reached terminal state %q that exhaustive DFS never saw", eng.Name(), s)
+				}
+			}
+			if (undo.AssertFailures > 0 && dfs.AssertFailures == 0) ||
+				(undo.Deadlocks > 0 && dfs.Deadlocks == 0) ||
+				(undo.Races > 0 && dfs.Races == 0) ||
+				(undo.LockErrors > 0 && dfs.LockErrors == 0) {
+				t.Errorf("%s found a violation class exhaustive DFS says cannot occur", eng.Name())
+			}
+		}
+	}
 }
 
 // FuzzEngineEquivalence is the native fuzz target behind the committed

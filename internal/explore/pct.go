@@ -1,0 +1,157 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/event"
+	"repro/internal/model"
+)
+
+// pctEngine implements PCT — probabilistic concurrency testing
+// (Burckhardt et al., ASPLOS 2010). Each walk is a priority-based
+// schedule: every thread draws a distinct initial priority, the
+// scheduler always runs the highest-priority enabled thread, and d−1
+// priority *change points* are planted at uniformly random step
+// indices over an estimated event count. When execution reaches change
+// point j, the thread that executed that step has its priority lowered
+// to j+1 — below every initial priority — forcing the specific
+// low-probability preemptions that depth-d bugs need. For a program
+// with n threads and k events, each walk finds any depth-d bug with
+// probability ≥ 1/(n·k^(d−1)); with d = 1 the engine degenerates to a
+// pure priority random walk (no change points).
+//
+// Like the random-walk baseline, walk i is fully determined by
+// mixWalkSeed(seed, i) and the program, so a run is byte-reproducible
+// from its seed and the recorded engine name carries that seed (see
+// Name). The schedule budget comes from Options.ScheduleLimit.
+type pctEngine struct {
+	seed  int64
+	depth int
+}
+
+// NewPCT returns a PCT engine for bug depth d ≥ 1 (the number of
+// ordered scheduling constraints the target bug needs; d−1 priority
+// change points are planted per walk).
+func NewPCT(seed int64, depth int) Engine {
+	if depth < 1 {
+		depth = 1
+	}
+	return &pctEngine{seed: seed, depth: depth}
+}
+
+// Name implements Engine. The seed is part of the name so a recorded
+// Result (and any counterexample artifact captured from it) identifies
+// the exact reproducible configuration that found the bug.
+func (e *pctEngine) Name() string { return fmt.Sprintf("pct%d[s%d]", e.depth, e.seed) }
+
+// pctChangePoints draws the d−1 priority change points of one walk:
+// step indices distributed uniformly over [1, k], where change point j
+// (0-based) carries priority value j+1. d ≤ 1 plants none — the
+// degenerate priority-random-walk case.
+func pctChangePoints(rng *rand.Rand, depth, k int) []int {
+	if depth <= 1 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	pts := make([]int, depth-1)
+	for i := range pts {
+		pts[i] = 1 + rng.Intn(k)
+	}
+	return pts
+}
+
+// estimateEvents measures the event count of one deterministic
+// schedule (always the lowest-numbered enabled thread), bounded by
+// maxSteps — PCT's estimate of k, the number of scheduling points a
+// walk will see. Any complete schedule is a fine estimate: lengths
+// vary across schedules by at most the truncation bound, and the PCT
+// guarantee only needs change points spread over the walk's lifetime.
+// The probe runs on a throwaway machine so it perturbs no Result
+// counter.
+func estimateEvents(src model.Source, maxSteps int) int {
+	m := model.NewMachine(src)
+	defer m.Abort()
+	var buf []event.ThreadID
+	steps := 0
+	for steps < maxSteps {
+		buf = m.EnabledThreads(buf)
+		if len(buf) == 0 {
+			break
+		}
+		m.Step(buf[0])
+		steps++
+	}
+	if steps < 1 {
+		return 1
+	}
+	return steps
+}
+
+// Explore implements Engine.
+func (e *pctEngine) Explore(src model.Source, opt Options) Result {
+	walks := opt.ScheduleLimit
+	if walks <= 0 {
+		walks = 1000
+	}
+	// The walk count is the budget; disable the generic limit check so
+	// the budget semantics match the random-walk baseline exactly.
+	opt.ScheduleLimit = 0
+	k := estimateEvents(src, opt.maxSteps())
+	c := newCursor(src, opt)
+	defer c.close()
+	rec := newRecorder(src, e.Name(), opt)
+	base := c.replayPrefix(opt.Prefix, nil)
+
+	prio := make([]int, src.NumThreads())
+	for i := 0; i < walks; i++ {
+		rng := rand.New(rand.NewSource(mixWalkSeed(e.seed, i)))
+		// Initial priorities: a random permutation of d..d+n−1, every
+		// one above every change-point value 1..d−1.
+		for t, p := range rng.Perm(len(prio)) {
+			prio[t] = e.depth + p
+		}
+		points := pctChangePoints(rng, e.depth, k)
+		steps := 0
+		for !c.truncated() {
+			en := c.enabled()
+			if len(en) == 0 {
+				break
+			}
+			t := en[0]
+			for _, q := range en[1:] {
+				if prio[q] > prio[t] {
+					t = q
+				}
+			}
+			c.step(t)
+			steps++
+			// Change points may coincide on one step; each still
+			// assigns its own distinct value, the last one winning,
+			// so priorities stay pairwise distinct throughout.
+			for j, at := range points {
+				if at == steps {
+					prio[t] = j + 1
+				}
+			}
+		}
+		if c.truncated() && !c.terminal() {
+			rec.res.Truncated++
+		} else {
+			rec.terminal(c)
+		}
+		if rec.schedule() {
+			break
+		}
+		c.resetTo(base)
+	}
+	// Exhausting the walk budget is the normal exit and counts as
+	// hitting the limit, exactly like the random-walk baseline —
+	// unless a cancellation or first-bug stop cut the run short.
+	if !rec.res.Interrupted && !(opt.StopAtFirstBug && rec.res.FirstViolation != nil) {
+		rec.res.HitLimit = true
+	}
+	return rec.finish(c)
+}

@@ -77,18 +77,62 @@ func FirstBugFromCells(results []campaign.CellResult) FirstBugTable {
 
 // cellText renders one cell: the schedules-to-first-bug count, "-"
 // for a proven-clean cell, ">limit" for a budget-exhausted clean cell,
-// "ERR" for a failed cell.
-func (c FirstBugCell) cellText() string {
+// "ERR" for a failed cell. When mixed is set — the row's engines found
+// violations of different kinds — each buggy cell is annotated with a
+// short tag of *its* kind, since the row's kind column alone can no
+// longer say which engine found what.
+func (c FirstBugCell) cellText(mixed bool) string {
 	switch {
 	case c.Err != "":
 		return "ERR"
 	case c.Schedules > 0:
+		if mixed {
+			return fmt.Sprintf("%d (%s)", c.Schedules, shortKind(c.Kind))
+		}
 		return fmt.Sprintf("%d", c.Schedules)
 	case c.HitLimit:
 		return ">limit"
 	default:
 		return "-"
 	}
+}
+
+// shortKind abbreviates a violation kind for in-cell annotations.
+func shortKind(kind string) string {
+	switch kind {
+	case "assertion failure":
+		return "assert"
+	case "lock misuse":
+		return "lock"
+	case "data race":
+		return "race"
+	default:
+		return kind
+	}
+}
+
+// rowKinds collects the distinct violation kinds a row's cells found,
+// in cell order. Different engines can legitimately trip different
+// violations of one benchmark first (a random walk may hit the data
+// race, DFS the assertion behind it), so the row's kind is a set.
+func rowKinds(row FirstBugRow) []string {
+	var kinds []string
+	for _, c := range row.Cells {
+		if c.Kind == "" {
+			continue
+		}
+		seen := false
+		for _, k := range kinds {
+			if k == c.Kind {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			kinds = append(kinds, c.Kind)
+		}
+	}
+	return kinds
 }
 
 // FirstBugSummary aggregates one engine column.
@@ -153,14 +197,12 @@ func TSVFirstBug(t FirstBugTable) string {
 	b.WriteString("\tkind\n")
 	for _, row := range t.Rows {
 		b.WriteString(row.Bench)
-		kind := ""
+		kinds := rowKinds(row)
+		mixed := len(kinds) > 1
 		for _, c := range row.Cells {
-			fmt.Fprintf(&b, "\t%s", c.cellText())
-			if kind == "" {
-				kind = c.Kind
-			}
+			fmt.Fprintf(&b, "\t%s", c.cellText(mixed))
 		}
-		fmt.Fprintf(&b, "\t%s\n", kind)
+		fmt.Fprintf(&b, "\t%s\n", strings.Join(kinds, ", "))
 	}
 	return b.String()
 }
@@ -180,14 +222,12 @@ func MarkdownFirstBug(t FirstBugTable, limit int) string {
 	b.WriteString(":--|\n")
 	for _, row := range t.Rows {
 		fmt.Fprintf(&b, "| %s |", row.Bench)
-		kind := ""
+		kinds := rowKinds(row)
+		mixed := len(kinds) > 1
 		for _, c := range row.Cells {
-			fmt.Fprintf(&b, " %s |", c.cellText())
-			if kind == "" {
-				kind = c.Kind
-			}
+			fmt.Fprintf(&b, " %s |", c.cellText(mixed))
 		}
-		fmt.Fprintf(&b, " %s |\n", kind)
+		fmt.Fprintf(&b, " %s |\n", strings.Join(kinds, ", "))
 	}
 	fmt.Fprintf(&b, "\nSchedule limit %d; cells show schedules executed until the first bug (\"-\" = space exhausted bug-free, \">limit\" = budget exhausted without a bug).\n\n", limit)
 	b.WriteString(firstBugSummaryText(t))

@@ -84,3 +84,40 @@ func TestFirstBugErrCell(t *testing.T) {
 		t.Errorf("error cell not rendered:\n%s", got)
 	}
 }
+
+// TestFirstBugMixedKinds: when the engines of one row trip different
+// violations, the kind column lists every distinct kind and each buggy
+// cell carries a short tag of its own; homogeneous rows render exactly
+// as before (no per-cell annotation).
+func TestFirstBugMixedKinds(t *testing.T) {
+	cell := func(idx int, bench, eng string, bug int, kind string) campaign.CellResult {
+		res := explore.Result{Program: bench, Engine: eng, Schedules: bug + 1}
+		if bug > 0 {
+			res.FirstBugSchedule = bug
+			res.ViolationKind = kind
+		}
+		return campaign.CellResult{
+			Index:  idx,
+			Cell:   campaign.Cell{Bench: bench, Engine: campaign.EngineSpec(eng), StopAtFirstBug: true},
+			Result: res,
+		}
+	}
+	results := []campaign.CellResult{
+		cell(0, "m", "random", 4, "data race"),
+		cell(1, "m", "pct:3", 9, "assertion failure"),
+		cell(2, "m", "pos", 2, "data race"),
+	}
+	table := FirstBugFromCells(results)
+	tsv := TSVFirstBug(table)
+	for _, want := range []string{
+		"m\t4 (race)\t9 (assert)\t2 (race)\tdata race, assertion failure",
+	} {
+		if !strings.Contains(tsv, want) {
+			t.Errorf("TSV missing %q:\n%s", want, tsv)
+		}
+	}
+	md := MarkdownFirstBug(table, 100)
+	if want := "| m | 4 (race) | 9 (assert) | 2 (race) | data race, assertion failure |"; !strings.Contains(md, want) {
+		t.Errorf("markdown missing %q:\n%s", want, md)
+	}
+}

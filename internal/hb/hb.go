@@ -246,6 +246,27 @@ func (tr *Tracker) HappensBeforeNext(e event.Event, p event.ThreadID) bool {
 	return tr.hbT[p].Get(int(e.Thread)) >= e.Index+1
 }
 
+// RacesWithNext reports whether the already-executed event e races
+// with thread q's pending (announced but unexecuted) operation op:
+// the two operations are dependent, could be co-enabled in some state,
+// and e is not already ordered before q's next transition by the
+// regular happens-before relation. This is the independence query
+// partial-order sampling (POS) consults after executing e: a pending
+// operation that commutes with e reaches the same Mazurkiewicz trace
+// class whichever order the two run in, so only the threads whose
+// pending operations race with e need their schedule priorities
+// redrawn — the correction that steers a random walk toward sampling
+// trace classes, not schedules, closer to uniformly.
+func (tr *Tracker) RacesWithNext(e event.Event, q event.ThreadID, op event.Op) bool {
+	if q == e.Thread {
+		return false
+	}
+	if !event.Dependent(e.Op, op) || !event.MayBeCoEnabled(e.Op, op) {
+		return false
+	}
+	return !tr.HappensBeforeNext(e, q)
+}
+
 // fresh returns a new unpublished full-width clock initialised to
 // parent (bottom if parent is nil/short).
 func (tr *Tracker) fresh(parent vclock.VC) vclock.VC {

@@ -469,3 +469,42 @@ func TestEventHashValueSensitivity(t *testing.T) {
 		t.Error("read results are not node labels and must not affect the hash")
 	}
 }
+
+// TestRacesWithNext pins the independence query partial-order sampling
+// consults: a pending operation races with an executed event iff it is
+// on another thread, dependent, co-enablable and not already ordered
+// after the event.
+func TestRacesWithNext(t *testing.T) {
+	tr := NewTracker(3, 2, 1) // vars x=0,y=1; mutex m=0
+	w := ev(0, 0, wr(0, 1))
+	tr.Apply(w)
+
+	// Same thread never races with its own event.
+	if tr.RacesWithNext(w, 0, wr(0, 2)) {
+		t.Error("a thread cannot race with its own executed event")
+	}
+	// A concurrent conflicting access races.
+	if !tr.RacesWithNext(w, 1, rd(0)) {
+		t.Error("concurrent read of the written var must race")
+	}
+	if !tr.RacesWithNext(w, 1, wr(0, 7)) {
+		t.Error("concurrent write-write conflict must race")
+	}
+	// Independent operations do not: a different variable, or a mutex.
+	if tr.RacesWithNext(w, 1, wr(1, 1)) {
+		t.Error("disjoint variables are independent")
+	}
+	if tr.RacesWithNext(w, 1, lk(0)) {
+		t.Error("a mutex op is independent of a variable write")
+	}
+	// Once the pending thread is HB-ordered after the event (it read
+	// the write), the pair stops racing.
+	tr.Apply(ev(2, 0, rd(0)))
+	if tr.RacesWithNext(w, 2, wr(0, 9)) {
+		t.Error("an HB-ordered pending op must not count as racing")
+	}
+	// An unordered third thread still races.
+	if !tr.RacesWithNext(w, 1, rd(0)) {
+		t.Error("the unordered thread must still race")
+	}
+}

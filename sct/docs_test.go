@@ -1,0 +1,54 @@
+package sct_test
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/sct"
+)
+
+// enginesDocRow matches a catalogue-table row of docs/ENGINES.md: a
+// markdown table line whose first cell is a backticked engine name.
+var enginesDocRow = regexp.MustCompile("^\\| `([^`]+)` \\|")
+
+// TestEnginesDocInSync keeps docs/ENGINES.md's engine catalogue and
+// the registry in lockstep, in both directions: every engine the doc
+// catalogues must be registered, and every registered built-in must be
+// catalogued. It runs under make api-check, so adding an engine
+// without documenting it (or renaming one without updating the guide)
+// fails CI.
+func TestEnginesDocInSync(t *testing.T) {
+	raw, err := os.ReadFile("../docs/ENGINES.md")
+	if err != nil {
+		t.Fatalf("engine-author guide missing: %v", err)
+	}
+	documented := map[string]bool{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if m := enginesDocRow.FindStringSubmatch(line); m != nil && m[1] != "engine" {
+			documented[m[1]] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("docs/ENGINES.md has no catalogue table rows (| `name` | ...)")
+	}
+
+	registered := map[string]bool{}
+	for _, name := range sct.EngineNames() {
+		registered[name] = true
+	}
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("docs/ENGINES.md documents engine %q, which is not registered", name)
+		}
+	}
+	for name := range registered {
+		if strings.HasPrefix(name, "custom-") {
+			continue // test-local registrations (process-global registry)
+		}
+		if !documented[name] {
+			t.Errorf("registered engine %q is missing from the docs/ENGINES.md catalogue", name)
+		}
+	}
+}

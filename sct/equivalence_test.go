@@ -74,6 +74,10 @@ func TestFacadeVsDirectEquivalence(t *testing.T) {
 		{"lazy-hbr-caching", false, explore.NewLazyHBRCache},
 		{"random", false, func() explore.Engine { return explore.NewRandomWalk(1) }},
 		{"random:7", false, func() explore.Engine { return explore.NewRandomWalk(7) }},
+		{"pct:3", false, func() explore.Engine { return explore.NewPCT(1, 3) }},
+		{"pct:2:9", false, func() explore.Engine { return explore.NewPCT(9, 2) }},
+		{"pos", false, func() explore.Engine { return explore.NewPOS(1) }},
+		{"pos:9", false, func() explore.Engine { return explore.NewPOS(9) }},
 		{"pb:2", false, func() explore.Engine { return explore.NewPreemptionBounded(2) }},
 		{"pb:1:hbr", false, func() explore.Engine { return explore.NewPreemptionBoundedCache(1, false) }},
 		{"pb:1:lazy", false, func() explore.Engine { return explore.NewPreemptionBoundedCache(1, true) }},

@@ -17,11 +17,21 @@ type EngineInfo = engines.Info
 // separators (":", ",", space); violations panic, as they are
 // embedder programming errors.
 //
-// The built-in engines self-register: the nine sequential families
+// The built-in engines self-register: the sequential families
 // (dfs, dpor, dpor+sleep, lazy-dpor, hbr-caching, lazy-hbr-caching,
-// pb, db, random) plus the iterative-deepening loops (chess-pb,
-// chess-db) and the parallel searches (pdfs, pdpor, pdpor-static,
-// prandom).
+// pb, db, random, pct, pos) plus the iterative-deepening loops
+// (chess-pb, chess-db) and the parallel searches (pdfs, pdpor,
+// pdpor-static, prandom).
+//
+// The randomized engines (random, prandom, pct, pos) are seed-
+// reproducible: every spec takes an integer seed (default 1), walk i
+// of a run is a pure function of (seed, i) and the program, and two
+// runs of the same spec under the same Options produce byte-identical
+// Results. pct and pos additionally embed the seed in their engine
+// name, so counterexample artifacts record the exact configuration
+// that found the bug; replaying an artifact never needs the seed at
+// all, because artifacts store the complete schedule (see the
+// Counterexample docs and docs/ENGINES.md).
 func Register(info EngineInfo) {
 	engines.Register(info)
 }

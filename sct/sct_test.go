@@ -39,14 +39,14 @@ func TestRegistryComplete(t *testing.T) {
 	wantNames := []string{
 		"dfs", "dpor", "dpor+sleep", "lazy-dpor", "hbr-caching",
 		"lazy-hbr-caching", "pb", "db", "chess-pb", "chess-db", "random",
-		"pdfs", "pdpor", "pdpor-static", "prandom",
+		"pct", "pos", "pdfs", "pdpor", "pdpor-static", "prandom",
 	}
 	if got := sct.EngineNames(); !reflect.DeepEqual(got[:len(wantNames)], wantNames) {
 		t.Fatalf("canonical engine names = %v, want prefix %v", got, wantNames)
 	}
 	wantGrid := []string{
 		"dfs", "dpor", "dpor+sleep", "lazy-dpor", "hbr-caching",
-		"lazy-hbr-caching", "pb:2", "db:2", "random",
+		"lazy-hbr-caching", "pb:2", "db:2", "random", "pct:3", "pos",
 		"pdpor:1", "pdpor:2", "pdpor:4",
 	}
 	if got := sct.DefaultGrid(); !reflect.DeepEqual(got, wantGrid) {
