@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race ci bench bench-smoke bench-json fuzz-smoke repro-smoke api-check fmt vet eval
+.PHONY: build test race ci bench bench-smoke bench-json fuzz-smoke repro-smoke chaos-smoke api-check fmt vet eval
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,19 @@ repro-smoke:
 	$(GO) run ./cmd/lazylocks -bench philosophers-3 \
 		-replay $(REPRO_DIR)/philosophers-3__dpor.json > /dev/null
 	@echo "repro-smoke: artifacts in $(REPRO_DIR) captured, minimized and replay-verified"
+
+# Fault containment end-to-end under the race detector — the CI
+# chaos-smoke job (see docs/ROBUSTNESS.md): the panic/divergence/
+# retry/quarantine tests, then a hostile campaign through the CLI —
+# panicking and diverging benchmarks explored with both a real engine
+# and the chaos fault-injection engine, healing its transient failures
+# via retry.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'Chaos|Hostile|Diverge|Panic|Stall|Truncated|Quarantine' \
+		./internal/model/ ./internal/explore/ ./internal/campaign/ ./internal/goharness/ ./sct/
+	$(GO) run ./cmd/eval -fig campaign -bench hostile -engines dfs,chaos:flaky:2 \
+		-limit 2000 -stall-timeout 100ms -cell-timeout 60s -retries 3
+	@echo "chaos-smoke: hostile programs contained, transient faults healed"
 
 # Headline hot-path benchmarks, filtered to the ones tracked in the
 # perf trajectory, rendered as a machine-readable JSON artifact

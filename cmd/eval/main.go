@@ -64,6 +64,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		reproDir = fs.String("repro", "", "firstbug mode: write one counterexample artifact per buggy cell into this directory")
 		minimize = fs.Bool("minimize", false, "firstbug mode: ddmin-minimize artifacts before writing them")
 		verify   = fs.Bool("verify", false, "firstbug mode: re-read each written artifact and verify its replay reproduces")
+		stall    = fs.Duration("stall-timeout", 0, "campaign/firstbug mode: fence threads whose next operation stalls longer than this as diverged (0 = watchdog off)")
+		cellTO   = fs.Duration("cell-timeout", 0, "campaign/firstbug mode: per-cell wall-clock deadline; late cells are quarantined, not fatal (0 = none)")
+		retries  = fs.Int("retries", 0, "campaign/firstbug mode: extra attempts per cell on transient engine failures")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -98,6 +101,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		selected = append(selected, b)
 	}
+	// The hostile fault-injection programs are outside the pinned
+	// corpus and join a grid only when explicitly named: campaign and
+	// firstbug modes with a -bench filter that matches them. The
+	// figure modes never see them.
+	if (*fig == "campaign" || *fig == "firstbug") && *filter != "" {
+		for _, b := range bench.Hostile() {
+			if strings.Contains(b.Name, *filter) && (*family == "" || b.Family == *family) {
+				selected = append(selected, b)
+			}
+		}
+	}
 	if len(selected) == 0 {
 		fmt.Fprintln(stderr, "eval: no benchmarks selected")
 		return 2
@@ -116,11 +130,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "eval: -repro/-minimize/-verify apply only to -fig firstbug")
 		return 2
 	}
+	if (*stall > 0 || *cellTO > 0 || *retries > 0) && *fig != "campaign" && *fig != "firstbug" {
+		fmt.Fprintln(stderr, "eval: -stall-timeout/-cell-timeout/-retries apply only to -fig campaign/firstbug")
+		return 2
+	}
 
 	if *fig == "campaign" {
 		return runCampaign(ctx, selected, *engines, campaignConfig{
 			limit: *limit, steps: *steps, par: *par,
 			asJSON: *asJSON, resume: *resume,
+			stall: *stall, cellTO: *cellTO, retries: *retries,
 		}, stdout, stderr)
 	}
 
@@ -130,6 +149,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			asJSON: *asJSON, md: *md, quiet: *quiet,
 			resume:   *resume,
 			reproDir: *reproDir, minimize: *minimize, verify: *verify,
+			stall: *stall, cellTO: *cellTO, retries: *retries,
 		}, stdout, stderr)
 	}
 
@@ -178,8 +198,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // buildCampaign parses the engine list and assembles the campaign
 // over the benchmark × engine cell grid shared by the campaign and
-// firstbug modes.
-func buildCampaign(selected []bench.Benchmark, engineList string, par int, gridOpts ...sct.Option) (*sct.Campaign, error) {
+// firstbug modes. containment carries the runner-level fault knobs.
+func buildCampaign(selected []bench.Benchmark, engineList string, par int, cont containment, gridOpts ...sct.Option) (*sct.Campaign, error) {
 	specs, err := sct.ParseSpecs(engineList)
 	if err != nil {
 		return nil, err
@@ -188,12 +208,29 @@ func buildCampaign(selected []bench.Benchmark, engineList string, par int, gridO
 	for i, b := range selected {
 		names[i] = b.Name
 	}
+	if cont.stall > 0 {
+		gridOpts = append(gridOpts, sct.WithStallTimeout(cont.stall))
+	}
 	cells, err := sct.Grid(names, specs, gridOpts...)
 	if err != nil {
 		return nil, err
 	}
 	// Workers <= 0 already means GOMAXPROCS.
-	return sct.NewCampaign(cells, sct.WithWorkers(par))
+	campOpts := []sct.Option{sct.WithWorkers(par)}
+	if cont.cellTO > 0 {
+		campOpts = append(campOpts, sct.WithCellTimeout(cont.cellTO))
+	}
+	if cont.retries > 0 {
+		campOpts = append(campOpts, sct.WithRetries(cont.retries))
+	}
+	return sct.NewCampaign(cells, campOpts...)
+}
+
+// containment bundles the fault-containment knobs the campaign and
+// firstbug modes share.
+type containment struct {
+	stall, cellTO time.Duration
+	retries       int
 }
 
 // campaignConfig bundles the campaign-mode knobs.
@@ -201,6 +238,8 @@ type campaignConfig struct {
 	limit, steps, par int
 	asJSON            bool
 	resume            string
+	stall, cellTO     time.Duration
+	retries           int
 }
 
 // firstBugConfig bundles the firstbug-mode knobs.
@@ -210,6 +249,8 @@ type firstBugConfig struct {
 	resume            string
 	reproDir          string
 	minimize, verify  bool
+	stall, cellTO     time.Duration
+	retries           int
 }
 
 // resumeFromFile feeds a JSONL checkpoint into the campaign and logs
@@ -234,6 +275,7 @@ func resumeFromFile(camp *sct.Campaign, path string, stderr io.Writer) (int, err
 // (minimized) counterexample artifact per buggy cell.
 func runFirstBug(ctx context.Context, selected []bench.Benchmark, engineList string, cfg firstBugConfig, stdout, stderr io.Writer) int {
 	camp, err := buildCampaign(selected, engineList, cfg.par,
+		containment{stall: cfg.stall, cellTO: cfg.cellTO, retries: cfg.retries},
 		sct.WithBounds(cfg.limit, cfg.steps), sct.StopAtFirstBug())
 	if err != nil {
 		fmt.Fprintln(stderr, "eval:", err)
@@ -273,6 +315,7 @@ func runFirstBug(ctx context.Context, selected []bench.Benchmark, engineList str
 		fmt.Fprintln(stderr, "eval: firstbug campaign interrupted:", err)
 		return 1
 	}
+	reportContainment(results, stderr)
 	if err := sct.FirstError(results); err != nil {
 		fmt.Fprintln(stderr, "eval:", err)
 		return 1
@@ -360,12 +403,35 @@ func writeArtifacts(results []sct.CellResult, cfg firstBugConfig, stdout, stderr
 	return 0
 }
 
+// reportContainment summarises the campaign's survivability on
+// stderr: cells that healed after retries, then the quarantine —
+// cells whose failure was contained without taking down the run.
+func reportContainment(results []sct.CellResult, stderr io.Writer) {
+	healed := 0
+	for _, r := range results {
+		if r.Err == "" && !r.Cancelled && r.Attempts > 1 {
+			healed++
+		}
+	}
+	if healed > 0 {
+		fmt.Fprintf(stderr, "healed: %d cells succeeded after retry\n", healed)
+	}
+	if q := sct.Quarantine(results); len(q) > 0 {
+		fmt.Fprintf(stderr, "quarantine: %d/%d cells failed:\n", len(q), len(results))
+		for _, r := range q {
+			fmt.Fprintf(stderr, "  %-24s %-18s attempts=%d %s\n", r.Cell.Bench, r.Cell.Engine, r.Attempts, r.Err)
+		}
+	}
+}
+
 // runCampaign executes the benchmark × engine grid and writes one
 // result per cell: JSON lines with -json, a readable table otherwise.
 // With -resume, cells already present in the given JSONL stream are
 // skipped.
 func runCampaign(ctx context.Context, selected []bench.Benchmark, engineList string, cfg campaignConfig, stdout, stderr io.Writer) int {
-	camp, err := buildCampaign(selected, engineList, cfg.par, sct.WithBounds(cfg.limit, cfg.steps))
+	camp, err := buildCampaign(selected, engineList, cfg.par,
+		containment{stall: cfg.stall, cellTO: cfg.cellTO, retries: cfg.retries},
+		sct.WithBounds(cfg.limit, cfg.steps))
 	if err != nil {
 		fmt.Fprintln(stderr, "eval:", err)
 		return 2
@@ -413,6 +479,7 @@ func runCampaign(ctx context.Context, selected []bench.Benchmark, engineList str
 		fmt.Fprintln(stderr, "eval: campaign interrupted:", err)
 		return 1
 	}
+	reportContainment(results, stderr)
 	if err := sct.FirstError(results); err != nil {
 		fmt.Fprintln(stderr, "eval:", err)
 		return 1

@@ -80,9 +80,16 @@ func All() []Benchmark {
 // Count is the corpus size the paper mandates.
 const Count = 79
 
-// ByName returns the benchmark with the given name.
+// ByName returns the benchmark with the given name. It resolves both
+// the pinned 79-entry corpus and the hostile fault-injection programs
+// (see hostile.go), which are addressable by name only.
 func ByName(name string) (Benchmark, bool) {
 	for _, b := range All() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	for _, b := range Hostile() {
 		if b.Name == name {
 			return b, true
 		}
@@ -135,8 +142,10 @@ func mustUnique(es []entry) {
 
 func init() {
 	es := allEntries()
-	mustUnique(es)
 	if len(es) != Count {
 		panic(fmt.Sprintf("bench: corpus has %d entries, want %d", len(es), Count))
 	}
+	// Names must be unique across the corpus AND the hostile set, since
+	// ByName resolves both.
+	mustUnique(append(append([]entry(nil), es...), hostileEntries()...))
 }

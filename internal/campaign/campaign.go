@@ -11,6 +11,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/explore"
+	"repro/internal/model"
 )
 
 // Cell is one unit of campaign work: a benchmark explored by one
@@ -40,6 +42,11 @@ type Cell struct {
 	// stops at the first terminal violation and the result's
 	// FirstBugSchedule reports the schedules-to-first-bug metric.
 	StopAtFirstBug bool `json:"stop_at_first_bug,omitempty"`
+	// StallTimeoutMS arms the divergence watchdog
+	// (explore.Options.StallTimeout) for this cell, in milliseconds —
+	// an int64 rather than a time.Duration so Cell stays a plain
+	// comparable JSON value. 0 disables the watchdog.
+	StallTimeoutMS int64 `json:"stall_timeout_ms,omitempty"`
 }
 
 // CellResult is one completed cell, the unit of the runner's streaming
@@ -61,12 +68,23 @@ type CellResult struct {
 	// cell is flushed to the stream instead of silently dropped, so a
 	// consumer can tell "never ran" from "ran partially" from "done".
 	Cancelled bool `json:"cancelled,omitempty"`
+	// Attempts is how many times the cell's engine was invoked: 1 for
+	// a healthy cell, more when transient failures were retried
+	// (Runner.Retries). 0 means the cell never reached its engine
+	// (unknown benchmark, bad spec, cancelled before start).
+	Attempts int `json:"attempts,omitempty"`
 	// Err describes a cell-level failure (unknown benchmark, bad
-	// engine spec, invalid options, invariant violation).
+	// engine spec, invalid options, invariant violation, engine
+	// panic, cell deadline, exhausted retries). A cell with Err set
+	// is quarantined: its failure is contained and reported without
+	// poisoning the rest of the campaign.
 	Err string `json:"error,omitempty"`
 }
 
-// Runner executes campaign cells concurrently.
+// Runner executes campaign cells concurrently. The zero value runs
+// every cell once with no deadline — exactly the pre-containment
+// behaviour; the fault-containment knobs (CellTimeout, Retries) are
+// opt-in per campaign.
 type Runner struct {
 	// Workers is the number of cells explored concurrently; <= 0
 	// uses GOMAXPROCS.
@@ -75,7 +93,34 @@ type Runner struct {
 	// completes (serialised; completion order). Use JSONLWriter to
 	// stream results as JSON lines.
 	OnResult func(CellResult)
+
+	// CellTimeout bounds each cell attempt's wall clock. An attempt
+	// that exceeds it is interrupted through its context; one that
+	// also ignores the interrupt past AbandonGrace has its goroutine
+	// abandoned. Either way the cell completes with a structured Err
+	// (and any partial counters the engine surrendered) and the rest
+	// of the campaign proceeds. 0 means no per-cell deadline.
+	CellTimeout time.Duration
+	// Retries is how many additional attempts a cell gets when its
+	// engine fails transiently — panics with an
+	// explore.TransientError. Non-transient panics and deadline
+	// overruns are never retried. 0 means fail on the first fault.
+	Retries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// subsequent attempt with deterministic per-cell jitter; 0 uses
+	// DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// AbandonGrace is how long a deadline-overrunning attempt gets to
+	// observe its cancelled context and return partial counters before
+	// its goroutine is abandoned; 0 uses DefaultAbandonGrace.
+	AbandonGrace time.Duration
 }
+
+// Containment defaults; see the Runner fields of the same names.
+const (
+	DefaultRetryBackoff = 10 * time.Millisecond
+	DefaultAbandonGrace = 250 * time.Millisecond
+)
 
 // Run executes every cell, respecting ctx (nil means background), and
 // returns the results in input order. Cell-level failures are reported
@@ -110,7 +155,7 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]CellResult, error) {
 					// returned slice.
 					res = CellResult{Index: i, Cell: cells[i], Cancelled: true}
 				} else {
-					res = runCell(ctx, i, cells[i])
+					res = r.runCell(ctx, i, cells[i])
 				}
 				out[i] = res
 				if r.OnResult != nil {
@@ -125,9 +170,12 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]CellResult, error) {
 	return out, ctx.Err()
 }
 
-// runCell executes one cell. The named return lets the deferred
-// timing write reach the caller.
-func runCell(ctx context.Context, index int, c Cell) (out CellResult) {
+// runCell executes one cell with fault containment: each attempt runs
+// in its own goroutine under the cell deadline, panics are recovered
+// into structured errors, transient failures are retried with backoff,
+// and a hung attempt is abandoned rather than hanging the worker. The
+// named return lets the deferred timing write reach the caller.
+func (r *Runner) runCell(ctx context.Context, index int, c Cell) (out CellResult) {
 	out = CellResult{Index: index, Cell: c}
 	start := time.Now()
 	defer func() { out.ElapsedMS = time.Since(start).Milliseconds() }()
@@ -137,6 +185,9 @@ func runCell(ctx context.Context, index int, c Cell) (out CellResult) {
 		out.Err = fmt.Sprintf("unknown benchmark %q", c.Bench)
 		return out
 	}
+	// The engine is built once and reused across retry attempts, so
+	// stateful engines (the chaos engine's flaky mode, seeded
+	// samplers) see the cell's attempt history, not a fresh instance.
 	eng, err := c.Engine.Build()
 	if err != nil {
 		out.Err = err.Error()
@@ -147,21 +198,152 @@ func runCell(ctx context.Context, index int, c Cell) (out CellResult) {
 		MaxSteps:       c.MaxSteps,
 		RecordStates:   c.RecordStates,
 		StopAtFirstBug: c.StopAtFirstBug,
-		Ctx:            ctx,
+		StallTimeout:   time.Duration(c.StallTimeoutMS) * time.Millisecond,
 	}
 	if err := opt.Validate(); err != nil {
 		out.Err = err.Error()
 		return out
 	}
-	out.Result = eng.Explore(bm.Program, opt)
-	if out.Result.Interrupted {
-		// Mid-cell cancellation: keep the partial counters but mark
-		// the cell so downstream analysis never mistakes them for a
-		// finished exploration.
-		out.Cancelled = true
+
+	for attempt := 1; ; attempt++ {
+		out.Attempts = attempt
+		res, err := r.runAttempt(ctx, eng, bm.Program, opt)
+		out.Result = res
+		if err == nil {
+			if res.Interrupted {
+				// Mid-cell campaign cancellation: keep the partial
+				// counters but mark the cell so downstream analysis
+				// never mistakes them for a finished exploration. (A
+				// cell-deadline interruption arrives as err instead.)
+				out.Cancelled = true
+				return out
+			}
+			if err := res.CheckInvariant(); err != nil {
+				out.Err = err.Error()
+			}
+			return out
+		}
+		var te explore.TransientError
+		retryable := errors.As(err, &te)
+		if !retryable || attempt > r.Retries || ctx.Err() != nil {
+			out.Err = err.Error()
+			out.Cancelled = ctx.Err() != nil
+			return out
+		}
+		if !sleepCtx(ctx, retryDelay(r.RetryBackoff, index, attempt)) {
+			out.Err = err.Error()
+			out.Cancelled = true
+			return out
+		}
 	}
-	if err := out.Result.CheckInvariant(); err != nil {
-		out.Err = err.Error()
+}
+
+// runAttempt runs one engine invocation in a child goroutine under the
+// per-cell deadline, converting panics into errors. A non-nil error
+// means the attempt failed (the result still carries any partial
+// counters the engine surrendered on its way out); errors wrapping
+// explore.TransientError are the only retryable ones.
+func (r *Runner) runAttempt(ctx context.Context, eng explore.Engine, src model.Source, opt explore.Options) (explore.Result, error) {
+	attemptCtx := ctx
+	cancel := func() {}
+	if r.CellTimeout > 0 {
+		attemptCtx, cancel = context.WithTimeout(ctx, r.CellTimeout)
+	}
+	defer cancel()
+	opt.Ctx = attemptCtx
+
+	type outcome struct {
+		res explore.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if te, ok := rec.(explore.TransientError); ok {
+					done <- outcome{err: te}
+					return
+				}
+				done <- outcome{err: fmt.Errorf("engine panic: %v", rec)}
+			}
+		}()
+		done <- outcome{res: eng.Explore(src, opt)}
+	}()
+
+	var o outcome
+	select {
+	case o = <-done:
+	case <-attemptCtx.Done():
+		// Deadline or campaign cancellation: give the engine the grace
+		// window to observe its context and surrender partial counters.
+		grace := r.AbandonGrace
+		if grace <= 0 {
+			grace = DefaultAbandonGrace
+		}
+		timer := time.NewTimer(grace)
+		defer timer.Stop()
+		select {
+		case o = <-done:
+		case <-timer.C:
+			// The attempt ignored its cancelled context: abandon its
+			// goroutine (it parks forever or burns a leaked thread —
+			// contained either way) and fail the cell structurally.
+			return explore.Result{}, fmt.Errorf(
+				"campaign: cell attempt exceeded its deadline and ignored cancellation for %v; attempt goroutine abandoned", grace)
+		}
+	}
+	if o.err != nil {
+		return o.res, o.err
+	}
+	if o.res.Interrupted && ctx.Err() == nil && attemptCtx.Err() != nil {
+		// The per-cell deadline (not the campaign context) interrupted
+		// the attempt: surface it as a structured cell failure carrying
+		// the partial counters.
+		return o.res, fmt.Errorf("campaign: cell timeout after %v (partial result: %d schedules)", r.CellTimeout, o.res.Schedules)
+	}
+	return o.res, nil
+}
+
+// retryDelay is the backoff before retry number attempt (1-based):
+// exponential in the attempt with a deterministic per-cell jitter, so
+// colliding retry storms decorrelate without making campaigns
+// nondeterministic in their timing decisions.
+func retryDelay(base time.Duration, index, attempt int) time.Duration {
+	if base <= 0 {
+		base = DefaultRetryBackoff
+	}
+	d := base << uint(attempt-1)
+	// splitmix64 over (cell index, attempt) — deterministic jitter in
+	// [0, d/2].
+	z := uint64(index)*0x9e3779b97f4a7c15 + uint64(attempt)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return d + time.Duration(z%uint64(d/2+1))
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled; it reports whether
+// the full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Quarantine returns the failed cells (Err set) in input order — the
+// campaign's quarantine report: every cell here was contained (its
+// fault did not stop the campaign) but needs attention.
+func Quarantine(results []CellResult) []CellResult {
+	var out []CellResult
+	for _, r := range results {
+		if r.Err != "" {
+			out = append(out, r)
+		}
 	}
 	return out
 }
@@ -193,16 +375,37 @@ func FirstError(results []CellResult) error {
 }
 
 // JSONLWriter returns an OnResult callback that streams each cell
-// result as one JSON line to w.
+// result as one JSON line to w. Each line is flushed — and, when w can
+// sync (an *os.File), fsynced — as it is written, so a campaign killed
+// mid-run leaves every completed cell durable on disk with at most the
+// in-flight line truncated (which ReadJSONL tolerates).
 func JSONLWriter(w io.Writer) func(CellResult) {
 	enc := json.NewEncoder(w)
-	return func(r CellResult) { _ = enc.Encode(r) }
+	return func(r CellResult) {
+		_ = enc.Encode(r)
+		if f, ok := w.(interface{ Flush() error }); ok {
+			_ = f.Flush()
+		}
+		if s, ok := w.(interface{ Sync() error }); ok {
+			_ = s.Sync()
+		}
+	}
 }
 
+// ErrTruncatedTail reports that a JSONL result stream ended in a
+// partial line — the signature of a campaign killed mid-write. The
+// complete prefix is still returned; errors.Is distinguishes this
+// recoverable truncation from mid-stream corruption.
+var ErrTruncatedTail = errors.New("campaign: result stream ends in a truncated line")
+
 // ReadJSONL consumes a stream of JSON-line cell results, e.g. the
-// output of a `eval -fig campaign -json` run.
+// output of a `eval -fig campaign -json` run. A stream whose final
+// line is cut short (the writer was killed mid-write) returns every
+// complete result together with an error wrapping ErrTruncatedTail; a
+// bad line followed by further results is corruption and fails hard.
 func ReadJSONL(r io.Reader) ([]CellResult, error) {
 	var out []CellResult
+	var tailErr error
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	for sc.Scan() {
@@ -210,14 +413,22 @@ func ReadJSONL(r io.Reader) ([]CellResult, error) {
 		if len(line) == 0 {
 			continue
 		}
+		if tailErr != nil {
+			// The bad line was not the stream's tail after all.
+			return nil, tailErr
+		}
 		var res CellResult
 		if err := json.Unmarshal(line, &res); err != nil {
-			return nil, fmt.Errorf("campaign: bad result line: %w", err)
+			tailErr = fmt.Errorf("campaign: bad result line: %w", err)
+			continue
 		}
 		out = append(out, res)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	if tailErr != nil {
+		return out, fmt.Errorf("%d complete results, then %v: %w", len(out), tailErr, ErrTruncatedTail)
 	}
 	return out, nil
 }

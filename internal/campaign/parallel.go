@@ -119,8 +119,10 @@ func mergeUnits(name string, src model.Source, opt explore.Options, dedup *explo
 		merged.Pruned += u.Pruned
 		merged.Truncated += u.Truncated
 		merged.SleepBlocked += u.SleepBlocked
+		merged.Divergences += u.Divergences
 		merged.Deadlocks += u.Deadlocks
 		merged.AssertFailures += u.AssertFailures
+		merged.Panics += u.Panics
 		merged.LockErrors += u.LockErrors
 		merged.Races += u.Races
 		merged.Events += u.Events

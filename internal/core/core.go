@@ -152,7 +152,10 @@ func Check(src model.Source, engine EngineName, opt explore.Options) (Report, er
 		return rep, fmt.Errorf("core: %s on %s: %w", engine, src.Name(), err)
 	}
 	if res.FirstViolation != nil {
-		out := exec.Replay(src, res.FirstViolation, exec.Options{MaxSteps: opt.MaxSteps, RecordClocks: true})
+		// StallTimeout carries over as insurance: a recorded witness
+		// never schedules into a diverging branch, but a buggy or
+		// nondeterministic program could still stall the replay.
+		out := exec.Replay(src, res.FirstViolation, exec.Options{MaxSteps: opt.MaxSteps, RecordClocks: true, StallTimeout: opt.StallTimeout})
 		rep.Violation = &Violation{
 			Kind:     res.ViolationKind,
 			Schedule: res.FirstViolation,

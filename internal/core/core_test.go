@@ -41,8 +41,8 @@ func TestEngineNamesSorted(t *testing.T) {
 	names := EngineNames()
 	// The registry-backed catalogue: every sequential engine family,
 	// including the bounded ones that used to hide behind the
-	// "pb<k>-dfs" spellings.
-	if len(names) != 13 {
+	// "pb<k>-dfs" spellings, plus the chaos fault-injection engine.
+	if len(names) != 14 {
 		t.Fatalf("engines = %v", names)
 	}
 	have := map[EngineName]bool{}

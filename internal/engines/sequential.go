@@ -123,6 +123,21 @@ func init() {
 			return explore.NewPOS(int64(seed)), nil
 		},
 	})
+	Register(Info{
+		Name: "chaos", Usage: "chaos[:panic|:stall|:hang|:flaky[:N]]",
+		Summary: "fault injection: panics, stalls, hangs or fails transiently to exercise campaign containment (no grid contribution)",
+		Build: func(argv []string) (explore.Engine, error) {
+			mode := explore.ChaosFlaky
+			if len(argv) > 0 {
+				mode = argv[0]
+			}
+			n, err := IntArg(argv, 1, 0)
+			if err != nil {
+				return nil, err
+			}
+			return explore.NewChaos(mode, n)
+		},
+	})
 }
 
 func buildPB(argv []string) (explore.Engine, error) {

@@ -29,6 +29,18 @@ const (
 	KindJoin
 	// KindAssert checks a thread-local condition; Val==0 means failure.
 	KindAssert
+	// KindPanic is announced by a thread whose body panicked: the
+	// panic is surfaced to the scheduler as a final visible operation
+	// (thread-local, like a failing assert) instead of crashing the
+	// harness. The panic message travels out of band (the coroutine
+	// keeps it; see model.PanicMessager).
+	KindPanic
+	// KindDiverge is a sentinel announced for a thread stuck in local
+	// computation (either deterministically by a frontend, or by the
+	// wall-clock stall watchdog). It never executes and never appears
+	// in a trace: the machine intercepts it, fences the thread and
+	// marks the execution diverged.
+	KindDiverge
 )
 
 var kindNames = [...]string{
@@ -40,6 +52,8 @@ var kindNames = [...]string{
 	KindSpawn:   "spawn",
 	KindJoin:    "join",
 	KindAssert:  "assert",
+	KindPanic:   "panic",
+	KindDiverge: "diverge",
 }
 
 // String returns the lower-case operation name.
@@ -93,6 +107,10 @@ func (o Op) String() string {
 			return "assert(fail)"
 		}
 		return "assert(ok)"
+	case KindPanic:
+		return "panic"
+	case KindDiverge:
+		return "diverge"
 	}
 	return o.Kind.String()
 }

@@ -9,6 +9,7 @@ package exec
 import (
 	"context"
 	"math/rand"
+	"time"
 
 	"repro/internal/event"
 	"repro/internal/hb"
@@ -93,6 +94,11 @@ type Options struct {
 	// cancellation: it is checked every ctxCheckStride events and a
 	// done context truncates the execution (Outcome.Interrupted).
 	Ctx context.Context
+	// StallTimeout arms the divergence watchdog on frontends whose
+	// thread bodies can diverge in local computation (goharness): a
+	// thread silent for this long is fenced and the execution ends as
+	// diverged. 0 disables the watchdog.
+	StallTimeout time.Duration
 }
 
 // ctxCheckStride is how many events run between context checks; a
@@ -131,6 +137,11 @@ type Outcome struct {
 	Truncated bool
 	// Interrupted is set when Options.Ctx ended the execution early.
 	Interrupted bool
+	// Diverged is set when a thread was fenced as stuck in local
+	// computation (the stall watchdog fired, or the frontend announced
+	// divergence); DivergedThread identifies it.
+	Diverged       bool
+	DivergedThread event.ThreadID
 	// Failures lists assertion failures and lock-discipline errors.
 	Failures []model.Failure
 	// Races lists data races detected by the sync-only relation.
@@ -157,7 +168,7 @@ func Run(src model.Source, ch Chooser, opt Options) Outcome {
 	if maxSteps <= 0 {
 		maxSteps = DefaultMaxSteps
 	}
-	m := model.NewMachine(src)
+	m := model.NewMachineCfg(src, model.MachineConfig{StallTimeout: opt.StallTimeout})
 	tr := hb.NewTracker(src.NumThreads(), src.NumVars(), src.NumMutexes())
 	var out Outcome
 	var enabled []event.ThreadID
@@ -169,6 +180,15 @@ func Run(src model.Source, ch Chooser, opt Options) Outcome {
 		ctx = context.Background()
 	}
 	for {
+		// Divergence ends the execution before anything else: the
+		// fenced thread can never be stepped, and the remaining
+		// threads' state no longer means anything for this schedule.
+		if m.HasDiverged() {
+			out.Diverged = true
+			out.DivergedThread = m.DivergedThread()
+			m.Abort()
+			break
+		}
 		enabled = m.EnabledThreads(enabled)
 		if len(enabled) == 0 {
 			out.Deadlock = m.Deadlocked()

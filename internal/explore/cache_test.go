@@ -68,9 +68,9 @@ func TestCachingScheduleAccounting(t *testing.T) {
 	for _, src := range soundnessZoo() {
 		for _, eng := range []Engine{NewHBRCache(), NewLazyHBRCache()} {
 			res := eng.Explore(src, Options{MaxSteps: 2000})
-			if res.Schedules != res.Terminals+res.Pruned+res.Truncated+res.SleepBlocked {
-				t.Errorf("%s on %s: %d ≠ %d+%d+%d+%d", eng.Name(), src.Name(),
-					res.Schedules, res.Terminals, res.Pruned, res.Truncated, res.SleepBlocked)
+			if res.Schedules != res.Terminals+res.Pruned+res.Truncated+res.SleepBlocked+res.Divergences {
+				t.Errorf("%s on %s: %d ≠ %d+%d+%d+%d+%d", eng.Name(), src.Name(),
+					res.Schedules, res.Terminals, res.Pruned, res.Truncated, res.SleepBlocked, res.Divergences)
 			}
 		}
 	}

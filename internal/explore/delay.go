@@ -72,7 +72,7 @@ func (e *delayEngine) Explore(src model.Source, opt Options) Result {
 	descend := func() bool {
 		for {
 			if c.truncated() {
-				rec.res.Truncated++
+				rec.cutShort(c)
 				return !rec.schedule()
 			}
 			if c.terminal() {
@@ -167,6 +167,7 @@ func (e *iterEngine) Explore(src model.Source, opt Options) Result {
 		merged.Pruned += res.Pruned
 		merged.Truncated += res.Truncated
 		merged.SleepBlocked += res.SleepBlocked
+		merged.Divergences += res.Divergences
 		merged.Events += res.Events
 		if res.MaxDepth > merged.MaxDepth {
 			merged.MaxDepth = res.MaxDepth
@@ -180,6 +181,7 @@ func (e *iterEngine) Explore(src model.Source, opt Options) Result {
 		merged.DistinctStates = max(merged.DistinctStates, res.DistinctStates)
 		merged.Deadlocks = max(merged.Deadlocks, res.Deadlocks)
 		merged.AssertFailures = max(merged.AssertFailures, res.AssertFailures)
+		merged.Panics = max(merged.Panics, res.Panics)
 		merged.LockErrors = max(merged.LockErrors, res.LockErrors)
 		merged.Races = max(merged.Races, res.Races)
 		if merged.FirstViolation == nil && res.FirstViolation != nil {

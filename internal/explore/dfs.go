@@ -89,7 +89,7 @@ func (e *dfsEngine) Explore(src model.Source, opt Options) Result {
 	descend := func() bool {
 		for {
 			if c.truncated() {
-				rec.res.Truncated++
+				rec.cutShort(c)
 				return !rec.schedule()
 			}
 			en := c.enabled()

@@ -612,7 +612,7 @@ func (e *dporEngine) Explore(src model.Source, opt Options) Result {
 	extend := func() bool {
 		for {
 			if c.truncated() {
-				rec.res.Truncated++
+				rec.cutShort(c)
 				resolveDeferred()
 				return !rec.schedule()
 			}

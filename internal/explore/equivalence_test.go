@@ -273,21 +273,21 @@ func TestTheoremsOnRandomPrograms(t *testing.T) {
 // counter. Events is reported separately: the replay backend re-executes
 // retained prefixes, so its event total legitimately differs.
 type ablationCounters struct {
-	Schedules, Terminals, Pruned, Truncated, SleepBlocked  int
-	DistinctHBRs, DistinctLazyHBRs, DistinctStates         int
-	Deadlocks, AssertFailures, LockErrors, Races, MaxDepth int
-	HitLimit, Interrupted                                  bool
-	ViolationKind                                          string
-	FirstViolation                                         string
+	Schedules, Terminals, Pruned, Truncated, SleepBlocked, Divergences int
+	DistinctHBRs, DistinctLazyHBRs, DistinctStates                     int
+	Deadlocks, AssertFailures, Panics, LockErrors, Races, MaxDepth     int
+	HitLimit, Interrupted                                              bool
+	ViolationKind                                                      string
+	FirstViolation                                                     string
 }
 
 func countersOf(r Result) ablationCounters {
 	return ablationCounters{
 		Schedules: r.Schedules, Terminals: r.Terminals, Pruned: r.Pruned,
-		Truncated: r.Truncated, SleepBlocked: r.SleepBlocked,
+		Truncated: r.Truncated, SleepBlocked: r.SleepBlocked, Divergences: r.Divergences,
 		DistinctHBRs: r.DistinctHBRs, DistinctLazyHBRs: r.DistinctLazyHBRs,
 		DistinctStates: r.DistinctStates,
-		Deadlocks:      r.Deadlocks, AssertFailures: r.AssertFailures,
+		Deadlocks:      r.Deadlocks, AssertFailures: r.AssertFailures, Panics: r.Panics,
 		LockErrors: r.LockErrors, Races: r.Races, MaxDepth: r.MaxDepth,
 		HitLimit: r.HitLimit, Interrupted: r.Interrupted,
 		ViolationKind:  r.ViolationKind,

@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"time"
 
 	"repro/internal/event"
 	"repro/internal/exec"
@@ -56,6 +57,16 @@ type Options struct {
 	// keys in Result.States — a diagnostic for cross-engine
 	// agreement checks; costly on large spaces.
 	RecordStates bool
+
+	// StallTimeout arms the divergence watchdog on frontends whose
+	// thread bodies can get stuck in local computation (goharness): a
+	// thread silent for this long during a scheduling handshake is
+	// fenced, the execution is counted in Result.Divergences, and
+	// exploration continues with the remaining schedules. Discovered
+	// divergence points are memoised across the run's machines, so a
+	// stuck loop costs one timeout total, not one per schedule.
+	// 0 disables the watchdog (a diverging body hangs the search).
+	StallTimeout time.Duration
 
 	// Ctx, when non-nil, bounds the exploration by deadline or
 	// cancellation: the engine stops at the next schedule boundary
@@ -134,8 +145,8 @@ type Witness struct {
 	// step, including any pinned Options.Prefix. Replaying it through
 	// an exec.Prefix chooser reproduces the violation.
 	Choices []event.ThreadID
-	// Kind names the violation class ("deadlock", "assertion failure",
-	// "lock misuse", "data race").
+	// Kind names the violation class ("panic", "deadlock",
+	// "assertion failure", "lock misuse", "data race").
 	Kind string
 	// Schedule is the 1-based index of the violating execution within
 	// this engine instance's run: the engine executed Schedule-1
@@ -158,6 +169,9 @@ func (o Options) Validate() error {
 	}
 	if o.Backend > BackendReplay {
 		return fmt.Errorf("explore: unknown backend %q", o.Backend)
+	}
+	if o.StallTimeout < 0 {
+		return fmt.Errorf("explore: negative StallTimeout %v", o.StallTimeout)
 	}
 	if ms := o.maxSteps(); len(o.Prefix) > ms {
 		return fmt.Errorf("explore: prefix length %d exceeds step bound %d", len(o.Prefix), ms)
@@ -246,7 +260,7 @@ type Result struct {
 	Engine  string
 
 	// Schedules counts executions performed: Terminals + Pruned +
-	// Truncated + SleepBlocked.
+	// Truncated + SleepBlocked + Divergences.
 	Schedules int
 	// Terminals counts executions that ran to a terminal state
 	// (everything finished, or deadlock).
@@ -258,6 +272,12 @@ type Result struct {
 	// SleepBlocked counts executions abandoned because every enabled
 	// thread was in the sleep set (DPOR with sleep sets only).
 	SleepBlocked int
+	// Divergences counts executions ended by the divergence watchdog
+	// (or a frontend's diverge announcement): a thread got stuck in
+	// local computation, was fenced, and the schedule was abandoned.
+	// Divergence is an execution outcome, not a safety violation — no
+	// witness is recorded for it.
+	Divergences int
 
 	// DistinctHBRs counts distinct terminal regular happens-before
 	// relations; DistinctLazyHBRs the lazy ones; DistinctStates the
@@ -266,12 +286,16 @@ type Result struct {
 	DistinctLazyHBRs int
 	DistinctStates   int
 
-	// Deadlocks, AssertFailures, LockErrors and Races count terminal
-	// executions exhibiting each violation class.
+	// Deadlocks, AssertFailures, LockErrors, Races and Panics count
+	// terminal executions exhibiting each violation class.
 	Deadlocks      int
 	AssertFailures int
 	LockErrors     int
 	Races          int
+	// Panics counts terminal executions in which a thread body
+	// panicked (the panic was captured as the thread's final visible
+	// operation and recorded as a model.FailPanic failure).
+	Panics int
 
 	// HitLimit is set when ScheduleLimit (or a shared Budget)
 	// stopped the search; an unset flag means the schedule space was
@@ -434,14 +458,19 @@ func (r *recorder) terminal(c *cursor) {
 		r.res.Deadlocks++
 	}
 	failures := c.m.Failures()
-	asserts, lockErrs := 0, 0
+	panics, asserts, lockErrs := 0, 0, 0
 	for _, f := range failures {
 		switch f.Kind {
+		case model.FailPanic:
+			panics++
 		case model.FailAssert:
 			asserts++
 		default:
 			lockErrs++
 		}
+	}
+	if panics > 0 {
+		r.res.Panics++
 	}
 	if asserts > 0 {
 		r.res.AssertFailures++
@@ -475,6 +504,32 @@ func (r *recorder) terminal(c *cursor) {
 	}
 }
 
+// cutShort records an execution the engine stopped extending before a
+// terminal state: a divergence fenced a thread, or the step bound was
+// hit. Every engine's "truncated" path must route through this helper
+// so the two outcomes are never conflated.
+func (r *recorder) cutShort(c *cursor) {
+	if c.diverged() {
+		r.res.Divergences++
+	} else {
+		r.res.Truncated++
+	}
+}
+
+// classifyWalk records one finished sampler walk: divergence first
+// (a diverged machine can also have nothing enabled, which must not
+// count as terminal), then step-bound truncation, else terminal.
+func (r *recorder) classifyWalk(c *cursor) {
+	switch {
+	case c.diverged():
+		r.res.Divergences++
+	case c.truncated() && !c.terminal():
+		r.res.Truncated++
+	default:
+		r.terminal(c)
+	}
+}
+
 func (r *recorder) finish(c *cursor) Result {
 	r.res.Events = c.events
 	if r.opt.RecordStates && r.opt.Dedup == nil {
@@ -502,6 +557,11 @@ type cursor struct {
 	src      model.Source
 	maxSteps int
 	backend  BackendKind // resolved: never BackendAuto
+	// mcfg carries the fault-containment machine knobs (stall
+	// watchdog, shared divergence hints) to every machine this cursor
+	// builds — including the fresh machines of replay-backend resets,
+	// which would otherwise re-wait every discovered divergence.
+	mcfg model.MachineConfig
 
 	m       *model.Machine
 	tr      *hb.Tracker
@@ -531,11 +591,16 @@ type cursor struct {
 
 func newCursor(src model.Source, opt Options) *cursor {
 	checkThreadCount(src)
+	mcfg := model.MachineConfig{StallTimeout: opt.StallTimeout}
+	if mcfg.StallTimeout > 0 {
+		mcfg.Hints = model.NewDivergeHints()
+	}
 	c := &cursor{
 		src:      src,
 		maxSteps: opt.maxSteps(),
 		backend:  opt.backend(),
-		m:        model.NewMachine(src),
+		mcfg:     mcfg,
+		m:        model.NewMachineCfg(src, mcfg),
 		tr:       hb.NewTracker(src.NumThreads(), src.NumVars(), src.NumMutexes()),
 	}
 	switch c.backend {
@@ -577,8 +642,17 @@ func (c *cursor) enabled() []event.ThreadID {
 	return c.enabledBuf
 }
 
-func (c *cursor) terminal() bool  { return len(c.enabled()) == 0 }
-func (c *cursor) truncated() bool { return len(c.trace) >= c.maxSteps }
+func (c *cursor) terminal() bool { return len(c.enabled()) == 0 }
+
+// truncated reports whether this execution must stop being extended:
+// the step bound was hit, or a thread diverged (the fenced thread can
+// never be stepped and the schedule is abandoned). Engines classify
+// the two via recorder.cutShort/classifyWalk.
+func (c *cursor) truncated() bool { return len(c.trace) >= c.maxSteps || c.m.HasDiverged() }
+
+// diverged reports whether the live execution was fenced by the
+// divergence watchdog (or a frontend diverge announcement).
+func (c *cursor) diverged() bool { return c.m.HasDiverged() }
 
 // step executes thread t and folds the event into the trackers.
 func (c *cursor) step(t event.ThreadID) event.Event {
@@ -677,7 +751,7 @@ func (c *cursor) resetTo(d int) {
 		c.snaps = c.snaps[:d+1]
 	default:
 		c.m.Abort()
-		c.m = model.NewMachine(c.src)
+		c.m = model.NewMachineCfg(c.src, c.mcfg)
 		c.tr = hb.NewTracker(c.src.NumThreads(), c.src.NumVars(), c.src.NumMutexes())
 		for i := 0; i < d; i++ {
 			ev := c.m.Step(c.choices[i])

@@ -166,3 +166,148 @@ func TestEngineEquivalenceCorpus(t *testing.T) {
 		})
 	}
 }
+
+// checkHostileEquivalence is the fault-containment differential
+// oracle: decode data with the hostile decoder (panicking and
+// diverging thread bodies allowed), then require that
+//
+//   - every engine × backend run satisfies the counting chain AND the
+//     schedule accounting identity (divergences included);
+//   - each engine's counters — Divergences and Panics included — are
+//     byte-identical across the undo, snapshot and replay backends
+//     (progdsl announces divergence deterministically, so there is no
+//     wall-clock anywhere in this oracle);
+//   - when exhaustive DFS finished with no divergence in the space,
+//     the complete engines agree with it exactly as in the healthy
+//     oracle, panic verdicts included. A diverging branch is cut at
+//     its divergence point, leaving the subtree beyond it legitimately
+//     unexplored, so cross-engine state-set equality applies only to
+//     divergence-free spaces.
+func checkHostileEquivalence(t *testing.T, data []byte) {
+	src := progdsl.HostileFromBytes("hostile-fuzz", data)
+	if src == nil {
+		t.Skip("input too short to decode")
+	}
+	mkOpt := func(b BackendKind) Options {
+		return Options{ScheduleLimit: fuzzProbeLimit, MaxSteps: 500, RecordStates: true, Backend: b}
+	}
+	accounting := func(name string, r Result) {
+		t.Helper()
+		if got := r.Terminals + r.Pruned + r.Truncated + r.SleepBlocked + r.Divergences; got != r.Schedules {
+			t.Errorf("%s: accounting %d != schedules %d (%+v)", name, got, r.Schedules, r)
+		}
+	}
+
+	dfs := NewDFS().Explore(src, mkOpt(BackendUndo))
+	if err := dfs.CheckInvariant(); err != nil {
+		t.Fatalf("dfs: %v", err)
+	}
+	accounting("dfs", dfs)
+	exhausted := !dfs.HitLimit && dfs.Truncated == 0 && dfs.Divergences == 0
+
+	engines := []struct {
+		eng          Engine
+		fullCoverage bool
+	}{
+		{NewDFS(), true},
+		{NewDPOR(false), true},
+		{NewDPOR(true), true},
+		{NewLazyDPOR(), false},
+		{NewHBRCache(), false},
+		{NewLazyHBRCache(), false},
+	}
+	for _, e := range engines {
+		eng := e.eng
+		undo := eng.Explore(src, mkOpt(BackendUndo))
+		snap := eng.Explore(src, mkOpt(BackendSnapshot))
+		repl := eng.Explore(src, mkOpt(BackendReplay))
+		if err := undo.CheckInvariant(); err != nil {
+			t.Errorf("%s: %v", eng.Name(), err)
+		}
+		accounting(eng.Name(), undo)
+		if got, want := countersOf(undo), countersOf(snap); got != want {
+			t.Errorf("%s: undo and snapshot backends disagree:\n undo=%+v\n snap=%+v", eng.Name(), got, want)
+		}
+		if got, want := countersOf(undo), countersOf(repl); got != want {
+			t.Errorf("%s: undo and replay backends disagree:\n undo=%+v\n repl=%+v", eng.Name(), got, want)
+		}
+		if exhausted && !undo.HitLimit && undo.Divergences == 0 {
+			if e.fullCoverage &&
+				(undo.DistinctHBRs != dfs.DistinctHBRs || undo.DistinctLazyHBRs != dfs.DistinctLazyHBRs) {
+				t.Errorf("%s HBR coverage disagrees with exhaustive DFS:\n %s=%+v\n dfs=%+v",
+					eng.Name(), eng.Name(), countersOf(undo), countersOf(dfs))
+			}
+			if undo.DistinctStates != dfs.DistinctStates || !reflect.DeepEqual(undo.States, dfs.States) {
+				t.Errorf("%s found a different state set than exhaustive DFS (%d vs %d states)",
+					eng.Name(), undo.DistinctStates, dfs.DistinctStates)
+			}
+			if (undo.AssertFailures > 0) != (dfs.AssertFailures > 0) ||
+				(undo.Panics > 0) != (dfs.Panics > 0) ||
+				(undo.Deadlocks > 0) != (dfs.Deadlocks > 0) ||
+				(undo.Races > 0) != (dfs.Races > 0) {
+				t.Errorf("%s safety verdicts disagree with exhaustive DFS", eng.Name())
+			}
+		}
+	}
+
+	// Samplers: counting invariant, accounting identity, and exact
+	// backend identity — diverging walks must classify and count the
+	// same whichever way the cursor rewinds.
+	for _, eng := range []Engine{
+		NewRandomWalk(3),
+		NewPCT(3, 2),
+		NewPOS(3),
+	} {
+		sOpt := func(b BackendKind) Options {
+			o := mkOpt(b)
+			o.ScheduleLimit = 40
+			return o
+		}
+		undo := eng.Explore(src, sOpt(BackendUndo))
+		if err := undo.CheckInvariant(); err != nil {
+			t.Errorf("%s: %v", eng.Name(), err)
+		}
+		accounting(eng.Name(), undo)
+		if got, want := countersOf(undo), countersOf(eng.Explore(src, sOpt(BackendSnapshot))); got != want {
+			t.Errorf("%s: undo and snapshot backends disagree:\n undo=%+v\n snap=%+v", eng.Name(), got, want)
+		}
+		if got, want := countersOf(undo), countersOf(eng.Explore(src, sOpt(BackendReplay))); got != want {
+			t.Errorf("%s: undo and replay backends disagree:\n undo=%+v\n repl=%+v", eng.Name(), got, want)
+		}
+		if (undo.Panics > 0 && dfs.Panics == 0) ||
+			(undo.Divergences > 0 && dfs.Divergences == 0 && !dfs.HitLimit && dfs.Truncated == 0) {
+			t.Errorf("%s found a hostile outcome exhaustive DFS says cannot occur", eng.Name())
+		}
+	}
+}
+
+// FuzzHostileEquivalence is the native fuzz target behind the
+// committed corpus in testdata/fuzz/FuzzHostileEquivalence: the
+// fault-containment twin of FuzzEngineEquivalence, over programs
+// whose thread bodies may panic or diverge.
+func FuzzHostileEquivalence(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0, 0, 1, 0x10, 4, 0x00})       // racy conditional panic
+	f.Add([]byte{0, 0, 0, 5, 0x02})                // unconditional divergence
+	f.Add([]byte{0, 0, 0, 1, 0x10, 5, 0x01})       // racy conditional divergence
+	f.Add([]byte{1, 2, 0, 2, 3, 4, 7, 5, 2, 1, 9}) // three threads, mixed hostility
+	for _, data := range progdsl.FuzzCorpus(6, 1234) {
+		f.Add(data)
+	}
+	f.Fuzz(checkHostileEquivalence)
+}
+
+// TestHostileEquivalenceCorpus replays a bounded deterministic slice
+// of the hostile input space in the normal -short suite.
+func TestHostileEquivalenceCorpus(t *testing.T) {
+	n := 120
+	if testing.Short() {
+		n = 30
+	}
+	for i, data := range progdsl.FuzzCorpus(n, 99) {
+		i, data := i, data
+		t.Run(fmt.Sprintf("corpus-%03d", i), func(t *testing.T) {
+			checkHostileEquivalence(t, data)
+		})
+	}
+}

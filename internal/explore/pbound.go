@@ -150,7 +150,7 @@ func (e *pboundEngine) Explore(src model.Source, opt Options) Result {
 	descend := func() bool {
 		for {
 			if c.truncated() {
-				rec.res.Truncated++
+				rec.cutShort(c)
 				return !rec.schedule()
 			}
 			prev := baseThread

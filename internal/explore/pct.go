@@ -70,13 +70,15 @@ func pctChangePoints(rng *rand.Rand, depth, k int) []int {
 // vary across schedules by at most the truncation bound, and the PCT
 // guarantee only needs change points spread over the walk's lifetime.
 // The probe runs on a throwaway machine so it perturbs no Result
-// counter.
-func estimateEvents(src model.Source, maxSteps int) int {
-	m := model.NewMachine(src)
+// counter; it shares the cursor's machine config so a diverging
+// program is fenced by the watchdog (and its hint reused) instead of
+// hanging the estimate.
+func estimateEvents(src model.Source, mcfg model.MachineConfig, maxSteps int) int {
+	m := model.NewMachineCfg(src, mcfg)
 	defer m.Abort()
 	var buf []event.ThreadID
 	steps := 0
-	for steps < maxSteps {
+	for steps < maxSteps && !m.HasDiverged() {
 		buf = m.EnabledThreads(buf)
 		if len(buf) == 0 {
 			break
@@ -99,8 +101,8 @@ func (e *pctEngine) Explore(src model.Source, opt Options) Result {
 	// The walk count is the budget; disable the generic limit check so
 	// the budget semantics match the random-walk baseline exactly.
 	opt.ScheduleLimit = 0
-	k := estimateEvents(src, opt.maxSteps())
 	c := newCursor(src, opt)
+	k := estimateEvents(src, c.mcfg, opt.maxSteps())
 	defer c.close()
 	rec := newRecorder(src, e.Name(), opt)
 	base := c.replayPrefix(opt.Prefix, nil)
@@ -137,11 +139,7 @@ func (e *pctEngine) Explore(src model.Source, opt Options) Result {
 				}
 			}
 		}
-		if c.truncated() && !c.terminal() {
-			rec.res.Truncated++
-		} else {
-			rec.terminal(c)
-		}
+		rec.classifyWalk(c)
 		if rec.schedule() {
 			break
 		}

@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/model"
 )
 
 // TestPCTChangePoints pins the change-point draw: depth d plants d−1
@@ -49,14 +51,14 @@ func TestPCTChangePoints(t *testing.T) {
 // length, is bounded by maxSteps, and never reports less than 1.
 func TestEstimateEvents(t *testing.T) {
 	src := curatedDeadlockable()
-	k := estimateEvents(src, 2000)
+	k := estimateEvents(src, model.MachineConfig{}, 2000)
 	if k < 1 {
 		t.Fatalf("estimate %d, want >= 1", k)
 	}
-	if k2 := estimateEvents(src, 2000); k2 != k {
+	if k2 := estimateEvents(src, model.MachineConfig{}, 2000); k2 != k {
 		t.Errorf("probe not deterministic: %d vs %d", k, k2)
 	}
-	if capped := estimateEvents(src, 3); capped > 3 {
+	if capped := estimateEvents(src, model.MachineConfig{}, 3); capped > 3 {
 		t.Errorf("estimate %d exceeds the maxSteps bound 3", capped)
 	}
 }

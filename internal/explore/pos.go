@@ -87,11 +87,7 @@ func (e *posEngine) Explore(src model.Source, opt Options) Result {
 				}
 			}
 		}
-		if c.truncated() && !c.terminal() {
-			rec.res.Truncated++
-		} else {
-			rec.terminal(c)
-		}
+		rec.classifyWalk(c)
 		if rec.schedule() {
 			break
 		}

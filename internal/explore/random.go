@@ -74,11 +74,7 @@ func (e *randomEngine) Explore(src model.Source, opt Options) Result {
 			}
 			c.step(en[rng.Intn(len(en))])
 		}
-		if c.truncated() && !c.terminal() {
-			rec.res.Truncated++
-		} else {
-			rec.terminal(c)
-		}
+		rec.classifyWalk(c)
 		if rec.schedule() {
 			break
 		}

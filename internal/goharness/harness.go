@@ -20,6 +20,7 @@ package goharness
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/event"
 	"repro/internal/model"
@@ -136,11 +137,14 @@ func (p *Program) Start(t event.ThreadID) model.Coroutine {
 		defer close(c.done)
 		defer close(c.req)
 		defer func() {
-			// Swallow only the harness's own abort signal;
-			// genuine panics in thread bodies propagate.
+			// Swallow the harness's own abort signal; announce a
+			// genuine panic to the scheduler as the thread's final
+			// visible operation instead of crashing the process —
+			// a crashing schedule is a finding, not a harness
+			// failure.
 			if r := recover(); r != nil {
 				if _, ok := r.(abortSignal); !ok {
-					panic(r)
+					c.announcePanic(r)
 				}
 			}
 		}()
@@ -165,9 +169,41 @@ type coroutine struct {
 	pending event.Op
 	have    bool
 	closed  bool
+	// diverged is set by the stall watchdog (PeekTimeout/AbortTimeout
+	// giving up): the goroutine is stuck in local computation and is
+	// abandoned — never granted, never waited for again. The write
+	// happens on the scheduler side, which is the only side that ever
+	// reads it, so no synchronisation is needed.
+	diverged bool
+	// panicMsg is the rendered panic value of a body that panicked,
+	// written before the KindPanic announcement (the channel handshake
+	// orders it before the scheduler reads it).
+	panicMsg string
 }
 
-var _ model.Abortable = (*coroutine)(nil)
+var (
+	_ model.Abortable     = (*coroutine)(nil)
+	_ model.TimedPeeker   = (*coroutine)(nil)
+	_ model.TimedAborter  = (*coroutine)(nil)
+	_ model.PanicMessager = (*coroutine)(nil)
+)
+
+// announcePanic surfaces a recovered panic value as the thread's final
+// visible operation. It runs on the thread goroutine, inside the
+// recover handler: after the scheduler grants (or aborts) the
+// announcement, the goroutine exits normally and the deferred closes
+// let the next Peek observe termination. If the scheduler has already
+// fenced this thread as diverged, nobody will read the announcement;
+// the goroutine then parks on the send forever, which is exactly the
+// abandoned-goroutine contract divergence already implies.
+func (c *coroutine) announcePanic(r any) {
+	c.panicMsg = fmt.Sprint(r)
+	c.req <- event.Op{Kind: event.KindPanic}
+	<-c.grant
+}
+
+// PanicMessage implements model.PanicMessager.
+func (c *coroutine) PanicMessage() string { return c.panicMsg }
 
 // Peek implements model.Coroutine. It blocks until the thread goroutine
 // announces its next visible operation or terminates; the wait is
@@ -175,6 +211,9 @@ var _ model.Abortable = (*coroutine)(nil)
 func (c *coroutine) Peek() (event.Op, bool) {
 	if c.closed {
 		return event.Op{}, false
+	}
+	if c.diverged {
+		return event.Op{Kind: event.KindDiverge}, true
 	}
 	if c.have {
 		return c.pending, true
@@ -187,6 +226,38 @@ func (c *coroutine) Peek() (event.Op, bool) {
 	c.pending = op
 	c.have = true
 	return op, true
+}
+
+// PeekTimeout implements model.TimedPeeker: Peek, but a thread body
+// that stays silent for d is declared diverged — the goroutine is
+// abandoned mid-computation (it holds no harness resources; it parks
+// on its next announcement, which nobody will ever read) and the
+// sentinel divergence op is announced in its stead.
+func (c *coroutine) PeekTimeout(d time.Duration) (event.Op, bool) {
+	if c.closed {
+		return event.Op{}, false
+	}
+	if c.diverged {
+		return event.Op{Kind: event.KindDiverge}, true
+	}
+	if c.have {
+		return c.pending, true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case op, ok := <-c.req:
+		if !ok {
+			c.closed = true
+			return event.Op{}, false
+		}
+		c.pending = op
+		c.have = true
+		return op, true
+	case <-timer.C:
+		c.diverged = true
+		return event.Op{Kind: event.KindDiverge}, true
+	}
 }
 
 // Resume implements model.Coroutine.
@@ -202,7 +273,7 @@ func (c *coroutine) Resume(result int64) {
 // its current visible operation and waits for it to exit, so abandoned
 // executions leak nothing.
 func (c *coroutine) Abort() {
-	if c.closed {
+	if c.closed || c.diverged {
 		return
 	}
 	if !c.have {
@@ -220,6 +291,45 @@ func (c *coroutine) Abort() {
 	c.grant <- grant{abort: true}
 	<-c.done
 	c.closed = true
+}
+
+// AbortTimeout implements model.TimedAborter: Abort, but with d of
+// total wall-clock budget. A body that never reaches its next
+// scheduling point — or swallows the abort with its own recover — is
+// fenced as diverged and abandoned instead of hanging the scheduler.
+func (c *coroutine) AbortTimeout(d time.Duration) {
+	if c.closed || c.diverged {
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	if !c.have {
+		select {
+		case op, ok := <-c.req:
+			if !ok {
+				c.closed = true
+				return
+			}
+			c.pending = op
+			c.have = true
+		case <-timer.C:
+			c.diverged = true
+			return
+		}
+	}
+	c.have = false
+	select {
+	case c.grant <- grant{abort: true}:
+	case <-timer.C:
+		c.diverged = true
+		return
+	}
+	select {
+	case <-c.done:
+		c.closed = true
+	case <-timer.C:
+		c.diverged = true
+	}
 }
 
 // G is the handle a thread body uses for all visible operations.

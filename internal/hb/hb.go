@@ -373,7 +373,7 @@ func (tr *Tracker) apply(ev event.Event) (hbc, lazyc vclock.VC) {
 		lazy = lazy.Join(tr.lazyT[c])
 		sync = sync.Join(tr.syncT[c])
 
-	case event.KindAssert:
+	case event.KindAssert, event.KindPanic:
 		// Thread-local: program order only.
 	}
 
@@ -408,7 +408,7 @@ func eventHash(ev event.Event, vc vclock.VC) uint64 {
 	mix32(uint32(ev.Index))
 	mixByte(byte(ev.Kind))
 	mix32(uint32(ev.Obj))
-	if ev.Kind == event.KindWrite || ev.Kind == event.KindAssert {
+	if ev.Kind == event.KindWrite || ev.Kind == event.KindAssert || ev.Kind == event.KindPanic {
 		mix32(uint32(uint64(ev.Val)))
 		mix32(uint32(uint64(ev.Val) >> 32))
 	}

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/event"
 )
@@ -38,6 +40,32 @@ type Coroutine interface {
 // abandoned before the thread terminates.
 type Abortable interface {
 	Abort()
+}
+
+// TimedPeeker is implemented by coroutines whose Peek can block on
+// genuinely concurrent thread bodies (goharness). PeekTimeout behaves
+// like Peek but gives up after d of wall-clock silence, fencing the
+// coroutine and returning an event.KindDiverge sentinel: the thread is
+// stuck in local computation and will never announce again.
+type TimedPeeker interface {
+	PeekTimeout(d time.Duration) (op event.Op, ok bool)
+}
+
+// TimedAborter is implemented by coroutines whose Abort can block on a
+// hostile thread body (one that never reaches its next scheduling
+// point, or swallows the abort). AbortTimeout abandons the coroutine
+// after d instead of hanging the scheduler.
+type TimedAborter interface {
+	AbortTimeout(d time.Duration)
+}
+
+// PanicMessager is implemented by coroutines that announce
+// event.KindPanic and can render the recovered panic value. The
+// message must be deterministic for a given program and schedule: it
+// is digested into state signatures and replay-verified by the
+// counterexample pipeline.
+type PanicMessager interface {
+	PanicMessage() string
 }
 
 // Snapshottable is implemented by coroutines whose full state can be
@@ -83,9 +111,13 @@ const (
 	Running
 	// Done threads have terminated.
 	Done
+	// Diverged threads were caught stuck in local computation (by the
+	// stall watchdog or a frontend's diverge announcement) and fenced:
+	// their coroutine is abandoned and never stepped again.
+	Diverged
 )
 
-// String returns "notstarted", "running" or "done".
+// String returns "notstarted", "running", "done" or "diverged".
 func (s Status) String() string {
 	switch s {
 	case NotStarted:
@@ -94,6 +126,8 @@ func (s Status) String() string {
 		return "running"
 	case Done:
 		return "done"
+	case Diverged:
+		return "diverged"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
@@ -111,6 +145,9 @@ const (
 	FailLockMisuse
 	// FailSpawnMisuse is a spawn of an already-started thread.
 	FailSpawnMisuse
+	// FailPanic is a thread body that panicked; the recovered value is
+	// in the failure message.
+	FailPanic
 )
 
 // String names the failure class.
@@ -122,6 +159,8 @@ func (k FailKind) String() string {
 		return "lock-misuse"
 	case FailSpawnMisuse:
 		return "spawn-misuse"
+	case FailPanic:
+		return "panic"
 	}
 	return fmt.Sprintf("failkind(%d)", uint8(k))
 }
@@ -141,19 +180,24 @@ func (f Failure) String() string {
 
 // ViolationKind names the most severe safety violation of a terminal
 // execution — the single source of the violation classes and their
-// precedence (assertion failure > deadlock > lock misuse > data race)
-// shared by the exploration recorder and replayed outcomes; "" when
-// the execution is violation-free.
+// precedence (panic > assertion failure > deadlock > lock misuse >
+// data race) shared by the exploration recorder and replayed
+// outcomes; "" when the execution is violation-free.
 func ViolationKind(deadlocked bool, failures []Failure, raced bool) string {
-	asserts, lockErrs := 0, 0
+	panics, asserts, lockErrs := 0, 0, 0
 	for _, f := range failures {
-		if f.Kind == FailAssert {
+		switch f.Kind {
+		case FailPanic:
+			panics++
+		case FailAssert:
 			asserts++
-		} else {
+		default:
 			lockErrs++
 		}
 	}
 	switch {
+	case panics > 0:
+		return "panic"
 	case asserts > 0:
 		return "assertion failure"
 	case deadlocked:
@@ -179,11 +223,74 @@ type Machine struct {
 	failures []Failure
 	executed int
 
+	// stall is the divergence watchdog's wall-clock budget for one
+	// Peek; 0 disables the watchdog (Peek may block forever).
+	stall time.Duration
+	// divergedT is the thread whose divergence ended this execution,
+	// or NoOwner. Exploration must stop extending a diverged machine.
+	divergedT event.ThreadID
+	// obsHash and hints exist only while the watchdog is armed:
+	// obsHash[t] is a running hash of the Resume results delivered to
+	// t (a thread's behaviour is a pure function of its code and its
+	// observation history), and hints memoises discovered divergence
+	// points so re-visiting one in a later schedule fences the thread
+	// immediately instead of re-waiting the timeout and leaking
+	// another stuck goroutine.
+	obsHash []uint64
+	hints   *DivergeHints
+
 	// undo is the reversal log recorded when undoEnabled: one O(1)
 	// record per Step, letting UndoTo rewind the machine in place
 	// instead of restoring a deep snapshot.
 	undo        []undoRec
 	undoEnabled bool
+}
+
+// divergeKey identifies a divergence point schedule-independently: the
+// thread, how many operations it had executed, and the hash of every
+// value it had observed. Two executions agreeing on all three put the
+// thread in the same local state, so it diverges in both.
+type divergeKey struct {
+	t   event.ThreadID
+	k   int32
+	obs uint64
+}
+
+// DivergeHints memoises divergence points across the machines of one
+// exploration, so each stuck loop costs one wall-clock timeout (and
+// one leaked goroutine) total, not one per schedule that reaches it.
+// Hints are monotone facts about the program and are never undone.
+type DivergeHints struct {
+	mu sync.Mutex
+	m  map[divergeKey]struct{}
+}
+
+// NewDivergeHints returns an empty hint set, shareable by every
+// machine exploring the same program.
+func NewDivergeHints() *DivergeHints { return &DivergeHints{m: map[divergeKey]struct{}{}} }
+
+func (h *DivergeHints) add(k divergeKey) {
+	h.mu.Lock()
+	h.m[k] = struct{}{}
+	h.mu.Unlock()
+}
+
+func (h *DivergeHints) has(k divergeKey) bool {
+	h.mu.Lock()
+	_, ok := h.m[k]
+	h.mu.Unlock()
+	return ok
+}
+
+// MachineConfig carries the fault-containment knobs of a machine.
+type MachineConfig struct {
+	// StallTimeout arms the divergence watchdog: a coroutine silent
+	// for this long during a Peek is fenced and the execution marked
+	// diverged. 0 disables the watchdog.
+	StallTimeout time.Duration
+	// Hints shares discovered divergence points across machines. When
+	// nil and StallTimeout > 0, the machine records hints privately.
+	Hints *DivergeHints
 }
 
 // undoRec captures everything one Step mutates. Machine-level effects
@@ -197,21 +304,40 @@ type undoRec struct {
 	cor     Coroutine      // t's coroutine state before Resume
 	oldVal  int64          // overwritten store value (KindWrite)
 	oldOwn  event.ThreadID // previous mutex owner (KindLock/KindUnlock)
+	oldObs  uint64         // t's observation hash before the step (watchdog armed)
 	nfail   int32          // len(failures) before the step
 }
 
-// NewMachine creates a machine at the initial state of src.
+// NewMachine creates a machine at the initial state of src with the
+// divergence watchdog disabled.
 func NewMachine(src Source) *Machine {
+	return NewMachineCfg(src, MachineConfig{})
+}
+
+// NewMachineCfg creates a machine at the initial state of src. The
+// config must be supplied at construction: starting the initial
+// threads already Peeks their first operations, which is where a
+// diverging thread body would otherwise hang forever.
+func NewMachineCfg(src Source, cfg MachineConfig) *Machine {
 	n := src.NumThreads()
 	m := &Machine{
-		src:      src,
-		store:    make([]int64, src.NumVars()),
-		owner:    make([]event.ThreadID, src.NumMutexes()),
-		status:   make([]Status, n),
-		cor:      make([]Coroutine, n),
-		steps:    make([]int32, n),
-		pending:  make([]event.Op, n),
-		havePend: make([]bool, n),
+		src:       src,
+		store:     make([]int64, src.NumVars()),
+		owner:     make([]event.ThreadID, src.NumMutexes()),
+		status:    make([]Status, n),
+		cor:       make([]Coroutine, n),
+		steps:     make([]int32, n),
+		pending:   make([]event.Op, n),
+		havePend:  make([]bool, n),
+		stall:     cfg.StallTimeout,
+		divergedT: NoOwner,
+	}
+	if m.stall > 0 {
+		m.obsHash = make([]uint64, n)
+		m.hints = cfg.Hints
+		if m.hints == nil {
+			m.hints = NewDivergeHints()
+		}
 	}
 	for i := range m.owner {
 		m.owner[i] = NoOwner
@@ -230,6 +356,13 @@ func NewMachine(src Source) *Machine {
 }
 
 func (m *Machine) startThread(t event.ThreadID) {
+	if m.hints != nil && m.hints.has(divergeKey{t, 0, 0}) {
+		// Known to diverge before its first announcement: fence it
+		// without starting a doomed coroutine.
+		m.status[t] = Running
+		m.markDiverged(t)
+		return
+	}
 	m.status[t] = Running
 	m.cor[t] = m.src.Start(t)
 	m.refresh(t)
@@ -241,16 +374,51 @@ func (m *Machine) refresh(t event.ThreadID) {
 		m.havePend[t] = false
 		return
 	}
-	op, ok := m.cor[t].Peek()
+	var op event.Op
+	var ok bool
+	if tp, timed := m.cor[t].(TimedPeeker); timed && m.stall > 0 {
+		op, ok = tp.PeekTimeout(m.stall)
+	} else {
+		op, ok = m.cor[t].Peek()
+	}
 	if !ok {
 		m.status[t] = Done
 		m.havePend[t] = false
 		m.cor[t] = nil
 		return
 	}
+	if op.Kind == event.KindDiverge {
+		m.markDiverged(t)
+		return
+	}
 	m.pending[t] = op
 	m.havePend[t] = true
 }
+
+// markDiverged fences thread t: its coroutine is abandoned (never
+// peeked, resumed or aborted again) and the execution is flagged so
+// exploration stops extending it. The divergence point is memoised
+// when the watchdog is armed.
+func (m *Machine) markDiverged(t event.ThreadID) {
+	m.status[t] = Diverged
+	m.cor[t] = nil
+	m.havePend[t] = false
+	m.divergedT = t
+	if m.hints != nil {
+		var obs uint64
+		if m.obsHash != nil {
+			obs = m.obsHash[t]
+		}
+		m.hints.add(divergeKey{t, m.steps[t], obs})
+	}
+}
+
+// HasDiverged reports whether some thread of this execution was fenced
+// as diverging; such an execution must not be extended further.
+func (m *Machine) HasDiverged() bool { return m.divergedT != NoOwner }
+
+// DivergedThread returns the fenced thread, or NoOwner.
+func (m *Machine) DivergedThread() event.ThreadID { return m.divergedT }
 
 // Source returns the program this machine executes.
 func (m *Machine) Source() Source { return m.src }
@@ -403,6 +571,8 @@ func (m *Machine) Step(t event.ThreadID) event.Event {
 		if op.Val == 0 {
 			m.fail(t, FailAssert, "assertion failure")
 		}
+	case event.KindPanic:
+		m.fail(t, FailPanic, panicMessage(m.cor[t], op))
 	}
 	ev := event.Event{Thread: t, Index: m.steps[t], Op: op, Seen: result}
 	if op.Kind == event.KindWrite {
@@ -411,9 +581,47 @@ func (m *Machine) Step(t event.ThreadID) event.Event {
 	m.steps[t]++
 	m.executed++
 	m.havePend[t] = false
+	if m.hints != nil {
+		if rec != nil {
+			rec.oldObs = m.obsHash[t]
+		}
+		m.obsHash[t] = mixObs(m.obsHash[t], result)
+		if m.hints.has(divergeKey{t, m.steps[t], m.obsHash[t]}) {
+			// A previous schedule proved this thread diverges here.
+			// Grant an abort instead of resuming into the stuck loop,
+			// then fence the thread without waiting out the timeout.
+			// Prefer the timed aborter: a hostile body could swallow a
+			// plain abort and block this call forever.
+			if ta, ok := m.cor[t].(TimedAborter); ok && m.stall > 0 {
+				ta.AbortTimeout(m.stall)
+			} else if a, ok := m.cor[t].(Abortable); ok {
+				a.Abort()
+			}
+			m.markDiverged(t)
+			return ev
+		}
+	}
 	m.cor[t].Resume(result)
 	m.refresh(t)
 	return ev
+}
+
+// panicMessage renders the deterministic failure message of a
+// KindPanic operation: the coroutine's recovered value when it can
+// report one, else the panic code the frontend encoded in Val.
+func panicMessage(c Coroutine, op event.Op) string {
+	if pm, ok := c.(PanicMessager); ok {
+		if msg := pm.PanicMessage(); msg != "" {
+			return "panic: " + msg
+		}
+	}
+	return fmt.Sprintf("panic: code %d", op.Val)
+}
+
+// mixObs folds one observed Resume result into a thread's observation
+// hash (a splitmix64 step, matching the repo's other mixers).
+func mixObs(h uint64, result int64) uint64 {
+	return splitmix64(h ^ (uint64(result) + 0x9e3779b97f4a7c15))
 }
 
 func (m *Machine) fail(t event.ThreadID, kind FailKind, msg string) {
@@ -421,13 +629,19 @@ func (m *Machine) fail(t event.ThreadID, kind FailKind, msg string) {
 }
 
 // Abort releases external resources of all still-running coroutines.
-// The machine must not be used afterwards.
+// The machine must not be used afterwards. With the watchdog armed,
+// coroutines that support timed aborts get the stall budget to comply
+// and are abandoned otherwise, so one hostile thread cannot hang the
+// teardown of an otherwise healthy execution.
 func (m *Machine) Abort() {
 	for t, c := range m.cor {
-		if m.status[t] == Running {
-			if a, ok := c.(Abortable); ok {
-				a.Abort()
-			}
+		if m.status[t] != Running {
+			continue
+		}
+		if ta, ok := c.(TimedAborter); ok && m.stall > 0 {
+			ta.AbortTimeout(m.stall)
+		} else if a, ok := c.(Abortable); ok {
+			a.Abort()
 		}
 	}
 }
@@ -437,16 +651,20 @@ func (m *Machine) Abort() {
 // empty undo log and undo recording disabled.
 func (m *Machine) Snapshot() (*Machine, bool) {
 	cp := &Machine{
-		src:      m.src,
-		store:    append([]int64(nil), m.store...),
-		owner:    append([]event.ThreadID(nil), m.owner...),
-		status:   append([]Status(nil), m.status...),
-		cor:      make([]Coroutine, len(m.cor)),
-		steps:    append([]int32(nil), m.steps...),
-		pending:  append([]event.Op(nil), m.pending...),
-		havePend: append([]bool(nil), m.havePend...),
-		failures: append([]Failure(nil), m.failures...),
-		executed: m.executed,
+		src:       m.src,
+		store:     append([]int64(nil), m.store...),
+		owner:     append([]event.ThreadID(nil), m.owner...),
+		status:    append([]Status(nil), m.status...),
+		cor:       make([]Coroutine, len(m.cor)),
+		steps:     append([]int32(nil), m.steps...),
+		pending:   append([]event.Op(nil), m.pending...),
+		havePend:  append([]bool(nil), m.havePend...),
+		failures:  append([]Failure(nil), m.failures...),
+		executed:  m.executed,
+		stall:     m.stall,
+		divergedT: m.divergedT,
+		obsHash:   append([]uint64(nil), m.obsHash...),
+		hints:     m.hints, // shared: hints are monotone program facts
 	}
 	for t, c := range m.cor {
 		if c == nil {
@@ -506,6 +724,9 @@ func (m *Machine) UndoTo(mark int) {
 			m.status[c] = NotStarted
 			m.cor[c] = nil
 			m.havePend[c] = false
+			if m.divergedT == c {
+				m.divergedT = NoOwner
+			}
 		}
 		t := r.t
 		m.status[t] = Running
@@ -514,6 +735,12 @@ func (m *Machine) UndoTo(mark int) {
 		m.havePend[t] = true
 		m.steps[t]--
 		m.executed--
+		if m.obsHash != nil {
+			m.obsHash[t] = r.oldObs
+		}
+		if m.divergedT == t {
+			m.divergedT = NoOwner
+		}
 		m.failures = m.failures[:r.nfail]
 		r.cor = nil // release the snapshot reference
 		m.undo = m.undo[:len(m.undo)-1]

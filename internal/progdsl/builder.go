@@ -227,6 +227,8 @@ func (b *Builder) validate(t *ThreadBuilder, pc int, in instr) {
 		if in.useReg {
 			checkReg(in.c)
 		}
+	case iPanic, iDiverge:
+		// No operands to validate.
 	case iConst:
 		checkReg(in.a)
 	case iMov:
@@ -383,6 +385,27 @@ func (t *ThreadBuilder) AssertLt(r Reg, imm int64) *ThreadBuilder {
 func (t *ThreadBuilder) AssertGe(r Reg, imm int64) *ThreadBuilder {
 	t.touch(r)
 	t.emit(instr{kind: iAssertC, a: int32(r), cmp: cmpGE, imm: imm})
+	return t
+}
+
+// Panic appends a panic announcement — the thread's final visible
+// operation, recorded by the machine as a model.FailPanic violation
+// with the deterministic message "panic: code <code>". Whatever
+// follows it in the thread's code never executes. This is the
+// interpreter analogue of a goharness body panicking.
+func (t *ThreadBuilder) Panic(code int64) *ThreadBuilder {
+	t.emit(instr{kind: iPanic, imm: code})
+	return t
+}
+
+// Diverge appends a divergence announcement: the thread declares
+// itself stuck in local computation forever. The machine fences the
+// thread on sight (no timeout needed) and the execution is counted in
+// Result.Divergences — the interpreter analogue of a goharness body
+// spinning past the stall watchdog, and the deterministic way to
+// exercise divergence handling in engine tests.
+func (t *ThreadBuilder) Diverge() *ThreadBuilder {
+	t.emit(instr{kind: iDiverge})
 	return t
 }
 

@@ -64,6 +64,13 @@ func (c *coroutine) Peek() (event.Op, bool) {
 				v = 1
 			}
 			c.pending = event.Op{Kind: event.KindAssert, Val: v}
+		case iPanic:
+			c.pending = event.Op{Kind: event.KindPanic, Val: in.imm}
+		case iDiverge:
+			// The divergence sentinel: the machine fences the thread on
+			// sight and never Resumes it, so the interpreter models "stuck
+			// forever" without actually looping.
+			c.pending = event.Op{Kind: event.KindDiverge}
 		case iConst:
 			c.regs[in.a] = in.imm
 			c.pc++
@@ -126,6 +133,12 @@ func (c *coroutine) Resume(result int64) {
 		c.regs[in.a] = result
 	}
 	c.have = false
+	if in.kind == iPanic {
+		// A panicked thread never executes another instruction,
+		// whatever follows in its code.
+		c.done = true
+		return
+	}
 	c.pc++
 }
 

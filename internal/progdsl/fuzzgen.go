@@ -69,6 +69,60 @@ func FromBytes(name string, data []byte) *Program {
 	return b.Build()
 }
 
+// HostileFromBytes decodes an arbitrary byte string like FromBytes but
+// with two extra operation kinds — panicking and diverging thread
+// bodies — for fuzz-driven differential testing of the fault-
+// containment paths: engines and backends must agree exactly on
+// Divergences and Panics, and a diverging thread must never corrupt
+// the counters of the surviving schedules. It is a separate decoder
+// (and a separate fuzz corpus) so FromBytes keeps its documented
+// guaranteed-terminating contract and its corpus stays stable.
+func HostileFromBytes(name string, data []byte) *Program {
+	if len(data) < 4 {
+		return nil
+	}
+	nthreads := 2 + int(data[0]%2)
+	nvars := 1 + int(data[1]%3)
+	b := New(name).AutoStart()
+	vars := b.VarArray("v", nvars)
+	threads := make([]*ThreadBuilder, nthreads)
+	for i := range threads {
+		threads[i] = b.Thread()
+	}
+
+	const maxOps = 8
+	body := data[3:]
+	for k := 0; k+1 < len(body) && k/2 < maxOps; k += 2 {
+		op, arg := body[k], body[k+1]
+		th := threads[(k/2)%nthreads]
+		v := vars.At(int(arg) % nvars)
+		imm := int64(arg >> 4)
+		switch op % 6 {
+		case 0:
+			th.Read(0, v)
+		case 1:
+			th.WriteConst(v, imm)
+		case 2:
+			th.Read(0, v).AddConst(0, 0, 1).Write(v, 0)
+		case 3:
+			th.Read(0, v).AssertLt(0, 1+imm%4)
+		case 4:
+			// A panic a racy read can make conditional: the hostile
+			// analogue of the failing assertion.
+			th.Read(0, v).If(Ge(0, 1+imm%4), func() { th.Panic(imm) }, nil)
+		default:
+			// Divergence, sometimes guarded by a racy read so only some
+			// schedules diverge — the case that exercises hint replay.
+			if arg%2 == 0 {
+				th.Diverge()
+			} else {
+				th.Read(0, v).If(Ge(0, 1+imm%4), func() { th.Diverge() }, nil)
+			}
+		}
+	}
+	return b.Build()
+}
+
 // FuzzCorpus returns n deterministic FromBytes inputs derived from
 // seed — the shared program source for differential tests that need a
 // sizeable generated corpus without checking hundreds of files in.

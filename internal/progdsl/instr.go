@@ -40,6 +40,8 @@ const (
 	iLockD   // lock(Mutex(B + r[C] mod Imm))        — dynamic index
 	iUnlockD // unlock(Mutex(B + r[C] mod Imm))      — dynamic index
 	iAssertC // assert cond(r[A] Cmp operand) — announced as a visible assert op
+	iPanic   // announce panic(Imm): the thread's final visible operation
+	iDiverge // announce divergence: the thread is stuck forever; the machine fences it
 
 	// Thread-local operations (executed eagerly, never scheduling
 	// points).
@@ -122,6 +124,10 @@ func (in instr) String() string {
 		return fmt.Sprintf("join t%d", in.a)
 	case iAssertC:
 		return fmt.Sprintf("assert r%d %v %s", in.a, in.cmp, in.operandString())
+	case iPanic:
+		return fmt.Sprintf("panic %d", in.imm)
+	case iDiverge:
+		return "diverge"
 	case iConst:
 		return fmt.Sprintf("r%d = %d", in.a, in.imm)
 	case iMov:

@@ -1,0 +1,102 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestWriteFileAtomic: WriteFile round-trips through ReadFile, leaves
+// no temporary droppings, and replaces an existing artifact in one
+// step (a crash mid-write can only ever expose old-or-new, never a
+// truncated file).
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bug.json")
+
+	a := Artifact{Version: FormatVersion, Engine: "dfs", Kind: "panic", SchedulesToBug: 3, Trace: trace.Record{Version: trace.FormatVersion}}
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Engine != a.Engine || back.Kind != a.Kind || back.SchedulesToBug != a.SchedulesToBug {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", back, a)
+	}
+
+	// Overwrite with different content; the replacement is also clean.
+	b := a
+	b.Kind = "assertion failure"
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err = ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != "assertion failure" {
+		t.Fatalf("overwrite not visible: kind = %q", back.Kind)
+	}
+
+	// No temp files survive a successful write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temporary file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want just the artifact: %v", len(entries), entries)
+	}
+}
+
+// TestWriteFileBareName: a path with no directory component writes
+// into the working directory (the temp file must not land in "/").
+func TestWriteFileBareName(t *testing.T) {
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+
+	a := Artifact{Version: FormatVersion, Engine: "dfs", Kind: "deadlock", Trace: trace.Record{Version: trace.FormatVersion}}
+	if err := a.WriteFile("bare.json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile("bare.json"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteFileErrorCleansUp: a failed write (unwritable directory)
+// leaves nothing behind.
+func TestWriteFileErrorCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if os.Getuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	a := Artifact{Version: FormatVersion, Engine: "dfs", Kind: "panic", Trace: trace.Record{Version: trace.FormatVersion}}
+	if err := a.WriteFile(filepath.Join(dir, "bug.json")); err == nil {
+		t.Fatal("write into a read-only directory should fail")
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Errorf("failed write left droppings: %v", entries)
+	}
+}

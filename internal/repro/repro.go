@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/event"
 	"repro/internal/exec"
@@ -176,17 +177,41 @@ func (a Artifact) Write(w io.Writer) error {
 	return enc.Encode(a)
 }
 
-// WriteFile writes the artifact to path.
+// WriteFile writes the artifact to path atomically: the JSON is
+// written and fsynced to a temporary file in the destination
+// directory, then renamed into place. A crash mid-write leaves either
+// the old artifact or none — never a truncated one that Replay would
+// reject (or, worse, half-verify).
 func (a Artifact) WriteFile(path string) error {
-	f, err := os.Create(path)
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
 	if err != nil {
 		return err
 	}
-	if err := a.Write(f); err != nil {
+	tmp := f.Name()
+	cleanup := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := a.Write(f); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Read parses an artifact and validates its version and schedule

@@ -53,6 +53,7 @@ var kindNames = map[event.Kind]string{
 	event.KindSpawn:  "spawn",
 	event.KindJoin:   "join",
 	event.KindAssert: "assert",
+	event.KindPanic:  "panic",
 }
 
 var kindByName = func() map[string]event.Kind {

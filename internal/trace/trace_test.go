@@ -179,7 +179,7 @@ func TestKindNamesTotal(t *testing.T) {
 			t.Errorf("kind %v name %q does not round-trip", k, name)
 		}
 	}
-	if len(kindNames) != 7 {
+	if len(kindNames) != 8 {
 		t.Errorf("kindNames covers %d kinds; update the table when event kinds change", len(kindNames))
 	}
 }

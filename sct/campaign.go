@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/campaign"
+	"repro/internal/explore"
 )
 
 // EngineSpec names an engine configuration in the registry's compact
@@ -63,6 +64,10 @@ func Grid(benches, engineSpecs []string, opts ...Option) ([]Cell, error) {
 		"WithBackend", "OnViolation", "WithWorkers"); err != nil {
 		return nil, err
 	}
+	if err := cfg.reject("Grid", "containment is a runner property: pass it to NewCampaign",
+		"WithCellTimeout", "WithRetries"); err != nil {
+		return nil, err
+	}
 	if len(benches) == 0 {
 		return nil, errors.New("sct: Grid with no benchmarks")
 	}
@@ -77,10 +82,18 @@ func Grid(benches, engineSpecs []string, opts ...Option) ([]Cell, error) {
 		specs[i] = campaign.EngineSpec(s)
 	}
 	cells := campaign.Grid(benches, specs, cfg.scheduleLimit, cfg.maxSteps)
-	if cfg.firstBug || cfg.recordStates {
+	if cfg.firstBug || cfg.recordStates || cfg.stallTimeout > 0 {
+		// Cells carry the stall timeout in whole milliseconds (the
+		// serialisable checkpoint unit); round sub-millisecond values
+		// up so "armed" can never silently become "disarmed".
+		ms := cfg.stallTimeout.Milliseconds()
+		if cfg.stallTimeout > 0 && ms == 0 {
+			ms = 1
+		}
 		for i := range cells {
 			cells[i].StopAtFirstBug = cfg.firstBug
 			cells[i].RecordStates = cfg.recordStates
+			cells[i].StallTimeoutMS = ms
 		}
 	}
 	return cells, nil
@@ -109,7 +122,7 @@ func NewCampaign(cells []Cell, opts ...Option) (*Campaign, error) {
 	}
 	if err := cfg.reject("NewCampaign", "set per-cell options on the cells via Grid",
 		"WithScheduleLimit", "WithBounds", "WithBackend", "WithRecordStates",
-		"StopAtFirstBug", "OnViolation"); err != nil {
+		"StopAtFirstBug", "OnViolation", "WithStallTimeout"); err != nil {
 		return nil, err
 	}
 	if len(cells) == 0 {
@@ -231,7 +244,9 @@ func (c *Campaign) Results(ctx context.Context) iter.Seq[CellResult] {
 		go func() {
 			defer close(ch)
 			runner := campaign.Runner{
-				Workers: c.cfg.workers,
+				Workers:     c.cfg.workers,
+				CellTimeout: c.cfg.cellTimeout,
+				Retries:     c.cfg.retries,
 				OnResult: func(r CellResult) {
 					r.Index = origIdx[r.Index]
 					select {
@@ -269,6 +284,26 @@ func (c *Campaign) Err() error { return c.err }
 func FirstError(results []CellResult) error {
 	return campaign.FirstError(results)
 }
+
+// Quarantine returns the cells that failed (CellResult.Err != ""), in
+// the order given — the campaign's survivability ledger: everything
+// here was contained (engine panic, cell deadline, exhausted retries)
+// without taking down the cells around it.
+func Quarantine(results []CellResult) []CellResult {
+	return campaign.Quarantine(results)
+}
+
+// TransientError is the retryable-fault marker: an engine (or a fault
+// injection layer) that panics with a value unwrapping to it signals
+// a transient condition, and a campaign runner configured via
+// [WithRetries] re-attempts the cell instead of quarantining it.
+type TransientError = explore.TransientError
+
+// ErrTruncatedTail is wrapped by [ReadResults] when a result stream
+// ends mid-line — the signature of a run killed during its final
+// write. The complete prefix is still returned; errors.Is
+// distinguishes this recoverable tail from mid-stream corruption.
+var ErrTruncatedTail = campaign.ErrTruncatedTail
 
 // JSONLWriter returns a callback that streams each cell result as one
 // JSON line to w — the campaign checkpoint format [Campaign.Resume]

@@ -84,6 +84,16 @@ func TestFacadeVsDirectEquivalence(t *testing.T) {
 		{"db:2", false, func() explore.Engine { return explore.NewDelayBounded(2) }},
 		{"chess-pb:3", false, func() explore.Engine { return explore.NewIterativePreemptionBounding(3) }},
 		{"chess-db:3", false, func() explore.Engine { return explore.NewIterativeDelayBounding(3) }},
+		// chaos:flaky:0 delegates to a fresh DFS immediately — the one
+		// chaos configuration that behaves like a real engine, which is
+		// what the facade pin can meaningfully compare.
+		{"chaos:flaky:0", false, func() explore.Engine {
+			e, err := explore.NewChaos(explore.ChaosFlaky, 0)
+			if err != nil {
+				panic(err)
+			}
+			return e
+		}},
 		{"pdfs:2", true, func() explore.Engine { return campaign.NewParallelDFS(2) }},
 		{"pdpor:1", true, func() explore.Engine { return campaign.NewParallelDPOR(1) }},
 		{"pdpor:2", true, func() explore.Engine { return campaign.NewParallelDPOR(2) }},

@@ -3,6 +3,7 @@ package sct
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/explore"
 )
@@ -46,6 +47,9 @@ type config struct {
 	recordStates  bool
 	firstBug      bool
 	onViolation   func(Witness)
+	stallTimeout  time.Duration
+	cellTimeout   time.Duration
+	retries       int
 
 	// applied names every option that was set, so each construction
 	// site can reject options it cannot honour instead of silently
@@ -94,6 +98,7 @@ func (c config) exploreOptions(ctx context.Context) explore.Options {
 		RecordStates:   c.recordStates,
 		StopAtFirstBug: c.firstBug,
 		OnViolation:    c.onViolation,
+		StallTimeout:   c.stallTimeout,
 		Ctx:            ctx,
 	}
 }
@@ -175,6 +180,64 @@ func StopAtFirstBug() Option {
 	return func(c *config) error {
 		c.mark("StopAtFirstBug")
 		c.firstBug = true
+		return nil
+	}
+}
+
+// WithStallTimeout arms the divergence watchdog: a thread whose next
+// visible operation does not materialise within d of wall-clock time
+// is fenced as diverged, the execution is classified under
+// Result.Divergences, and exploration of the remaining schedule space
+// continues. 0 (the default) disables the watchdog — a genuinely
+// diverging thread then hangs the search, exactly as before.
+//
+// The watchdog matters only for frontends whose thread bodies run
+// real code on goroutines (goharness); interpreter frontends
+// (progdsl) announce divergence deterministically and need no timer.
+// Divergence points are memoised, so each distinct stuck point costs
+// the timeout once no matter how many schedules revisit it.
+func WithStallTimeout(d time.Duration) Option {
+	return func(c *config) error {
+		c.mark("WithStallTimeout")
+		if d < 0 {
+			return fmt.Errorf("negative stall timeout %v", d)
+		}
+		c.stallTimeout = d
+		return nil
+	}
+}
+
+// WithCellTimeout bounds each campaign cell attempt to d of
+// wall-clock time ([NewCampaign] only). An attempt that exceeds it is
+// cancelled and reported as a structured per-cell error carrying the
+// partial counters; an attempt that also ignores cancellation is
+// abandoned on a watchdog goroutine so the campaign itself always
+// survives. 0 (the default) means no per-cell deadline.
+func WithCellTimeout(d time.Duration) Option {
+	return func(c *config) error {
+		c.mark("WithCellTimeout")
+		if d < 0 {
+			return fmt.Errorf("negative cell timeout %v", d)
+		}
+		c.cellTimeout = d
+		return nil
+	}
+}
+
+// WithRetries lets each campaign cell retry up to n extra attempts
+// ([NewCampaign] only) when the engine fails transiently — a panic
+// whose value unwraps to a transient-fault marker (see
+// [TransientError]). Retries back off exponentially with jitter;
+// deterministic failures are never retried. CellResult.Attempts
+// records how many attempts the cell consumed. 0 (the default)
+// disables retry.
+func WithRetries(n int) Option {
+	return func(c *config) error {
+		c.mark("WithRetries")
+		if n < 0 {
+			return fmt.Errorf("negative retry count %d", n)
+		}
+		c.retries = n
 		return nil
 	}
 }

@@ -147,6 +147,10 @@ func Run(ctx context.Context, src Source, engine string, opts ...Option) (*Repor
 		"WithWorkers"); err != nil {
 		return nil, err
 	}
+	if err := cfg.reject("Run", "containment is a campaign-runner property: pass it to NewCampaign",
+		"WithCellTimeout", "WithRetries"); err != nil {
+		return nil, err
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}

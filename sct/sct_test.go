@@ -39,7 +39,7 @@ func TestRegistryComplete(t *testing.T) {
 	wantNames := []string{
 		"dfs", "dpor", "dpor+sleep", "lazy-dpor", "hbr-caching",
 		"lazy-hbr-caching", "pb", "db", "chess-pb", "chess-db", "random",
-		"pct", "pos", "pdfs", "pdpor", "pdpor-static", "prandom",
+		"pct", "pos", "chaos", "pdfs", "pdpor", "pdpor-static", "prandom",
 	}
 	if got := sct.EngineNames(); !reflect.DeepEqual(got[:len(wantNames)], wantNames) {
 		t.Fatalf("canonical engine names = %v, want prefix %v", got, wantNames)
