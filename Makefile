@@ -83,9 +83,9 @@ chaos-smoke:
 # perf trajectory, rendered as a machine-readable JSON artifact
 # (BENCH_PR<PR>.json and successors; see cmd/benchjson). Set PR to the
 # current PR number: make bench-json PR=4.
-PR ?= 6
+PR ?= 8
 BENCH_JSON ?= BENCH_PR$(PR).json
-BENCH_FILTER ?= BenchmarkTracker$$|BenchmarkVClock/|BenchmarkExecutor$$|BenchmarkEngine/|BenchmarkSnapshotVsReplay/|BenchmarkWorkStealDPOR/|BenchmarkFirstBug/
+BENCH_FILTER ?= BenchmarkTracker$$|BenchmarkVClock/|BenchmarkExecutor$$|BenchmarkEngine/|BenchmarkSnapshotVsReplay/|BenchmarkWorkStealDPOR/|BenchmarkFirstBug/|BenchmarkBacktrackAllocs/
 # Two steps (not a pipe) so a failing benchmark run fails the target
 # instead of silently producing an empty artifact.
 bench-json:

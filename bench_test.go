@@ -308,6 +308,42 @@ func BenchmarkWorkStealDPOR(b *testing.B) {
 	}
 }
 
+// BenchmarkBacktrackAllocs asserts the O(1)-backtracking contract as
+// a bench-smoke gate: with the undo backend, the stack engines'
+// tracker+machine allocations per explored event must stay constant
+// (~2; a reintroduced per-step tracker Clone costs ≥3 slab copies per
+// event and the legacy deep-snapshot backend measures ~20). The
+// benchmark fails — not just reports — when the bound is exceeded,
+// so the regression cannot silently return. Runs in one iteration
+// under `make bench-smoke`.
+func BenchmarkBacktrackAllocs(b *testing.B) {
+	const maxAllocsPerEvent = 4.0
+	bm := mustBench(b, "coarse-tail-3x3")
+	opt := explore.Options{ScheduleLimit: benchLimit, MaxSteps: 2000, Backend: explore.BackendUndo}
+	for _, eng := range []explore.Engine{explore.NewDFS(), explore.NewDPOR(false)} {
+		eng := eng
+		b.Run(eng.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			res := eng.Explore(bm.Program, opt)
+			if res.Events == 0 {
+				b.Fatalf("%s explored no events", eng.Name())
+			}
+			allocs := testing.AllocsPerRun(1, func() {
+				eng.Explore(bm.Program, opt)
+			})
+			perEvent := allocs / float64(res.Events)
+			if perEvent > maxAllocsPerEvent {
+				b.Fatalf("%s/undo: %.2f allocs per explored event, want ≤ %.1f — per-step tracker snapshot work is back",
+					eng.Name(), perEvent, maxAllocsPerEvent)
+			}
+			b.ReportMetric(perEvent, "allocs/event")
+			for i := 0; i < b.N; i++ {
+				eng.Explore(bm.Program, opt)
+			}
+		})
+	}
+}
+
 // BenchmarkSnapshotVsReplay measures the exploration-backend ablation:
 // the default undo-log backend ("snapshot", name kept stable across
 // the perf trajectory) against the legacy deep-snapshot backend and

@@ -345,25 +345,26 @@ func (e *dporEngine) Explore(src model.Source, opt Options) Result {
 	pubLocal := 0
 
 	// seedAt returns a maker of private tracker clones for the state
-	// at absolute depth d, or nil when the backend keeps no per-depth
-	// tracker there (replay backend, or a depth covered by this
-	// unit's own shipped seed).
+	// at absolute depth d, or nil when the backend keeps no tracker
+	// state there (replay backend, or a depth covered by this unit's
+	// own shipped seed). Under the undo backend the maker rewinds a
+	// clone of the live tracker through the engine's own undo records
+	// (hb.Tracker.CloneTo); it therefore must be invoked while the
+	// cursor still sits at (or above) depth d — the Steal coordinator
+	// calls makers synchronously inside Escape/Publish, never later.
 	seedAt := func(d int) func() *hb.Tracker {
-		var tr *hb.Tracker
 		switch c.backend {
 		case BackendUndo:
-			if d < len(c.trSnaps) {
-				tr = c.trSnaps[d]
+			if m := d - c.trBase; m >= 0 && m <= c.tr.UndoMark() {
+				return func() *hb.Tracker { return c.tr.CloneTo(m) }
 			}
 		case BackendSnapshot:
-			if d < len(c.snaps) {
-				tr = c.snaps[d].tr
+			if d < len(c.snaps) && c.snaps[d].tr != nil {
+				tr := c.snaps[d].tr
+				return func() *hb.Tracker { return tr.Clone() }
 			}
 		}
-		if tr == nil {
-			return nil
-		}
-		return func() *hb.Tracker { return tr.Clone() }
+		return nil
 	}
 
 	// escape computes the exact Flanagan–Godefroid backtrack addition

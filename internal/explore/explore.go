@@ -187,13 +187,19 @@ func (o Options) Validate() error {
 type BackendKind uint8
 
 const (
-	// BackendAuto picks the fastest supported backend: the undo log
-	// for snapshottable programs, replay otherwise.
+	// BackendAuto picks the fastest supported backend adaptively:
+	// replay for programs that cannot snapshot, the undo log
+	// otherwise — except that the cursor measures the first few
+	// schedules' backtrack shape (reset depth vs rewind distance) and
+	// settles on replay when re-executing the short retained prefixes
+	// is cheaper than paying per-step undo logging (see autoObserve).
+	// Straight-line samplers skip the measurement and use replay
+	// outright. All backends are observationally identical, so the
+	// choice never changes a Result.
 	BackendAuto BackendKind = iota
-	// BackendUndo rewinds the machine through its O(1)-per-step undo
-	// log and restores happens-before state from shallow
-	// copy-on-write tracker snapshots. Requires snapshottable
-	// coroutines; falls back to replay otherwise.
+	// BackendUndo rewinds the (machine, tracker) pair through their
+	// O(1)-per-step undo logs — no per-step copying at all. Requires
+	// snapshottable coroutines; falls back to replay otherwise.
 	BackendUndo
 	// BackendSnapshot is the legacy backend: a deep machine snapshot
 	// stored at every depth (ablation baseline). Requires
@@ -221,21 +227,21 @@ func (b BackendKind) String() string {
 }
 
 // backend resolves the requested backend, honouring the legacy
-// DisableSnapshots spelling. Unknown kinds degrade to replay — the
-// backend that is correct for every program (and whose cleanup path
-// aborts live coroutines).
+// DisableSnapshots spelling (which takes precedence over an explicit
+// Backend). BackendAuto resolves to itself: the cursor owns the
+// adaptive choice. Unknown kinds panic — Options.Validate rejects
+// them, and an engine built from unvalidated options must fail loudly
+// rather than silently explore under a different backend than the
+// ablation asked for.
 func (o Options) backend() BackendKind {
 	if o.DisableSnapshots {
 		return BackendReplay
 	}
 	switch o.Backend {
-	case BackendAuto, BackendUndo:
-		return BackendUndo
-	case BackendSnapshot:
-		return BackendSnapshot
-	default:
-		return BackendReplay
+	case BackendAuto, BackendUndo, BackendSnapshot, BackendReplay:
+		return o.Backend
 	}
+	panic(fmt.Sprintf("explore: unknown backend %q (Options.Validate rejects it)", o.Backend))
 }
 
 func (o Options) maxSteps() int {
@@ -549,10 +555,10 @@ type snapPair struct {
 // cursor is the engines' shared execution walker: it maintains one live
 // execution (machine + happens-before tracker + trace) and supports
 // truncation to an earlier depth. Three backends implement the
-// truncation (see BackendKind): the machine undo log plus shallow
-// copy-on-write tracker snapshots (the default), legacy deep per-step
-// snapshots, and deterministic replay for programs that cannot
-// snapshot.
+// truncation (see BackendKind): the paired machine and tracker undo
+// logs (the default — O(1) per backtracked step, nothing copied per
+// forward step), legacy deep per-step snapshots, and deterministic
+// replay for programs that cannot snapshot.
 type cursor struct {
 	src      model.Source
 	maxSteps int
@@ -568,15 +574,17 @@ type cursor struct {
 	trace   []event.Event
 	choices []event.ThreadID
 
-	// trSnaps[d] is the tracker state at depth d (undo backend). The
-	// machine itself rewinds through its undo log: with undo enabled
-	// every step appends exactly one record, so depth == undo mark.
-	// Depths covered by a shipped tracker seed hold nil placeholders;
-	// engines never reset below their prefix, so those entries are
-	// only read by seed export (which treats nil as "unavailable").
-	trSnaps []*hb.Tracker
-	// snaps[d] is the deep snapshot at depth d (legacy backend), with
-	// the same nil-placeholder convention under a tracker seed.
+	// trBase is the depth the live tracker's undo log starts at (undo
+	// backend): the tracker undo mark for depth d is d−trBase. It is 0
+	// unless a shipped tracker seed was installed, in which case the
+	// seed's log starts at seedDepth. Engines never reset below their
+	// pinned prefix, so marks never go negative.
+	trBase int
+
+	// snaps[d] is the deep snapshot at depth d (legacy backend);
+	// depths covered by a shipped tracker seed hold zero placeholders,
+	// which engines never reset to (they stay above their prefix) and
+	// seed export treats as "unavailable".
 	snaps []snapPair
 
 	// seed is the shipped tracker installed once the replayed prefix
@@ -584,6 +592,14 @@ type cursor struct {
 	// happens-before work (see Options.TrackerSeed).
 	seed      *hb.Tracker
 	seedDepth int
+
+	// BackendAuto measurement state: the cursor starts on the undo
+	// backend and autoObserve accumulates per-reset cost estimates for
+	// undo vs replay over the first few schedules, then locks in the
+	// cheaper one (autoPending becomes false either way).
+	autoPending            bool
+	autoResets             int
+	autoUndoC, autoReplayC int
 
 	enabledBuf []event.ThreadID
 	events     int64
@@ -595,10 +611,19 @@ func newCursor(src model.Source, opt Options) *cursor {
 	if mcfg.StallTimeout > 0 {
 		mcfg.Hints = model.NewDivergeHints()
 	}
+	resolved := opt.backend()
+	auto := false
+	if resolved == BackendAuto {
+		resolved = BackendUndo
+		// Adapt only for a root search: work-steal workers and
+		// prefix-partitioned subtree searches keep the undo backend so
+		// their seed-export behaviour stays uniform across workers.
+		auto = opt.Steal == nil && len(opt.Prefix) == 0
+	}
 	c := &cursor{
 		src:      src,
 		maxSteps: opt.maxSteps(),
-		backend:  opt.backend(),
+		backend:  resolved,
 		mcfg:     mcfg,
 		m:        model.NewMachineCfg(src, mcfg),
 		tr:       hb.NewTracker(src.NumThreads(), src.NumVars(), src.NumMutexes()),
@@ -606,7 +631,8 @@ func newCursor(src model.Source, opt Options) *cursor {
 	switch c.backend {
 	case BackendUndo:
 		if c.m.EnableUndo() {
-			c.trSnaps = append(c.trSnaps, c.tr.Clone())
+			c.tr.EnableUndo()
+			c.autoPending = auto
 		} else {
 			c.backend = BackendReplay
 		}
@@ -631,6 +657,26 @@ func newCursor(src model.Source, opt Options) *cursor {
 		c.seedDepth = len(opt.Prefix) - 1
 	}
 	return c
+}
+
+// newWalkCursor builds the cursor for the sampling engines (random,
+// pct, pos), whose walks never backtrack mid-execution: every walk
+// runs straight to its end and resets to the replay base. With no
+// pinned prefix that base is the initial state, so the replay backend
+// is strictly cheaper there — a reset rebuilds a fresh machine and
+// tracker instead of paying per-step undo logging (a coroutine
+// snapshot per event) or per-depth deep snapshots on the way forward —
+// and the requested backend is overridden. The backends are
+// observationally identical, so Results are unchanged (pinned by
+// TestBackendAblationExact). A pinned prefix keeps the requested
+// backend: rewinding to the base then beats re-executing the prefix on
+// every walk.
+func newWalkCursor(src model.Source, opt Options) *cursor {
+	if len(opt.Prefix) == 0 {
+		opt.DisableSnapshots = false
+		opt.Backend = BackendReplay
+	}
+	return newCursor(src, opt)
 }
 
 func (c *cursor) depth() int { return len(c.trace) }
@@ -658,22 +704,25 @@ func (c *cursor) diverged() bool { return c.m.HasDiverged() }
 func (c *cursor) step(t event.ThreadID) event.Event {
 	if len(c.trace) < c.seedDepth {
 		// The shipped tracker seed covers this prefix event: advance
-		// the machine only, keep the depth-indexed snapshot slices
-		// aligned with nil placeholders, and install the seed when
+		// the machine only, keep the snapshot backend's depth-indexed
+		// slice aligned with placeholders, and install the seed when
 		// the covered prefix is fully replayed.
 		ev := c.m.Step(t)
 		c.trace = append(c.trace, ev)
 		c.choices = append(c.choices, t)
 		c.events++
-		switch c.backend {
-		case BackendUndo:
-			c.trSnaps = append(c.trSnaps, nil)
-		case BackendSnapshot:
+		if c.backend == BackendSnapshot {
 			c.snaps = append(c.snaps, snapPair{})
 		}
 		if len(c.trace) == c.seedDepth {
 			c.tr = c.seed
 			c.seed = nil
+			if c.backend == BackendUndo {
+				// The seed's undo log starts here: events below
+				// seedDepth are pinned prefix and never rewound.
+				c.tr.EnableUndo()
+				c.trBase = c.seedDepth
+			}
 		}
 		return ev
 	}
@@ -682,18 +731,15 @@ func (c *cursor) step(t event.ThreadID) event.Event {
 	c.trace = append(c.trace, ev)
 	c.choices = append(c.choices, t)
 	c.events++
-	switch c.backend {
-	case BackendUndo:
-		// The machine's undo log already covers this step; only the
-		// tracker needs a (shallow, copy-on-write) snapshot.
-		c.trSnaps = append(c.trSnaps, c.tr.Clone())
-	case BackendSnapshot:
+	if c.backend == BackendSnapshot {
 		snap, ok := c.m.Snapshot()
 		if !ok {
 			panic("explore: snapshot support vanished mid-exploration")
 		}
 		c.snaps = append(c.snaps, snapPair{m: snap, tr: c.tr.Clone()})
 	}
+	// The undo backend needs no per-step work here: the machine and
+	// tracker undo logs each recorded this step's reversal already.
 	return ev
 }
 
@@ -724,6 +770,41 @@ func (c *cursor) replayPrefix(prefix []event.ThreadID, step func(event.ThreadID)
 	return len(prefix)
 }
 
+// autoProbeResets is how many resets BackendAuto measures before
+// settling; autoRebuildCost is replay's estimated fixed per-reset cost
+// (machine construction, coroutine restarts) in step units. Both are
+// heuristics calibrated against BenchmarkSnapshotVsReplay: replay wins
+// when resets target shallow depths (little to re-execute) while undo
+// pays logging on every forward step; undo wins when resets rewind a
+// few steps off a deep retained prefix (the stack engines).
+const (
+	autoProbeResets = 8
+	autoRebuildCost = 8
+)
+
+// autoObserve accumulates the estimated per-reset cost of the two
+// candidate backends while BackendAuto is still measuring. Undo pays
+// for rewinding len(trace)−d records plus undo-logging roughly that
+// many re-executed forward steps; replay pays for re-executing the d
+// retained steps plus a machine rebuild. After autoProbeResets the
+// cheaper backend is locked in for the rest of the run; switching to
+// replay drops both undo logs. The backends are observationally
+// identical, so the choice never shows in a Result.
+func (c *cursor) autoObserve(d int) {
+	c.autoResets++
+	c.autoUndoC += 2 * (len(c.trace) - d)
+	c.autoReplayC += d + autoRebuildCost
+	if c.autoResets < autoProbeResets {
+		return
+	}
+	c.autoPending = false
+	if c.autoReplayC < c.autoUndoC {
+		c.backend = BackendReplay
+		c.m.DisableUndo()
+		c.tr.DisableUndo()
+	}
+}
+
 // resetTo truncates the execution back to depth d (0 ≤ d ≤ depth()).
 func (c *cursor) resetTo(d int) {
 	if d > len(c.trace) {
@@ -732,14 +813,16 @@ func (c *cursor) resetTo(d int) {
 	if d == len(c.trace) {
 		return
 	}
+	if c.autoPending {
+		c.autoObserve(d)
+	}
 	switch c.backend {
 	case BackendUndo:
+		// Both undo logs rewind in place: O(1) per popped step, no
+		// copies. The tracker log starts at trBase (0, or the seed
+		// install depth).
 		c.m.UndoTo(d)
-		// The stored tracker snapshot stays pristine for further
-		// resets to the same depth; the live tracker is a fresh
-		// shallow clone of it.
-		c.tr = c.trSnaps[d].Clone()
-		c.trSnaps = c.trSnaps[:d+1]
+		c.tr.UndoTo(d - c.trBase)
 	case BackendSnapshot:
 		base := c.snaps[d]
 		restored, ok := base.m.Snapshot()

@@ -19,7 +19,7 @@ const fuzzProbeLimit = 3000
 //
 //   - every engine × backend run satisfies the paper's counting chain;
 //   - each engine's Result counters are byte-identical across the
-//     undo-log, deep-snapshot and replay backends;
+//     undo-log, deep-snapshot, replay and adaptive auto backends;
 //   - when exhaustive DFS exhausts the space, every complete engine
 //     (DPOR ± sleep sets, lazy DPOR, HBR/lazy-HBR caching) agrees with
 //     it on the distinct-state/HBR/lazy-HBR counts and on the state
@@ -69,6 +69,9 @@ func checkEngineEquivalence(t *testing.T, data []byte) {
 		if got, want := countersOf(undo), countersOf(repl); got != want {
 			t.Errorf("%s: undo and replay backends disagree:\n undo=%+v\n repl=%+v", eng.Name(), got, want)
 		}
+		if got, want := countersOf(undo), countersOf(eng.Explore(src, mkOpt(BackendAuto))); got != want {
+			t.Errorf("%s: undo and auto backends disagree:\n undo=%+v\n auto=%+v", eng.Name(), got, want)
+		}
 		if exhausted && !undo.HitLimit {
 			if e.fullCoverage &&
 				(undo.DistinctHBRs != dfs.DistinctHBRs || undo.DistinctLazyHBRs != dfs.DistinctLazyHBRs) {
@@ -114,6 +117,9 @@ func checkEngineEquivalence(t *testing.T, data []byte) {
 		}
 		if got, want := countersOf(undo), countersOf(eng.Explore(src, sOpt(BackendReplay))); got != want {
 			t.Errorf("%s: undo and replay backends disagree:\n undo=%+v\n repl=%+v", eng.Name(), got, want)
+		}
+		if got, want := countersOf(undo), countersOf(eng.Explore(src, sOpt(BackendAuto))); got != want {
+			t.Errorf("%s: undo and auto backends disagree:\n undo=%+v\n auto=%+v", eng.Name(), got, want)
 		}
 		if exhausted {
 			dfsStates := make(map[string]bool, len(dfs.States))
@@ -174,7 +180,7 @@ func TestEngineEquivalenceCorpus(t *testing.T) {
 //   - every engine × backend run satisfies the counting chain AND the
 //     schedule accounting identity (divergences included);
 //   - each engine's counters — Divergences and Panics included — are
-//     byte-identical across the undo, snapshot and replay backends
+//     byte-identical across the undo, snapshot, replay and auto backends
 //     (progdsl announces divergence deterministically, so there is no
 //     wall-clock anywhere in this oracle);
 //   - when exhaustive DFS finished with no divergence in the space,
@@ -231,6 +237,9 @@ func checkHostileEquivalence(t *testing.T, data []byte) {
 		if got, want := countersOf(undo), countersOf(repl); got != want {
 			t.Errorf("%s: undo and replay backends disagree:\n undo=%+v\n repl=%+v", eng.Name(), got, want)
 		}
+		if got, want := countersOf(undo), countersOf(eng.Explore(src, mkOpt(BackendAuto))); got != want {
+			t.Errorf("%s: undo and auto backends disagree:\n undo=%+v\n auto=%+v", eng.Name(), got, want)
+		}
 		if exhausted && !undo.HitLimit && undo.Divergences == 0 {
 			if e.fullCoverage &&
 				(undo.DistinctHBRs != dfs.DistinctHBRs || undo.DistinctLazyHBRs != dfs.DistinctLazyHBRs) {
@@ -273,6 +282,9 @@ func checkHostileEquivalence(t *testing.T, data []byte) {
 		}
 		if got, want := countersOf(undo), countersOf(eng.Explore(src, sOpt(BackendReplay))); got != want {
 			t.Errorf("%s: undo and replay backends disagree:\n undo=%+v\n repl=%+v", eng.Name(), got, want)
+		}
+		if got, want := countersOf(undo), countersOf(eng.Explore(src, sOpt(BackendAuto))); got != want {
+			t.Errorf("%s: undo and auto backends disagree:\n undo=%+v\n auto=%+v", eng.Name(), got, want)
 		}
 		if (undo.Panics > 0 && dfs.Panics == 0) ||
 			(undo.Divergences > 0 && dfs.Divergences == 0 && !dfs.HitLimit && dfs.Truncated == 0) {

@@ -76,25 +76,25 @@ func TestZeroBudgetMeansUnlimited(t *testing.T) {
 	}
 }
 
-// TestUnknownBackendDegradesToReplay: an out-of-range BackendKind is
-// caught by Validate; an engine handed one anyway degrades to replay
-// (the backend that is correct for every program) rather than
-// panicking mid-campaign.
-func TestUnknownBackendDegradesToReplay(t *testing.T) {
+// TestUnknownBackendFailsLoudly: resolution and validation agree on
+// out-of-range BackendKind values. Validate rejects them, and an
+// engine built from unvalidated options panics instead of silently
+// exploring under replay — an ablation run under the wrong backend is
+// worse than no run.
+func TestUnknownBackendFailsLoudly(t *testing.T) {
 	bogus := BackendReplay + 7
 	if got := bogus.String(); !strings.Contains(got, "backend(") {
 		t.Errorf("stringer hid the bogus kind: %q", got)
 	}
-	c := newCursor(curatedFigure1(), Options{Backend: bogus})
-	defer c.close()
-	if c.backend != BackendReplay {
-		t.Errorf("bogus backend resolved to %v, want replay", c.backend)
+	if err := (Options{Backend: bogus}).Validate(); err == nil {
+		t.Errorf("Validate accepted bogus backend %v", bogus)
 	}
-	res := NewDFS().Explore(curatedFigure1(), Options{Backend: bogus, MaxSteps: 2000})
-	want := NewDFS().Explore(curatedFigure1(), Options{MaxSteps: 2000})
-	if res.Schedules != want.Schedules || res.DistinctStates != want.DistinctStates {
-		t.Errorf("degraded backend changed results: %+v vs %+v", res, want)
-	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("resolution silently accepted bogus backend %v", bogus)
+		}
+	}()
+	(Options{Backend: bogus}).backend()
 }
 
 // TestCancelledCtxStopsEveryEngine: a context cancelled before the

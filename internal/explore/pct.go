@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -73,18 +74,34 @@ func pctChangePoints(rng *rand.Rand, depth, k int) []int {
 // counter; it shares the cursor's machine config so a diverging
 // program is fenced by the watchdog (and its hint reused) instead of
 // hanging the estimate.
-func estimateEvents(src model.Source, mcfg model.MachineConfig, maxSteps int) int {
-	m := model.NewMachineCfg(src, mcfg)
-	defer m.Abort()
-	var buf []event.ThreadID
+//
+// The probe honours ctx: a cancelled exploration returns immediately —
+// before the machine even starts, so a hostile program's wall-clock
+// stall is never paid — and cancellation between steps cuts the probe
+// short. It is also panic-safe: a program that panics outside a thread
+// body (a hostile Source) yields whatever partial estimate was
+// measured and lets the exploration proper surface the fault under its
+// own containment. Partial estimates are clamped to ≥ 1, which only
+// spreads change points less widely — PCT's guarantee degrades, never
+// its soundness.
+func estimateEvents(ctx context.Context, src model.Source, mcfg model.MachineConfig, maxSteps int) int {
+	done := func() bool { return ctx != nil && ctx.Err() != nil }
 	steps := 0
-	for steps < maxSteps && !m.HasDiverged() {
-		buf = m.EnabledThreads(buf)
-		if len(buf) == 0 {
-			break
-		}
-		m.Step(buf[0])
-		steps++
+	if !done() {
+		func() {
+			defer func() { _ = recover() }()
+			m := model.NewMachineCfg(src, mcfg)
+			defer m.Abort()
+			var buf []event.ThreadID
+			for steps < maxSteps && !m.HasDiverged() && !done() {
+				buf = m.EnabledThreads(buf)
+				if len(buf) == 0 {
+					break
+				}
+				m.Step(buf[0])
+				steps++
+			}
+		}()
 	}
 	if steps < 1 {
 		return 1
@@ -101,14 +118,21 @@ func (e *pctEngine) Explore(src model.Source, opt Options) Result {
 	// The walk count is the budget; disable the generic limit check so
 	// the budget semantics match the random-walk baseline exactly.
 	opt.ScheduleLimit = 0
-	c := newCursor(src, opt)
-	k := estimateEvents(src, c.mcfg, opt.maxSteps())
+	c := newWalkCursor(src, opt)
+	k := estimateEvents(opt.Ctx, src, c.mcfg, opt.maxSteps())
 	defer c.close()
 	rec := newRecorder(src, e.Name(), opt)
 	base := c.replayPrefix(opt.Prefix, nil)
 
 	prio := make([]int, src.NumThreads())
 	for i := 0; i < walks; i++ {
+		// Check cancellation before the walk, not only after it: a
+		// hostile program can make a single walk pay a wall-clock
+		// stall, which a cancelled exploration must not start.
+		if opt.interrupted() {
+			rec.res.Interrupted = true
+			break
+		}
 		rng := rand.New(rand.NewSource(mixWalkSeed(e.seed, i)))
 		// Initial priorities: a random permutation of d..d+n−1, every
 		// one above every change-point value 1..d−1.

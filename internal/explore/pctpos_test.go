@@ -51,14 +51,14 @@ func TestPCTChangePoints(t *testing.T) {
 // length, is bounded by maxSteps, and never reports less than 1.
 func TestEstimateEvents(t *testing.T) {
 	src := curatedDeadlockable()
-	k := estimateEvents(src, model.MachineConfig{}, 2000)
+	k := estimateEvents(nil, src, model.MachineConfig{}, 2000)
 	if k < 1 {
 		t.Fatalf("estimate %d, want >= 1", k)
 	}
-	if k2 := estimateEvents(src, model.MachineConfig{}, 2000); k2 != k {
+	if k2 := estimateEvents(nil, src, model.MachineConfig{}, 2000); k2 != k {
 		t.Errorf("probe not deterministic: %d vs %d", k, k2)
 	}
-	if capped := estimateEvents(src, model.MachineConfig{}, 3); capped > 3 {
+	if capped := estimateEvents(nil, src, model.MachineConfig{}, 3); capped > 3 {
 		t.Errorf("estimate %d exceeds the maxSteps bound 3", capped)
 	}
 }

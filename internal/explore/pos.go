@@ -47,7 +47,7 @@ func (e *posEngine) Explore(src model.Source, opt Options) Result {
 	// The walk count is the budget; disable the generic limit check so
 	// the budget semantics match the random-walk baseline exactly.
 	opt.ScheduleLimit = 0
-	c := newCursor(src, opt)
+	c := newWalkCursor(src, opt)
 	defer c.close()
 	rec := newRecorder(src, e.Name(), opt)
 	base := c.replayPrefix(opt.Prefix, nil)

@@ -61,7 +61,7 @@ func (e *randomEngine) Explore(src model.Source, opt Options) Result {
 	// The walk count is the budget; disable the generic limit check
 	// so ranged sub-engines sharing one Dedup don't each stop early.
 	opt.ScheduleLimit = 0
-	c := newCursor(src, opt)
+	c := newWalkCursor(src, opt)
 	defer c.close()
 	rec := newRecorder(src, e.Name(), opt)
 	base := c.replayPrefix(opt.Prefix, nil)

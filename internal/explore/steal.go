@@ -59,7 +59,11 @@ type Steal interface {
 	// per pending branch that was not already claimed in the table,
 	// and returns that shipped subset (the engine keeps exploring the
 	// rest locally). seed, when non-nil, returns a private tracker
-	// clone covering len(prefix) events for seeding those units.
+	// clone covering len(prefix) events for seeding those units; it
+	// must be invoked synchronously inside this call (or not at all),
+	// never retained — on the undo backend it is a CloneTo through the
+	// caller's live undo log, which the caller rewinds and regrows the
+	// moment Publish returns.
 	// info, when non-nil, carries the node's sleep-set context so
 	// units branching off it (now or through later escapes) inherit
 	// the sleep set the sequential engine would compute; nil when the
@@ -71,7 +75,8 @@ type Steal interface {
 	// computed exactly as sequential DPOR would) for a published node
 	// of a *foreign* prefix — one the escaping engine owns no stack
 	// node for. The coordinator claims the fresh branches and creates
-	// one unit per branch, seeding each from seed when non-nil.
+	// one unit per branch, seeding each from seed when non-nil (same
+	// synchronous-invocation rule as Publish).
 	// prefix is a view into engine state: implementations must copy
 	// what they retain.
 	Escape(prefix []event.ThreadID, cands uint64, seed func() *hb.Tracker)

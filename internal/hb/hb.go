@@ -107,12 +107,19 @@ type Clocks struct {
 type clockArena struct {
 	chunk []int32
 	next  int
+	// allocated counts ints handed out over the arena's lifetime. It
+	// is monotone under forward execution, which makes it a watermark:
+	// the undo log records it per event, so rewinding can tell whether
+	// the clocks allocated since a mark are still private to this
+	// tracker (reusable) or published into a clone (must leak to GC).
+	allocated int64
 }
 
 // maxChunkInts caps chunk growth at 16 KiB per chunk.
 const maxChunkInts = 4096
 
 func (a *clockArena) alloc(n int) vclock.VC {
+	a.allocated += int64(n)
 	if len(a.chunk) < n {
 		size := a.next
 		if size < 4*n {
@@ -169,6 +176,15 @@ type Tracker struct {
 	events       int
 
 	arena clockArena
+
+	// undo is the reversal log recorded when undoEnabled: one record
+	// per applied event, letting UndoTo rewind the tracker in place
+	// (see undo.go). arenaFloor is the arena watermark at the last
+	// Clone: arena storage allocated before it is shared with clones
+	// and must never be reused by a rewind.
+	undo        []undoRec
+	undoEnabled bool
+	arenaFloor  int64
 }
 
 // carve derives the named views from the backing slabs.
@@ -268,10 +284,13 @@ func (tr *Tracker) RacesWithNext(e event.Event, q event.ThreadID, op event.Op) b
 }
 
 // fresh returns a new unpublished full-width clock initialised to
-// parent (bottom if parent is nil/short).
+// parent (bottom if parent is nil/short). The tail beyond parent is
+// cleared explicitly: arena storage is zeroed when a chunk is made but
+// not when an undo rewind hands the same region out again.
 func (tr *Tracker) fresh(parent vclock.VC) vclock.VC {
 	v := tr.arena.alloc(tr.nthreads)
-	copy(v, parent)
+	n := copy(v, parent)
+	clear(v[n:])
 	return v
 }
 
@@ -304,6 +323,11 @@ func (tr *Tracker) ApplyFast(ev event.Event) { tr.apply(ev) }
 // into both fingerprints.
 func (tr *Tracker) apply(ev event.Event) (hbc, lazyc vclock.VC) {
 	t := int(ev.Thread)
+
+	var rec *undoRec
+	if tr.undoEnabled {
+		rec = tr.record(ev)
+	}
 
 	// Start from the thread's program-order predecessor and tick. The
 	// three clocks are unpublished until stored below, so in-place
@@ -381,9 +405,16 @@ func (tr *Tracker) apply(ev event.Event) (hbc, lazyc vclock.VC) {
 	tr.lazyT[t] = lazy
 	tr.syncT[t] = sync
 
-	tr.hbFP.Add(eventHash(ev, hb))
-	tr.lazyFP.Add(eventHash(ev, lazy))
+	hh, lh := eventHash(ev, hb), eventHash(ev, lazy)
+	tr.hbFP.Add(hh)
+	tr.lazyFP.Add(lh)
 	tr.events++
+
+	if rec != nil {
+		// The fingerprint folds are commutative and invertible, so the
+		// record keeps the two hashes and undo subtracts them back out.
+		rec.hbHash, rec.lazyHash = hh, lh
+	}
 
 	return hb, lazy
 }
@@ -422,8 +453,13 @@ func eventHash(ev event.Event, vc vclock.VC) uint64 {
 // copies in three slab allocations, no clock contents — so cloning at
 // every exploration step is cheap. The clone allocates future clocks
 // from its own fresh arena; shared published clocks are never mutated
-// by either side.
+// by either side. The clone starts without an undo log even when the
+// receiver records one.
 func (tr *Tracker) Clone() *Tracker {
+	// Every clock allocated so far is now reachable from the clone:
+	// raise the arena floor so a later UndoTo on the receiver leaks
+	// that storage to the GC instead of reusing it under the clone.
+	tr.arenaFloor = tr.arena.allocated
 	cp := &Tracker{
 		nthreads: tr.nthreads,
 		nvars:    tr.nvars,

@@ -699,6 +699,14 @@ func (m *Machine) EnableUndo() bool {
 	return true
 }
 
+// DisableUndo stops undo recording and drops the log: the machine can
+// no longer rewind but keeps executing normally. The adaptive
+// exploration backend uses it to settle on replay after measuring.
+func (m *Machine) DisableUndo() {
+	m.undoEnabled = false
+	m.undo = nil
+}
+
 // UndoMark returns the current position in the undo log. With undo
 // enabled every Step appends exactly one record, so the mark equals
 // Executed().

@@ -17,11 +17,15 @@ type Backend = explore.BackendKind
 // The backends. All are observationally identical; they differ only
 // in how executions rewind.
 const (
-	// BackendAuto picks the fastest supported backend: the undo log
-	// for snapshottable programs, replay otherwise.
+	// BackendAuto adapts: a root search starts on the undo log,
+	// measures the first few resets (depth retained vs records
+	// rewound), and locks in undo or replay for the rest of the run —
+	// replay wins on shallow reset targets, undo on deep retained
+	// prefixes. Programs that cannot snapshot always use replay.
 	BackendAuto Backend = explore.BackendAuto
-	// BackendUndo rewinds through an O(1)-per-step machine undo log
-	// plus copy-on-write tracker snapshots.
+	// BackendUndo rewinds through paired O(1)-per-step undo logs: the
+	// machine's reversal records plus the HB tracker's per-event
+	// deltas. No per-step copies in either direction.
 	BackendUndo Backend = explore.BackendUndo
 	// BackendSnapshot stores a deep machine snapshot at every depth
 	// (the legacy ablation baseline).
