@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race ci bench bench-smoke bench-json fuzz-smoke repro-smoke chaos-smoke api-check fmt vet eval
+.PHONY: build test race ci bench bench-smoke bench-json fuzz-smoke repro-smoke chaos-smoke obs-smoke api-check fmt vet eval
 
 build:
 	$(GO) build ./...
@@ -79,13 +79,34 @@ chaos-smoke:
 		-limit 2000 -stall-timeout 100ms -cell-timeout 60s -retries 3
 	@echo "chaos-smoke: hostile programs contained, transient faults healed"
 
+# Observability end-to-end — the CI obs-smoke job (see
+# docs/OBSERVABILITY.md): the no-perturbation/heartbeat/flight test
+# gates, the in-process CLI scenario (TestObsSmoke probes the expvar
+# and pprof endpoints and resumes from a mixed stream), then a real
+# `go run` campaign with -progress/-heartbeat/-metrics whose stream
+# must carry heartbeat lines and resume to an empty remainder.
+OBS_STREAM ?= /tmp/obs-smoke.jsonl
+obs-smoke:
+	$(GO) test -count=1 -run 'TestObsSmoke$$|TestObsFlagValidation$$' ./cmd/eval/
+	$(GO) test -count=1 -run 'TestRunnerHeartbeats|TestMixedStream|TestFlightDump|TestAttemptTimings|TestCampaignMixedStreamResume|TestCampaignFlightRecorder|TestHeartbeatIndexRemapping' \
+		./internal/campaign/ ./sct/
+	$(GO) run ./cmd/eval -fig campaign -bench synth-10 -engines dfs -limit 100000 \
+		-json -quiet -progress -heartbeat 50ms -metrics 127.0.0.1:0 > $(OBS_STREAM)
+	@grep -q '"type":"heartbeat"' $(OBS_STREAM) || { echo "obs-smoke: no heartbeat lines in $(OBS_STREAM)"; exit 1; }
+	@out="$$($(GO) run ./cmd/eval -fig campaign -bench synth-10 -engines dfs -limit 100000 \
+		-json -quiet -resume $(OBS_STREAM))"; \
+	if [ -n "$$out" ]; then \
+		echo "obs-smoke: resume from a complete mixed stream re-ran cells:"; echo "$$out"; exit 1; \
+	fi
+	@echo "obs-smoke: heartbeats streamed, endpoints served, mixed stream resumed clean"
+
 # Headline hot-path benchmarks, filtered to the ones tracked in the
 # perf trajectory, rendered as a machine-readable JSON artifact
 # (BENCH_PR<PR>.json and successors; see cmd/benchjson). Set PR to the
 # current PR number: make bench-json PR=4.
-PR ?= 8
+PR ?= 9
 BENCH_JSON ?= BENCH_PR$(PR).json
-BENCH_FILTER ?= BenchmarkTracker$$|BenchmarkVClock/|BenchmarkExecutor$$|BenchmarkEngine/|BenchmarkSnapshotVsReplay/|BenchmarkWorkStealDPOR/|BenchmarkFirstBug/|BenchmarkBacktrackAllocs/
+BENCH_FILTER ?= BenchmarkTracker$$|BenchmarkVClock/|BenchmarkExecutor$$|BenchmarkEngine/|BenchmarkSnapshotVsReplay/|BenchmarkWorkStealDPOR/|BenchmarkFirstBug/|BenchmarkBacktrackAllocs/|BenchmarkObserverOverhead/
 # Two steps (not a pipe) so a failing benchmark run fails the target
 # instead of silently producing an empty artifact.
 bench-json:
@@ -98,8 +119,9 @@ bench-json:
 # only supported entry point: examples must build against it alone
 # (no repro/internal imports at all), the cmd tools must not reach
 # into the explore/campaign/repro internals, the godoc examples
-# (sct.ExampleRun is the embedding quickstart) must run, and the
-# docs/ENGINES.md engine catalogue must match the registry.
+# (sct.ExampleRun is the embedding quickstart) must run, the
+# docs/ENGINES.md engine catalogue must match the registry, and the
+# docs/OBSERVABILITY.md counter catalogue must match Progress.
 api-check:
 	$(GO) build ./examples/... ./cmd/... ./sct/...
 	@bad="$$(grep -rn 'repro/internal' examples/ || true)"; \
@@ -111,7 +133,7 @@ api-check:
 		echo "cmd/ must not import explore/campaign/repro internals:"; echo "$$bad"; exit 1; \
 	fi
 	$(GO) test -run '^Example' -count=1 ./sct/ ./internal/...
-	$(GO) test -run '^TestEnginesDocInSync$$' -count=1 ./sct/
+	$(GO) test -run '^TestEnginesDocInSync$$|^TestObservabilityDocInSync$$' -count=1 ./sct/
 	@echo "api-check: facade clean"
 
 # Regenerate the paper figures at the full budget (slow; see -help for

@@ -344,6 +344,65 @@ func BenchmarkBacktrackAllocs(b *testing.B) {
 	}
 }
 
+// BenchmarkObserverOverhead gates the telemetry tentpole's zero-cost
+// contract under `make bench-smoke`. The disabled subtest explores
+// with plain Options — the telemetry hook compiles to one nil check —
+// and fails if allocations per explored event exceed the same
+// envelope BenchmarkBacktrackAllocs enforces (any per-event telemetry
+// allocation on the disabled path breaches it immediately). The
+// enabled subtest arms the full stack (shared counters, a
+// default-cadence observer, a flight ring) and fails if that costs
+// more than a small per-event allocation budget, keeping the armed
+// path honest too; its allocs/event lands in the perf trajectory.
+func BenchmarkObserverOverhead(b *testing.B) {
+	const (
+		maxDisabledAllocsPerEvent = 4.0 // BenchmarkBacktrackAllocs envelope
+		maxEnabledExtraPerEvent   = 2.0
+	)
+	bm := mustBench(b, "coarse-tail-3x3")
+	plain := explore.Options{ScheduleLimit: benchLimit, MaxSteps: 2000, Backend: explore.BackendUndo}
+	res := explore.NewDPOR(false).Explore(bm.Program, plain)
+	if res.Events == 0 {
+		b.Fatal("probe run explored no events")
+	}
+	offAllocs := testing.AllocsPerRun(1, func() {
+		explore.NewDPOR(false).Explore(bm.Program, plain)
+	})
+	perEventOff := offAllocs / float64(res.Events)
+
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		if perEventOff > maxDisabledAllocsPerEvent {
+			b.Fatalf("telemetry-disabled run costs %.2f allocs per explored event, want ≤ %.1f — the disabled path is no longer free",
+				perEventOff, maxDisabledAllocsPerEvent)
+		}
+		b.ReportMetric(perEventOff, "allocs/event")
+		for i := 0; i < b.N; i++ {
+			explore.NewDPOR(false).Explore(bm.Program, plain)
+		}
+	})
+
+	armed := plain
+	armed.Counters = explore.NewCounters()
+	armed.Observer = &explore.Observer{OnProgress: func(explore.Progress) {}}
+	armed.Flight = explore.NewFlightRecorder(64)
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		onAllocs := testing.AllocsPerRun(1, func() {
+			explore.NewDPOR(false).Explore(bm.Program, armed)
+		})
+		extra := (onAllocs - offAllocs) / float64(res.Events)
+		if extra > maxEnabledExtraPerEvent {
+			b.Fatalf("armed telemetry costs %.2f extra allocs per explored event, want ≤ %.1f",
+				extra, maxEnabledExtraPerEvent)
+		}
+		b.ReportMetric(extra, "allocs/event")
+		for i := 0; i < b.N; i++ {
+			explore.NewDPOR(false).Explore(bm.Program, armed)
+		}
+	})
+}
+
 // BenchmarkSnapshotVsReplay measures the exploration-backend ablation:
 // the default undo-log backend ("snapshot", name kept stable across
 // the perf trajectory) against the legacy deep-snapshot backend and

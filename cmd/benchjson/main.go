@@ -15,7 +15,10 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
+	"runtime/metrics"
 	"strconv"
 	"strings"
 )
@@ -36,11 +39,77 @@ type Report struct {
 	Goarch     string      `json:"goarch,omitempty"`
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
+	Runtime    Runtime     `json:"runtime"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// Runtime describes the environment the report was produced on, so a
+// perf-trajectory diff can tell a real regression from a toolchain or
+// machine change. The GC pause quantiles come from a small
+// calibration probe run in this process (same machine and toolchain
+// as the benchmarks piped in) via runtime/metrics.
+type Runtime struct {
+	GoVersion    string  `json:"go_version"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	NumCPU       int     `json:"num_cpu"`
+	GCPauseP50us float64 `json:"gc_pause_p50_us,omitempty"`
+	GCPauseP99us float64 `json:"gc_pause_p99_us,omitempty"`
+}
+
+// captureRuntime samples the environment: toolchain identity plus GC
+// pause quantiles from the /gc/pauses:seconds histogram after a short
+// allocation probe forces a few collections.
+func captureRuntime() Runtime {
+	rt := Runtime{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	garbage := make([][]byte, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		garbage = append(garbage, make([]byte, 1<<12))
+	}
+	_ = garbage
+	runtime.GC()
+	runtime.GC()
+	samples := []metrics.Sample{{Name: "/gc/pauses:seconds"}}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() == metrics.KindFloat64Histogram {
+		h := samples[0].Value.Float64Histogram()
+		rt.GCPauseP50us = quantileUS(h, 0.50)
+		rt.GCPauseP99us = quantileUS(h, 0.99)
+	}
+	return rt
+}
+
+// quantileUS returns the q-quantile of a runtime/metrics histogram in
+// microseconds, using each bucket's upper bound (the conservative
+// side; the histogram only stores bucket counts).
+func quantileUS(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				hi = h.Buckets[i]
+			}
+			return hi * 1e6
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1] * 1e6
+}
+
 func main() {
-	rep := Report{}
+	rep := Report{Runtime: captureRuntime()}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {

@@ -67,6 +67,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stall    = fs.Duration("stall-timeout", 0, "campaign/firstbug mode: fence threads whose next operation stalls longer than this as diverged (0 = watchdog off)")
 		cellTO   = fs.Duration("cell-timeout", 0, "campaign/firstbug mode: per-cell wall-clock deadline; late cells are quarantined, not fatal (0 = none)")
 		retries  = fs.Int("retries", 0, "campaign/firstbug mode: extra attempts per cell on transient engine failures")
+		progress = fs.Bool("progress", false, "campaign/firstbug mode: live status line on stderr (cells done/total, schedules/sec, slowest in-flight cell)")
+		metrics  = fs.String("metrics", "", `serve expvar counters and net/http/pprof on this address (e.g. "localhost:6060"; ":0" picks a free port)`)
+		hbEvery  = fs.Duration("heartbeat", 0, "campaign/firstbug mode with -json: mix per-cell heartbeat JSON lines into the result stream at this cadence")
+		flight   = fs.String("flight", "", "campaign/firstbug mode: dump a flight-recorder artifact per failing cell into this directory (firstbug: defaults to the -repro directory)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -134,12 +138,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "eval: -stall-timeout/-cell-timeout/-retries apply only to -fig campaign/firstbug")
 		return 2
 	}
+	if (*progress || *hbEvery > 0 || *flight != "") && *fig != "campaign" && *fig != "firstbug" {
+		fmt.Fprintln(stderr, "eval: -progress/-heartbeat/-flight apply only to -fig campaign/firstbug")
+		return 2
+	}
+	if *hbEvery > 0 && !*asJSON {
+		fmt.Fprintln(stderr, "eval: -heartbeat mixes JSON heartbeat lines into the result stream; it requires -json")
+		return 2
+	}
+	if *metrics != "" {
+		addr, err := serveMetrics(*metrics)
+		if err != nil {
+			fmt.Fprintln(stderr, "eval:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "metrics: expvar on http://%s/debug/vars, pprof on http://%s/debug/pprof/\n", addr, addr)
+	}
 
 	if *fig == "campaign" {
 		return runCampaign(ctx, selected, *engines, campaignConfig{
 			limit: *limit, steps: *steps, par: *par,
 			asJSON: *asJSON, resume: *resume,
 			stall: *stall, cellTO: *cellTO, retries: *retries,
+			progress: *progress, hbEvery: *hbEvery, flight: *flight,
 		}, stdout, stderr)
 	}
 
@@ -150,6 +171,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			resume:   *resume,
 			reproDir: *reproDir, minimize: *minimize, verify: *verify,
 			stall: *stall, cellTO: *cellTO, retries: *retries,
+			progress: *progress, hbEvery: *hbEvery, flight: *flight,
 		}, stdout, stderr)
 	}
 
@@ -198,11 +220,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // buildCampaign parses the engine list and assembles the campaign
 // over the benchmark × engine cell grid shared by the campaign and
-// firstbug modes. containment carries the runner-level fault knobs.
-func buildCampaign(selected []bench.Benchmark, engineList string, par int, cont containment, gridOpts ...sct.Option) (*sct.Campaign, error) {
+// firstbug modes. containment carries the runner-level fault knobs;
+// obs the observability ones (the returned renderer is non-nil when
+// -progress is armed).
+func buildCampaign(selected []bench.Benchmark, engineList string, par int, cont containment, obs observability, gridOpts ...sct.Option) (*sct.Campaign, *progressRenderer, error) {
 	specs, err := sct.ParseSpecs(engineList)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	names := make([]string, len(selected))
 	for i, b := range selected {
@@ -213,7 +237,7 @@ func buildCampaign(selected []bench.Benchmark, engineList string, par int, cont 
 	}
 	cells, err := sct.Grid(names, specs, gridOpts...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Workers <= 0 already means GOMAXPROCS.
 	campOpts := []sct.Option{sct.WithWorkers(par)}
@@ -223,7 +247,59 @@ func buildCampaign(selected []bench.Benchmark, engineList string, par int, cont 
 	if cont.retries > 0 {
 		campOpts = append(campOpts, sct.WithRetries(cont.retries))
 	}
-	return sct.NewCampaign(cells, campOpts...)
+	var rend *progressRenderer
+	var hbFns []func(sct.Heartbeat)
+	if obs.progress {
+		rend = newProgressRenderer(obs.stderr, len(cells))
+		hbFns = append(hbFns, rend.heartbeat)
+	}
+	if obs.hbEvery > 0 {
+		hbFns = append(hbFns, sct.HeartbeatWriter(obs.stdout))
+	}
+	if len(hbFns) > 0 {
+		fn := hbFns[0]
+		if len(hbFns) > 1 {
+			fns := hbFns
+			fn = func(h sct.Heartbeat) {
+				for _, f := range fns {
+					f(h)
+				}
+			}
+		}
+		// -progress alone runs the default cadence (hbEvery is 0).
+		campOpts = append(campOpts, sct.WithHeartbeat(obs.hbEvery, fn))
+	}
+	if obs.flight != "" {
+		campOpts = append(campOpts, sct.WithFlightRecorder(obs.flight))
+	}
+	camp, err := sct.NewCampaign(cells, campOpts...)
+	return camp, rend, err
+}
+
+// observability bundles the telemetry knobs the campaign and firstbug
+// modes share: the live -progress renderer, the -heartbeat JSONL
+// cadence and the -flight artifact directory.
+type observability struct {
+	progress       bool
+	hbEvery        time.Duration
+	flight         string
+	stdout, stderr io.Writer
+}
+
+// aggregateRates renders a run's throughput: total schedules and
+// events with their per-second rates over the campaign wall clock.
+func aggregateRates(results []sct.CellResult, wall time.Duration) string {
+	var sched, events int64
+	for _, r := range results {
+		sched += int64(r.Result.Schedules)
+		events += r.Result.Events
+	}
+	secs := wall.Seconds()
+	if secs <= 0 {
+		return fmt.Sprintf("%d schedules, %d events", sched, events)
+	}
+	return fmt.Sprintf("%d schedules at %.0f/s, %d events at %.0f/s",
+		sched, float64(sched)/secs, events, float64(events)/secs)
 }
 
 // containment bundles the fault-containment knobs the campaign and
@@ -240,6 +316,9 @@ type campaignConfig struct {
 	resume            string
 	stall, cellTO     time.Duration
 	retries           int
+	progress          bool
+	hbEvery           time.Duration
+	flight            string
 }
 
 // firstBugConfig bundles the firstbug-mode knobs.
@@ -251,6 +330,9 @@ type firstBugConfig struct {
 	minimize, verify  bool
 	stall, cellTO     time.Duration
 	retries           int
+	progress          bool
+	hbEvery           time.Duration
+	flight            string
 }
 
 // resumeFromFile feeds a JSONL checkpoint into the campaign and logs
@@ -274,17 +356,28 @@ func resumeFromFile(camp *sct.Campaign, path string, stderr io.Writer) (int, err
 // renders the paper-style bug-finding table, and optionally writes a
 // (minimized) counterexample artifact per buggy cell.
 func runFirstBug(ctx context.Context, selected []bench.Benchmark, engineList string, cfg firstBugConfig, stdout, stderr io.Writer) int {
-	camp, err := buildCampaign(selected, engineList, cfg.par,
+	// The flight recorder defaults to the artifact directory: a
+	// quarantined cell's dump lands next to the counterexamples.
+	flightDir := cfg.flight
+	if flightDir == "" && cfg.reproDir != "" {
+		flightDir = cfg.reproDir
+	}
+	camp, rend, err := buildCampaign(selected, engineList, cfg.par,
 		containment{stall: cfg.stall, cellTO: cfg.cellTO, retries: cfg.retries},
+		observability{progress: cfg.progress, hbEvery: cfg.hbEvery, flight: flightDir, stdout: stdout, stderr: stderr},
 		sct.WithBounds(cfg.limit, cfg.steps), sct.StopAtFirstBug())
 	if err != nil {
 		fmt.Fprintln(stderr, "eval:", err)
 		return 2
 	}
+	resumed := 0
 	if cfg.resume != "" {
-		if _, err := resumeFromFile(camp, cfg.resume, stderr); err != nil {
+		if resumed, err = resumeFromFile(camp, cfg.resume, stderr); err != nil {
 			fmt.Fprintln(stderr, "eval:", err)
 			return 2
+		}
+		if rend != nil {
+			rend.absorbResumed(resumed)
 		}
 	}
 	emit := func(sct.CellResult) {}
@@ -292,6 +385,10 @@ func runFirstBug(ctx context.Context, selected []bench.Benchmark, engineList str
 	case cfg.asJSON:
 		emit = sct.JSONLWriter(stdout)
 	case !cfg.quiet:
+		line := func(format string, args ...any) { fmt.Fprintf(stderr, format+"\n", args...) }
+		if rend != nil {
+			line = rend.println
+		}
 		emit = func(r sct.CellResult) {
 			bug := "no bug"
 			if r.Result.FirstViolation != nil {
@@ -299,22 +396,39 @@ func runFirstBug(ctx context.Context, selected []bench.Benchmark, engineList str
 			} else if r.Result.HitLimit {
 				bug = "no bug within limit"
 			}
-			fmt.Fprintf(stderr, "%-24s %-18s %s (%d schedules, %dms)\n",
+			line("%-24s %-18s %s (%d schedules, %dms)",
 				r.Cell.Bench, r.Cell.Engine, bug, r.Result.Schedules, r.ElapsedMS)
 		}
 	}
 	// The resumed cells join the streamed ones for the table and the
 	// artifact pass: only the new cells are emitted, but the table is
 	// always the full grid.
+	start := time.Now()
 	results := camp.Resumed()
+	var fresh []sct.CellResult
 	for r := range camp.Results(ctx) {
 		emit(r)
+		recordCellMetrics(r)
+		if rend != nil {
+			rend.cellDone(r)
+		}
 		results = append(results, r)
+		fresh = append(fresh, r)
+	}
+	if rend != nil {
+		rend.finish()
 	}
 	if err := camp.Err(); err != nil {
 		fmt.Fprintln(stderr, "eval: firstbug campaign interrupted:", err)
 		return 1
 	}
+	wall := time.Since(start)
+	note := ""
+	if resumed > 0 {
+		note = fmt.Sprintf(" (%d resumed)", resumed)
+	}
+	fmt.Fprintf(stderr, "firstbug: %d cells%s in %v (%s)\n",
+		len(fresh), note, wall.Round(time.Millisecond), aggregateRates(fresh, wall))
 	reportContainment(results, stderr)
 	if err := sct.FirstError(results); err != nil {
 		fmt.Fprintln(stderr, "eval:", err)
@@ -429,8 +543,9 @@ func reportContainment(results []sct.CellResult, stderr io.Writer) {
 // With -resume, cells already present in the given JSONL stream are
 // skipped.
 func runCampaign(ctx context.Context, selected []bench.Benchmark, engineList string, cfg campaignConfig, stdout, stderr io.Writer) int {
-	camp, err := buildCampaign(selected, engineList, cfg.par,
+	camp, rend, err := buildCampaign(selected, engineList, cfg.par,
 		containment{stall: cfg.stall, cellTO: cfg.cellTO, retries: cfg.retries},
+		observability{progress: cfg.progress, hbEvery: cfg.hbEvery, flight: cfg.flight, stdout: stdout, stderr: stderr},
 		sct.WithBounds(cfg.limit, cfg.steps))
 	if err != nil {
 		fmt.Fprintln(stderr, "eval:", err)
@@ -441,6 +556,9 @@ func runCampaign(ctx context.Context, selected []bench.Benchmark, engineList str
 		if resumed, err = resumeFromFile(camp, cfg.resume, stderr); err != nil {
 			fmt.Fprintln(stderr, "eval:", err)
 			return 2
+		}
+		if rend != nil {
+			rend.absorbResumed(resumed)
 		}
 	}
 	emit := func(r sct.CellResult) {
@@ -472,8 +590,15 @@ func runCampaign(ctx context.Context, selected []bench.Benchmark, engineList str
 	var results []sct.CellResult
 	for r := range camp.Results(ctx) {
 		emit(r)
+		recordCellMetrics(r)
+		if rend != nil {
+			rend.cellDone(r)
+		}
 		results = append(results, r)
 		ran++
+	}
+	if rend != nil {
+		rend.finish()
 	}
 	if err := camp.Err(); err != nil {
 		fmt.Fprintln(stderr, "eval: campaign interrupted:", err)
@@ -488,6 +613,8 @@ func runCampaign(ctx context.Context, selected []bench.Benchmark, engineList str
 	if resumed > 0 {
 		note = fmt.Sprintf(" (%d resumed)", resumed)
 	}
-	fmt.Fprintf(stderr, "campaign: %d cells%s in %v\n", ran, note, time.Since(start).Round(time.Millisecond))
+	wall := time.Since(start)
+	fmt.Fprintf(stderr, "campaign: %d cells%s in %v (%s)\n",
+		ran, note, wall.Round(time.Millisecond), aggregateRates(results, wall))
 	return 0
 }

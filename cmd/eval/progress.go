@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/sct"
+)
+
+// progressRenderer maintains the -progress live status line on
+// stderr: cells done/total, the aggregate schedule rate, and the
+// slowest in-flight cell. Heartbeats feed the in-flight picture and
+// finished cells retire it; both arrive serialised by the campaign's
+// emit lock, but the renderer keeps its own mutex so per-cell report
+// lines (println) and the final clear stay whole too.
+type progressRenderer struct {
+	mu            sync.Mutex
+	w             io.Writer
+	total         int
+	done          int
+	doneSchedules int64
+	start         time.Time
+	inflight      map[int]sct.Heartbeat
+	width         int // widest line drawn so far, for \r clearing
+}
+
+func newProgressRenderer(w io.Writer, total int) *progressRenderer {
+	return &progressRenderer{w: w, total: total, start: time.Now(), inflight: map[int]sct.Heartbeat{}}
+}
+
+// heartbeat absorbs one in-flight snapshot and redraws.
+func (p *progressRenderer) heartbeat(h sct.Heartbeat) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inflight[h.Index] = h
+	p.render()
+}
+
+// cellDone retires a finished cell: its schedules move from the live
+// heartbeat picture into the completed total.
+func (p *progressRenderer) cellDone(r sct.CellResult) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.inflight, r.Index)
+	p.done++
+	p.doneSchedules += int64(r.Result.Schedules)
+	p.render()
+}
+
+// absorbResumed counts checkpoint-resumed cells as done without
+// crediting their schedules to this run's rate.
+func (p *progressRenderer) absorbResumed(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done += n
+}
+
+// println clears the status line, prints one ordinary line, and
+// redraws — how per-cell reports coexist with the live line on the
+// same stream.
+func (p *progressRenderer) println(format string, args ...any) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.clear()
+	fmt.Fprintf(p.w, format+"\n", args...)
+	p.render()
+}
+
+// finish clears the status line for good; the summary lines follow.
+func (p *progressRenderer) finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.clear()
+}
+
+func (p *progressRenderer) clear() {
+	if p.width > 0 {
+		fmt.Fprintf(p.w, "\r%s\r", strings.Repeat(" ", p.width))
+		p.width = 0
+	}
+}
+
+func (p *progressRenderer) render() {
+	var live int64
+	slowMS := int64(-1)
+	var slow sct.Heartbeat
+	for _, h := range p.inflight {
+		live += h.Schedules
+		if h.ElapsedMS > slowMS {
+			slowMS, slow = h.ElapsedMS, h
+		}
+	}
+	rate := 0.0
+	if secs := time.Since(p.start).Seconds(); secs > 0 {
+		rate = float64(p.doneSchedules+live) / secs
+	}
+	line := fmt.Sprintf("cells %d/%d  %.0f schedules/s", p.done, p.total, rate)
+	if slowMS >= 0 {
+		line += fmt.Sprintf("  slowest %s/%s %.1fs", slow.Bench, slow.Engine, float64(slowMS)/1000)
+	}
+	pad := ""
+	if n := p.width - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	if len(line) > p.width {
+		p.width = len(line)
+	}
+	fmt.Fprintf(p.w, "\r%s%s", line, pad)
+}

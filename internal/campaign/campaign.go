@@ -73,6 +73,13 @@ type CellResult struct {
 	// (Runner.Retries). 0 means the cell never reached its engine
 	// (unknown benchmark, bad spec, cancelled before start).
 	Attempts int `json:"attempts,omitempty"`
+	// AttemptMS records each attempt's wall-clock cost in
+	// milliseconds, in attempt order — the per-attempt breakdown of
+	// ElapsedMS (which also includes retry backoff sleeps).
+	AttemptMS []int64 `json:"attempt_ms,omitempty"`
+	// FlightPath is where the cell's flight-recorder artifact was
+	// dumped; set only for failed cells under a Runner with FlightDir.
+	FlightPath string `json:"flight,omitempty"`
 	// Err describes a cell-level failure (unknown benchmark, bad
 	// engine spec, invalid options, invariant violation, engine
 	// panic, cell deadline, exhausted retries). A cell with Err set
@@ -93,6 +100,24 @@ type Runner struct {
 	// completes (serialised; completion order). Use JSONLWriter to
 	// stream results as JSON lines.
 	OnResult func(CellResult)
+
+	// OnHeartbeat, when non-nil, receives periodic liveness records
+	// for every in-flight cell (see Heartbeat). Heartbeats are
+	// serialised with OnResult on the same lock, so pointing
+	// HeartbeatJSONL and JSONLWriter at one stream yields interleaved
+	// but line-atomic output; ReadJSONL and resume skip the heartbeat
+	// lines.
+	OnHeartbeat func(Heartbeat)
+	// HeartbeatEvery is the heartbeat cadence; <= 0 uses
+	// DefaultHeartbeatEvery.
+	HeartbeatEvery time.Duration
+
+	// FlightDir, when non-empty, arms a flight recorder on every cell
+	// and dumps a FlightArtifact (recent schedule prefixes, timings,
+	// final counters) into this directory whenever a cell fails —
+	// quarantine, cell timeout or engine panic. Healthy cells dump
+	// nothing.
+	FlightDir string
 
 	// CellTimeout bounds each cell attempt's wall clock. An attempt
 	// that exceeds it is interrupted through its context; one that
@@ -137,6 +162,16 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]CellResult, error) {
 	out := make([]CellResult, len(cells))
 	var next atomic.Int64
 	var emitMu sync.Mutex
+	// Heartbeats share the emit lock with results so a JSONL stream
+	// carrying both stays line-atomic.
+	emitHB := func(h Heartbeat) {
+		if r.OnHeartbeat == nil {
+			return
+		}
+		emitMu.Lock()
+		r.OnHeartbeat(h)
+		emitMu.Unlock()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers && w < len(cells); w++ {
 		wg.Add(1)
@@ -155,7 +190,7 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]CellResult, error) {
 					// returned slice.
 					res = CellResult{Index: i, Cell: cells[i], Cancelled: true}
 				} else {
-					res = r.runCell(ctx, i, cells[i])
+					res = r.runCell(ctx, i, cells[i], emitHB)
 				}
 				out[i] = res
 				if r.OnResult != nil {
@@ -175,7 +210,7 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) ([]CellResult, error) {
 // into structured errors, transient failures are retried with backoff,
 // and a hung attempt is abandoned rather than hanging the worker. The
 // named return lets the deferred timing write reach the caller.
-func (r *Runner) runCell(ctx context.Context, index int, c Cell) (out CellResult) {
+func (r *Runner) runCell(ctx context.Context, index int, c Cell, emitHB func(Heartbeat)) (out CellResult) {
 	out = CellResult{Index: index, Cell: c}
 	start := time.Now()
 	defer func() { out.ElapsedMS = time.Since(start).Milliseconds() }()
@@ -205,9 +240,60 @@ func (r *Runner) runCell(ctx context.Context, index int, c Cell) (out CellResult
 		return out
 	}
 
+	// Telemetry: heartbeats and the flight recorder both hang off a
+	// per-cell counter set the engine publishes into at schedule
+	// boundaries. Counters and the flight ring stay safe to read even
+	// if an abandoned attempt goroutine is still running behind a
+	// dumped artifact.
+	var ctr *explore.Counters
+	var flight *explore.FlightRecorder
+	if r.OnHeartbeat != nil || r.FlightDir != "" {
+		ctr = explore.NewCounters()
+		opt.Counters = ctr
+	}
+	if r.FlightDir != "" {
+		flight = explore.NewFlightRecorder(0)
+		opt.Flight = flight
+		defer func() {
+			if out.Err != "" {
+				dumpFlight(r.FlightDir, &out, ctr, flight)
+			}
+		}()
+	}
+	var attemptNo atomic.Int64
+	if r.OnHeartbeat != nil {
+		every := r.HeartbeatEvery
+		if every <= 0 {
+			every = DefaultHeartbeatEvery
+		}
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		// Join, don't just signal: once runCell returns, no heartbeat
+		// for this cell may still be in flight — every heartbeat
+		// happens before the cell's result, and none can outlive
+		// Runner.Run.
+		defer func() { close(stop); <-done }()
+		go func() {
+			defer close(done)
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					emitHB(makeHeartbeat(index, c, int(attemptNo.Load()), ctr, start))
+				}
+			}
+		}()
+	}
+
 	for attempt := 1; ; attempt++ {
 		out.Attempts = attempt
+		attemptNo.Store(int64(attempt))
+		attemptStart := time.Now()
 		res, err := r.runAttempt(ctx, eng, bm.Program, opt)
+		out.AttemptMS = append(out.AttemptMS, time.Since(attemptStart).Milliseconds())
 		out.Result = res
 		if err == nil {
 			if res.Interrupted {
@@ -398,11 +484,24 @@ func JSONLWriter(w io.Writer) func(CellResult) {
 // recoverable truncation from mid-stream corruption.
 var ErrTruncatedTail = errors.New("campaign: result stream ends in a truncated line")
 
+// IsTelemetryLine reports whether a JSONL line is a typed telemetry
+// record (heartbeat, progress) rather than a cell result: cell-result
+// lines never carry a top-level "type" field. Telemetry lines are
+// skipped by ReadJSONL and checkpoint resume, so a stream carrying
+// both stays resumable.
+func IsTelemetryLine(line []byte) bool {
+	var probe struct {
+		Type string `json:"type"`
+	}
+	return json.Unmarshal(line, &probe) == nil && probe.Type != ""
+}
+
 // ReadJSONL consumes a stream of JSON-line cell results, e.g. the
 // output of a `eval -fig campaign -json` run. A stream whose final
 // line is cut short (the writer was killed mid-write) returns every
 // complete result together with an error wrapping ErrTruncatedTail; a
 // bad line followed by further results is corruption and fails hard.
+// Typed telemetry lines (heartbeats) sharing the stream are skipped.
 func ReadJSONL(r io.Reader) ([]CellResult, error) {
 	var out []CellResult
 	var tailErr error
@@ -416,6 +515,9 @@ func ReadJSONL(r io.Reader) ([]CellResult, error) {
 		if tailErr != nil {
 			// The bad line was not the stream's tail after all.
 			return nil, tailErr
+		}
+		if IsTelemetryLine(line) {
+			continue
 		}
 		var res CellResult
 		if err := json.Unmarshal(line, &res); err != nil {

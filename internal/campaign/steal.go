@@ -277,6 +277,10 @@ type sharedHooks struct {
 	escaped     atomic.Int64
 	seeded      atomic.Int64
 	localClaims atomic.Int64
+	// ctr mirrors unit shipping into the search's live telemetry
+	// (explore.Counters.StealSent/StealReceived); nil when the caller
+	// armed no counters.
+	ctr *explore.Counters
 }
 
 // workerHooks is one worker's explore.Steal implementation; all
@@ -345,6 +349,9 @@ func (h workerHooks) ship(prefix []event.ThreadID, fresh, done uint64, e *nodeEn
 		} else {
 			h.escaped.Add(1)
 		}
+		if h.ctr != nil {
+			h.ctr.StealSent.Add(1)
+		}
 		h.q.push(h.worker, u)
 	}
 }
@@ -392,7 +399,7 @@ func workStealDPOR(src model.Source, opt explore.Options, workers int) ([]unitOu
 	unitOpt.SharedBudget = budget
 
 	q := newStealQueue(workers)
-	shared := &sharedHooks{q: q, table: newNodeTable()}
+	shared := &sharedHooks{q: q, table: newNodeTable(), ctr: opt.Counters}
 
 	var mu sync.Mutex
 	var outcomes []unitOutcome
@@ -426,6 +433,10 @@ func workStealDPOR(src model.Source, opt explore.Options, workers int) ([]unitOu
 				case unitOpt.Ctx != nil && unitOpt.Ctx.Err() != nil:
 					res = explore.Result{Interrupted: true}
 				default:
+					if shared.ctr != nil && len(u.prefix) > 0 {
+						// Shipped (non-root) units a worker picks up.
+						shared.ctr.StealReceived.Add(1)
+					}
 					o := unitOpt
 					o.Prefix = u.prefix
 					o.TrackerSeed = u.seed

@@ -39,7 +39,7 @@ type dbNode struct {
 func (e *delayEngine) Explore(src model.Source, opt Options) Result {
 	c := newCursor(src, opt)
 	defer c.close()
-	rec := newRecorder(src, e.Name(), opt)
+	rec := newRecorder(src, e.Name(), opt, c)
 
 	// A pinned prefix is replayed delay-free: the bound applies to
 	// the explored suffix.
@@ -153,6 +153,12 @@ func (e *iterEngine) Name() string { return e.name }
 // come from a merged recorder fed with per-round results.
 func (e *iterEngine) Explore(src model.Source, opt Options) Result {
 	merged := Result{Program: src.Name(), Engine: e.name}
+	if opt.Observer != nil && opt.Counters == nil {
+		// Give the rounds one shared counter set, so an observer sees
+		// monotone cumulative totals instead of each round's private
+		// counters restarting from zero.
+		opt.Counters = NewCounters()
+	}
 	budget := opt.ScheduleLimit
 	prevStates := -1
 	for bound := 0; bound <= e.maxBound; bound++ {

@@ -59,7 +59,7 @@ type dfsNode struct {
 func (e *dfsEngine) Explore(src model.Source, opt Options) Result {
 	c := newCursor(src, opt)
 	defer c.close()
-	rec := newRecorder(src, e.Name(), opt)
+	rec := newRecorder(src, e.Name(), opt, c)
 
 	var cache Cache
 	if e.mode != cacheNone {

@@ -300,7 +300,7 @@ func (e *dporEngine) Explore(src model.Source, opt Options) Result {
 	st := newDPORState(src, opt)
 	c := st.c
 	defer c.close()
-	rec := newRecorder(src, e.Name(), opt)
+	rec := newRecorder(src, e.Name(), opt, c)
 	nthreads := src.NumThreads()
 
 	steal := opt.Steal

@@ -132,6 +132,23 @@ type Options struct {
 	// it from multiple worker goroutines concurrently; callbacks must
 	// synchronise internally.
 	OnViolation func(Witness)
+
+	// Counters, when non-nil, receives live lock-free telemetry:
+	// the engine publishes counter deltas at every schedule boundary
+	// with atomic adds, so one Counters shared across the workers of
+	// a parallel search aggregates the totals. Pure telemetry — never
+	// feeds back into exploration.
+	Counters *Counters
+
+	// Observer, when non-nil, delivers periodic Progress snapshots on
+	// a schedule-count/wall-clock cadence (see Observer). Nil costs
+	// one predicted branch per schedule and zero allocations.
+	Observer *Observer
+
+	// Flight, when non-nil, records the schedule prefix, outcome and
+	// timing of recent executions into a bounded ring — the flight
+	// recorder dumped when a campaign cell is quarantined.
+	Flight *FlightRecorder
 }
 
 // Witness describes one violating terminal execution the moment it is
@@ -180,7 +197,7 @@ func (o Options) Validate() error {
 		return fmt.Errorf("explore: tracker seed covers %d events, prefix wants %d",
 			o.TrackerSeed.Events(), len(o.Prefix)-1)
 	}
-	return nil
+	return o.validateObservability()
 }
 
 // BackendKind names a cursor backtracking implementation.
@@ -397,9 +414,15 @@ type recorder struct {
 	res   Result
 	opt   Options
 	dedup dedupSink
+	// cur is the engine's cursor, read by telemetry flushes (events,
+	// backtracks, choices, resolved backend); tel is nil unless
+	// Options armed Counters, an Observer or a FlightRecorder — that
+	// nil check is the telemetry layer's entire disabled-path cost.
+	cur *cursor
+	tel *telemetry
 }
 
-func newRecorder(src model.Source, engine string, opt Options) *recorder {
+func newRecorder(src model.Source, engine string, opt Options, c *cursor) *recorder {
 	var dd dedupSink = opt.Dedup
 	if opt.Dedup == nil {
 		dd = newLocalDedup()
@@ -408,6 +431,8 @@ func newRecorder(src model.Source, engine string, opt Options) *recorder {
 		res:   Result{Program: src.Name(), Engine: engine},
 		opt:   opt,
 		dedup: dd,
+		cur:   c,
+		tel:   newTelemetry(opt, src.Name(), engine),
 	}
 }
 
@@ -416,6 +441,9 @@ func newRecorder(src model.Source, engine string, opt Options) *recorder {
 // search.
 func (r *recorder) schedule() bool {
 	r.res.Schedules++
+	if r.tel != nil {
+		r.tel.boundary(r, r.cur, false)
+	}
 	if r.opt.StopAtFirstBug && r.res.FirstViolation != nil {
 		// The witness is captured; the bug-finding run is over. This
 		// is a successful stop, not a budget stop: HitLimit stays
@@ -443,20 +471,28 @@ func (r *recorder) terminal(c *cursor) {
 	if d := len(c.trace); d > r.res.MaxDepth {
 		r.res.MaxDepth = d
 	}
+	fresh := 0
 	if r.dedup.AddHBR(c.tr.HBFingerprint()) {
 		r.res.DistinctHBRs++
+		fresh++
 	}
 	if r.dedup.AddLazy(c.tr.LazyFingerprint()) {
 		r.res.DistinctLazyHBRs++
+		fresh++
 	}
 	if r.dedup.AddState(c.m.StateSig()) {
 		r.res.DistinctStates++
+		fresh++
 		if r.opt.RecordStates {
 			// The string key is rendered only for fresh states and
 			// only when the caller asked for the diagnostic set;
 			// the hot path deduplicates on the binary digest alone.
 			r.dedup.RecordStateKey(c.m.StateKey())
 		}
+	}
+	if r.tel != nil {
+		r.tel.dedupMisses += int64(fresh)
+		r.tel.dedupHits += int64(3 - fresh)
 	}
 
 	deadlocked := c.m.Deadlocked()
@@ -490,6 +526,11 @@ func (r *recorder) terminal(c *cursor) {
 	}
 	violation := model.ViolationKind(deadlocked, failures, raced)
 	if violation != "" {
+		if r.tel != nil {
+			// Tag the flight entry this execution will get at the
+			// coming schedule boundary.
+			r.tel.violation = violation
+		}
 		if r.res.FirstViolation == nil {
 			r.res.FirstViolation = append([]event.ThreadID(nil), c.choices...)
 			r.res.ViolationKind = violation
@@ -538,6 +579,11 @@ func (r *recorder) classifyWalk(c *cursor) {
 
 func (r *recorder) finish(c *cursor) Result {
 	r.res.Events = c.events
+	if r.tel != nil {
+		// Final flush and snapshot, so a consumer that only reads the
+		// shared Counters after the search sees the exact totals.
+		r.tel.boundary(r, c, true)
+	}
 	if r.opt.RecordStates && r.opt.Dedup == nil {
 		// With a shared Dedup the caller assembles States from
 		// Dedup.SortedStates after every worker has finished.
@@ -603,6 +649,10 @@ type cursor struct {
 
 	enabledBuf []event.ThreadID
 	events     int64
+	// backtracks counts resets to an earlier depth — one per branch
+	// revisit, whatever the backend. A plain int (the cursor is
+	// single-goroutine); telemetry flushes publish it as deltas.
+	backtracks int64
 }
 
 func newCursor(src model.Source, opt Options) *cursor {
@@ -813,6 +863,7 @@ func (c *cursor) resetTo(d int) {
 	if d == len(c.trace) {
 		return
 	}
+	c.backtracks++
 	if c.autoPending {
 		c.autoObserve(d)
 	}

@@ -73,7 +73,7 @@ type pbNode struct {
 func (e *pboundEngine) Explore(src model.Source, opt Options) Result {
 	c := newCursor(src, opt)
 	defer c.close()
-	rec := newRecorder(src, e.Name(), opt)
+	rec := newRecorder(src, e.Name(), opt, c)
 
 	var cache Cache
 	if e.mode != cacheNone {

@@ -121,7 +121,7 @@ func (e *pctEngine) Explore(src model.Source, opt Options) Result {
 	c := newWalkCursor(src, opt)
 	k := estimateEvents(opt.Ctx, src, c.mcfg, opt.maxSteps())
 	defer c.close()
-	rec := newRecorder(src, e.Name(), opt)
+	rec := newRecorder(src, e.Name(), opt, c)
 	base := c.replayPrefix(opt.Prefix, nil)
 
 	prio := make([]int, src.NumThreads())

@@ -49,7 +49,7 @@ func (e *posEngine) Explore(src model.Source, opt Options) Result {
 	opt.ScheduleLimit = 0
 	c := newWalkCursor(src, opt)
 	defer c.close()
-	rec := newRecorder(src, e.Name(), opt)
+	rec := newRecorder(src, e.Name(), opt, c)
 	base := c.replayPrefix(opt.Prefix, nil)
 
 	prio := make([]float64, src.NumThreads())

@@ -63,7 +63,7 @@ func (e *randomEngine) Explore(src model.Source, opt Options) Result {
 	opt.ScheduleLimit = 0
 	c := newWalkCursor(src, opt)
 	defer c.close()
-	rec := newRecorder(src, e.Name(), opt)
+	rec := newRecorder(src, e.Name(), opt, c)
 	base := c.replayPrefix(opt.Prefix, nil)
 	for i := 0; i < walks; i++ {
 		rng := rand.New(rand.NewSource(mixWalkSeed(e.seed, e.firstWalk+i)))

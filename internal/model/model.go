@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/event"
@@ -263,6 +264,10 @@ type divergeKey struct {
 type DivergeHints struct {
 	mu sync.Mutex
 	m  map[divergeKey]struct{}
+	// hits counts lookups that found a memoised divergence point —
+	// threads fenced immediately instead of re-waiting the watchdog
+	// timeout. Telemetry only.
+	hits atomic.Int64
 }
 
 // NewDivergeHints returns an empty hint set, shareable by every
@@ -279,8 +284,16 @@ func (h *DivergeHints) has(k divergeKey) bool {
 	h.mu.Lock()
 	_, ok := h.m[k]
 	h.mu.Unlock()
+	if ok {
+		h.hits.Add(1)
+	}
 	return ok
 }
+
+// Hits reports how many lookups found a memoised divergence point —
+// the schedules that skipped a watchdog timeout thanks to the hint
+// set. Monotone; safe to read concurrently.
+func (h *DivergeHints) Hits() int64 { return h.hits.Load() }
 
 // MachineConfig carries the fault-containment knobs of a machine.
 type MachineConfig struct {

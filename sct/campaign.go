@@ -68,6 +68,10 @@ func Grid(benches, engineSpecs []string, opts ...Option) ([]Cell, error) {
 		"WithCellTimeout", "WithRetries"); err != nil {
 		return nil, err
 	}
+	if err := cfg.reject("Grid", "observability is a runner property: pass WithHeartbeat/WithFlightRecorder to NewCampaign (WithObserver is Run-only)",
+		"WithObserver", "WithHeartbeat", "WithFlightRecorder"); err != nil {
+		return nil, err
+	}
 	if len(benches) == 0 {
 		return nil, errors.New("sct: Grid with no benchmarks")
 	}
@@ -125,6 +129,10 @@ func NewCampaign(cells []Cell, opts ...Option) (*Campaign, error) {
 		"StopAtFirstBug", "OnViolation", "WithStallTimeout"); err != nil {
 		return nil, err
 	}
+	if err := cfg.reject("NewCampaign", "per-run progress snapshots apply to Run; campaigns observe through WithHeartbeat",
+		"WithObserver"); err != nil {
+		return nil, err
+	}
 	if len(cells) == 0 {
 		return nil, errors.New("sct: campaign with no cells")
 	}
@@ -159,7 +167,7 @@ func (c *Campaign) Resume(r io.Reader) (int, error) {
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	for sc.Scan() {
 		line := sc.Bytes()
-		if len(line) == 0 {
+		if len(line) == 0 || campaign.IsTelemetryLine(line) {
 			continue
 		}
 		var res CellResult
@@ -239,14 +247,22 @@ func (c *Campaign) Results(ctx context.Context) iter.Seq[CellResult] {
 		stopped := func() { stopOnce.Do(func() { close(stop) }) }
 		defer stopped()
 
+		// emitMu serialises the user's heartbeat callback with yield:
+		// heartbeats arrive on the runner's goroutine while results
+		// are consumed on the iterating one, and the documented
+		// pattern points HeartbeatWriter and JSONLWriter at the same
+		// stream.
+		var emitMu sync.Mutex
 		ch := make(chan CellResult)
 		errc := make(chan error, 1)
 		go func() {
 			defer close(ch)
 			runner := campaign.Runner{
-				Workers:     c.cfg.workers,
-				CellTimeout: c.cfg.cellTimeout,
-				Retries:     c.cfg.retries,
+				Workers:        c.cfg.workers,
+				CellTimeout:    c.cfg.cellTimeout,
+				Retries:        c.cfg.retries,
+				HeartbeatEvery: c.cfg.heartbeatEvery,
+				FlightDir:      c.cfg.flightDir,
 				OnResult: func(r CellResult) {
 					r.Index = origIdx[r.Index]
 					select {
@@ -257,11 +273,22 @@ func (c *Campaign) Results(ctx context.Context) iter.Seq[CellResult] {
 					}
 				},
 			}
+			if c.cfg.onHeartbeat != nil {
+				runner.OnHeartbeat = func(h Heartbeat) {
+					h.Index = origIdx[h.Index]
+					emitMu.Lock()
+					defer emitMu.Unlock()
+					c.cfg.onHeartbeat(h)
+				}
+			}
 			_, err := runner.Run(ctx, pending)
 			errc <- err
 		}()
 		for r := range ch {
-			if !yield(r) {
+			emitMu.Lock()
+			ok := yield(r)
+			emitMu.Unlock()
+			if !ok {
 				stopped()
 				cancel()
 				for range ch { // let the runner flush and exit

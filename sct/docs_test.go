@@ -2,6 +2,7 @@ package sct_test
 
 import (
 	"os"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
@@ -49,6 +50,57 @@ func TestEnginesDocInSync(t *testing.T) {
 		}
 		if !documented[name] {
 			t.Errorf("registered engine %q is missing from the docs/ENGINES.md catalogue", name)
+		}
+	}
+}
+
+// TestObservabilityDocInSync pins docs/OBSERVABILITY.md's counter
+// catalogue to the Progress struct's JSON field names, in both
+// directions: every documented counter must exist on Progress, and
+// every Progress field must be catalogued. Runs under make api-check,
+// so renaming a counter (or adding one undocumented) fails CI.
+func TestObservabilityDocInSync(t *testing.T) {
+	raw, err := os.ReadFile("../docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("observability guide missing: %v", err)
+	}
+	// Scope to the counter-catalogue section — the doc has other
+	// tables (option routing) whose rows are not counter names.
+	text := string(raw)
+	start := strings.Index(text, "### Counter catalogue")
+	if start < 0 {
+		t.Fatal("docs/OBSERVABILITY.md has no '### Counter catalogue' section")
+	}
+	section := text[start:]
+	if end := strings.Index(section[1:], "\n## "); end >= 0 {
+		section = section[:end+1]
+	}
+	documented := map[string]bool{}
+	for _, line := range strings.Split(section, "\n") {
+		if m := enginesDocRow.FindStringSubmatch(line); m != nil && m[1] != "field" {
+			documented[m[1]] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("counter catalogue has no table rows (| `name` | ...)")
+	}
+
+	fields := map[string]bool{}
+	pt := reflect.TypeOf(sct.Progress{})
+	for i := 0; i < pt.NumField(); i++ {
+		tag := pt.Field(i).Tag.Get("json")
+		if name, _, _ := strings.Cut(tag, ","); name != "" && name != "-" {
+			fields[name] = true
+		}
+	}
+	for name := range documented {
+		if !fields[name] {
+			t.Errorf("docs/OBSERVABILITY.md catalogues counter %q, which is not a Progress JSON field", name)
+		}
+	}
+	for name := range fields {
+		if !documented[name] {
+			t.Errorf("Progress field %q is missing from the docs/OBSERVABILITY.md counter catalogue", name)
 		}
 	}
 }

@@ -55,6 +55,14 @@ type config struct {
 	cellTimeout   time.Duration
 	retries       int
 
+	// Observability (see observe.go): observer rides Run's
+	// explore.Options; the heartbeat/flight knobs are campaign-runner
+	// properties.
+	observer       *explore.Observer
+	heartbeatEvery time.Duration
+	onHeartbeat    func(Heartbeat)
+	flightDir      string
+
 	// applied names every option that was set, so each construction
 	// site can reject options it cannot honour instead of silently
 	// dropping them.
@@ -103,6 +111,7 @@ func (c config) exploreOptions(ctx context.Context) explore.Options {
 		StopAtFirstBug: c.firstBug,
 		OnViolation:    c.onViolation,
 		StallTimeout:   c.stallTimeout,
+		Observer:       c.observer,
 		Ctx:            ctx,
 	}
 }

@@ -151,6 +151,10 @@ func Run(ctx context.Context, src Source, engine string, opts ...Option) (*Repor
 		"WithCellTimeout", "WithRetries"); err != nil {
 		return nil, err
 	}
+	if err := cfg.reject("Run", "heartbeats and flight recorders are campaign-runner properties: pass them to NewCampaign (Run observes via WithObserver)",
+		"WithHeartbeat", "WithFlightRecorder"); err != nil {
+		return nil, err
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
