@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race ci bench bench-smoke bench-json fuzz-smoke repro-smoke chaos-smoke obs-smoke api-check fmt vet eval
+.PHONY: build test race ci bench bench-smoke bench-json fuzz-smoke repro-smoke chaos-smoke chan-smoke obs-smoke api-check fmt vet eval
 
 build:
 	$(GO) build ./...
@@ -79,6 +79,23 @@ chaos-smoke:
 		-limit 2000 -stall-timeout 100ms -cell-timeout 60s -retries 3
 	@echo "chaos-smoke: hostile programs contained, transient faults healed"
 
+# Channel subsystem end-to-end under the race detector — the CI
+# chan-smoke job (see docs/ENGINES.md "Channel dependence rules"):
+# the hand-counted DPOR schedule-count gates, the chan differential
+# oracle (every engine × every backend vs exhaustive DFS, committed
+# fuzz corpus included), the backend ablation, the trace round-trip
+# for the channel kinds — then the channel family of the corpus swept
+# across the firstbug engine grid through the CLI, which must find
+# every planted bug (assertion, send-on-closed panic, lost-wakeup
+# deadlock) and render the new event kinds.
+chan-smoke:
+	$(GO) test -race -count=1 -run 'Chan|Select' \
+		./internal/model/ ./internal/hb/ ./internal/explore/ ./internal/trace/ \
+		./internal/goharness/ ./internal/progdsl/ ./internal/repro/ ./sct/
+	$(GO) test -race -count=1 -run 'TestBackendAblationExact|TestChanEquivalenceCorpus' ./internal/explore/
+	$(GO) run ./cmd/eval -fig firstbug -bench chan -limit 20000 -maxsteps 2000
+	@echo "chan-smoke: channel family race-clean, engines agree, every planted bug found"
+
 # Observability end-to-end — the CI obs-smoke job (see
 # docs/OBSERVABILITY.md): the no-perturbation/heartbeat/flight test
 # gates, the in-process CLI scenario (TestObsSmoke probes the expvar
@@ -104,7 +121,7 @@ obs-smoke:
 # perf trajectory, rendered as a machine-readable JSON artifact
 # (BENCH_PR<PR>.json and successors; see cmd/benchjson). Set PR to the
 # current PR number: make bench-json PR=4.
-PR ?= 9
+PR ?= 10
 BENCH_JSON ?= BENCH_PR$(PR).json
 BENCH_FILTER ?= BenchmarkTracker$$|BenchmarkVClock/|BenchmarkExecutor$$|BenchmarkEngine/|BenchmarkSnapshotVsReplay/|BenchmarkWorkStealDPOR/|BenchmarkFirstBug/|BenchmarkBacktrackAllocs/|BenchmarkObserverOverhead/
 # Two steps (not a pipe) so a failing benchmark run fails the target
@@ -133,7 +150,7 @@ api-check:
 		echo "cmd/ must not import explore/campaign/repro internals:"; echo "$$bad"; exit 1; \
 	fi
 	$(GO) test -run '^Example' -count=1 ./sct/ ./internal/...
-	$(GO) test -run '^TestEnginesDocInSync$$|^TestObservabilityDocInSync$$' -count=1 ./sct/
+	$(GO) test -run '^TestEnginesDocInSync$$|^TestObservabilityDocInSync$$|^TestChannelDocInSync$$' -count=1 ./sct/
 	@echo "api-check: facade clean"
 
 # Regenerate the paper figures at the full budget (slow; see -help for

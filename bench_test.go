@@ -109,7 +109,7 @@ func BenchmarkFig3(b *testing.B) {
 	}
 }
 
-// BenchmarkFig2FullSweep runs the complete 79-benchmark Figure 2 sweep
+// BenchmarkFig2FullSweep runs the complete full-corpus Figure 2 sweep
 // (at the reduced benchmark limit) and reports the paper's summary
 // statistics as metrics.
 func BenchmarkFig2FullSweep(b *testing.B) {
@@ -173,6 +173,24 @@ func BenchmarkEngine(b *testing.B) {
 			b.ReportMetric(float64(last.Events), "events")
 		})
 	}
+	// The same ablation on a message-passing workload: the mesh's ops
+	// all conflict on one shared channel, so engines pay the
+	// per-channel total-order dependence rules instead of the lock
+	// edges. Appended under chan/ so the existing sub-benchmark names
+	// (and the perf trajectory keyed on them) stay stable.
+	cbm := mustBench(b, "chan-mesh-2p2c")
+	for _, eng := range engines {
+		eng := eng
+		b.Run("chan/"+eng.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			var last explore.Result
+			for i := 0; i < b.N; i++ {
+				last = eng.Explore(cbm.Program, explore.Options{ScheduleLimit: benchLimit, MaxSteps: 2000})
+			}
+			b.ReportMetric(float64(last.Schedules), "schedules")
+			b.ReportMetric(float64(last.Events), "events")
+		})
+	}
 }
 
 // BenchmarkFirstBug measures bug-finding cost per technique on a
@@ -195,6 +213,26 @@ func BenchmarkFirstBug(b *testing.B) {
 			var last explore.Result
 			for i := 0; i < b.N; i++ {
 				last = eng.Explore(bm.Program, explore.Options{
+					ScheduleLimit: 20000, MaxSteps: 2000, StopAtFirstBug: true,
+				})
+			}
+			if last.FirstViolation == nil {
+				b.Fatalf("%s found no violation", eng.Name())
+			}
+			b.ReportMetric(float64(last.FirstBugSchedule), "schedules-to-bug")
+		})
+	}
+	// The channel twin: a lost-wakeup deadlock (a TryRecv thief steals
+	// the only buffered value from a blocking consumer), measuring
+	// schedules-to-bug over message-passing schedules.
+	cbm := mustBench(b, "chan-lost-wakeup")
+	for _, eng := range engines {
+		eng := eng
+		b.Run("chan/"+eng.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			var last explore.Result
+			for i := 0; i < b.N; i++ {
+				last = eng.Explore(cbm.Program, explore.Options{
 					ScheduleLimit: 20000, MaxSteps: 2000, StopAtFirstBug: true,
 				})
 			}
@@ -514,7 +552,8 @@ func BenchmarkGoroutineHarness(b *testing.B) {
 	})
 }
 
-// BenchmarkCorpusConstruction measures building all 79 programs.
+// BenchmarkCorpusConstruction measures building the full corpus (the
+// paper's 79 plus the channel family).
 func BenchmarkCorpusConstruction(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

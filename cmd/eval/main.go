@@ -1,5 +1,5 @@
 // Command eval regenerates the paper's evaluation (Figures 2 and 3)
-// over the 79-benchmark corpus:
+// over the benchmark corpus (the paper's 79 plus the channel family):
 //
 //	eval -fig all -limit 100000
 //

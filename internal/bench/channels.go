@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"repro/internal/model"
+	"repro/internal/progdsl"
+)
+
+// chanEntries builds the channel family: message-passing programs over
+// the channel subsystem — producer/consumer, pipelines, select-based
+// fan-in, and the canonical channel bugs (select-ordering message
+// loss, send on closed, lost wakeup, buffered ordering races). These
+// extend the paper's 79 shared-memory benchmarks with the dependence
+// structure the paper's Java corpus could not exhibit: per-channel
+// total orders instead of per-variable read/write conflicts. 9
+// entries.
+func chanEntries() []entry {
+	return []entry{
+		{
+			name:   "chan-prodcons-2p1c",
+			family: "chan",
+			notes:  "2 producers send distinct values through a 1-slot buffered channel; the consumer drains and closes, asserting every value was produced",
+			build:  chanProdCons,
+		},
+		{
+			name:   "chan-pipeline-3",
+			family: "chan",
+			notes:  "3-stage pipeline over unbuffered channels: each stage receives, increments and forwards; the sink asserts the accumulated value",
+			build:  chanPipeline,
+		},
+		{
+			name:   "chan-fanin-select",
+			family: "chan",
+			notes:  "select-based fan-in: two producers on distinct channels, one consumer multiplexing with select; distinct channels are independent, so DPOR prunes the producer orders",
+			build:  chanFanInSelect,
+		},
+		{
+			name:   "chan-select-order-bug",
+			family: "chan",
+			notes:  "select-ordering bug: the consumer selects over data and done channels and stops on done; schedules where the close beats the send lose the message and fail the assertion",
+			build:  chanSelectOrderBug,
+		},
+		{
+			name:   "chan-send-closed-panic",
+			family: "chan",
+			notes:  "racy send on closed: one thread closes while another sends on a buffered channel; schedules where the close wins make the send a panic violation",
+			build:  chanSendClosedPanic,
+		},
+		{
+			name:   "chan-lost-wakeup",
+			family: "chan",
+			notes:  "lost-wakeup deadlock: a non-blocking receive can steal the single value a blocking receiver is owed, leaving it blocked forever — deadlock in exactly the thief-first schedules",
+			build:  chanLostWakeup,
+		},
+		{
+			name:   "chan-buffered-race",
+			family: "chan",
+			notes:  "buffered-capacity race: two senders contend for one buffer slot; the consumer asserts arrival order, which only some interleavings satisfy",
+			build:  chanBufferedRace,
+		},
+		{
+			name:   "chan-rendezvous",
+			family: "chan",
+			notes:  "unbuffered request/reply handshake: violation-free, pinning the rendezvous enabledness rule (a send is enabled only while a receiver is pending)",
+			build:  chanRendezvous,
+		},
+		{
+			name:   "chan-mesh-2p2c",
+			family: "chan",
+			notes:  "2 producers x 2 consumers contending on one 2-slot channel: violation-free but with the family's largest schedule space — every op conflicts on the shared channel, so this is the channel-ablation workload",
+			build:  chanMesh,
+		},
+	}
+}
+
+// chanProdCons: two producers, one 1-slot buffered channel, one
+// consumer. The consumer takes two values and asserts both came from a
+// producer; the buffer slot forces one producer to wait out the other.
+func chanProdCons() model.Source {
+	b := progdsl.New("chan-prodcons-2p1c").AutoStart()
+	c := b.Chan("c", 1)
+	sum := b.Var("sum")
+	b.Thread().SendConst(c, 10)
+	b.Thread().SendConst(c, 20)
+	t := b.Thread()
+	t.Recv(r0, r1, c)
+	t.Recv(r2, r1, c)
+	t.Add(r0, r0, r2)
+	t.Write(sum, r0)
+	t.AssertEq(r0, 30)
+	return b.Build()
+}
+
+// chanPipeline: head sends 1 into stage 1; each stage receives,
+// increments and forwards; the sink asserts the total. All channels
+// are unbuffered, so every hop is a rendezvous.
+func chanPipeline() model.Source {
+	b := progdsl.New("chan-pipeline-3").AutoStart()
+	c0 := b.Chan("c0", 0)
+	c1 := b.Chan("c1", 0)
+	c2 := b.Chan("c2", 0)
+	out := b.Var("out")
+	b.Thread().SendConst(c0, 1)
+	s1 := b.Thread()
+	s1.Recv(r0, r1, c0).AddConst(r0, r0, 1).Send(c1, r0)
+	s2 := b.Thread()
+	s2.Recv(r0, r1, c1).AddConst(r0, r0, 1).Send(c2, r0)
+	sink := b.Thread()
+	sink.Recv(r0, r1, c2)
+	sink.Write(out, r0)
+	sink.AssertEq(r0, 3)
+	return b.Build()
+}
+
+// chanFanInSelect: producers publish on their own buffered channels;
+// the consumer multiplexes two selects. Whichever arrival order a
+// schedule produces, both values are drained.
+func chanFanInSelect() model.Source {
+	b := progdsl.New("chan-fanin-select").AutoStart()
+	ca := b.Chan("ca", 1)
+	cb := b.Chan("cb", 1)
+	sum := b.Var("sum")
+	b.Thread().SendConst(ca, 1)
+	b.Thread().SendConst(cb, 2)
+	t := b.Thread()
+	t.Select(r0, r1, r2, false, ca, cb)
+	t.Select(r2, r1, r3, false, ca, cb)
+	t.Add(r0, r0, r2)
+	t.Write(sum, r0)
+	t.AssertEq(r0, 3)
+	return b.Build()
+}
+
+// chanSelectOrderBug: one thread sends the datum, another announces
+// shutdown by closing done; the consumer selects over {data, done}
+// and treats the done arm as "shut down". In schedules where the
+// close commits before the send, the consumer exits without the datum
+// — the classic drain-before-done select bug.
+func chanSelectOrderBug() model.Source {
+	b := progdsl.New("chan-select-order-bug").AutoStart()
+	data := b.Chan("data", 1)
+	done := b.Chan("done", 0)
+	got := b.Var("got")
+	b.Thread().SendConst(data, 7)
+	b.Thread().Close(done)
+	t := b.Thread()
+	t.Select(r0, r1, r2, false, data, done)
+	// Took the done arm (index 1): shut down without draining; the
+	// assertion below then sees got == 0. Took the data arm: record
+	// the datum.
+	t.If(progdsl.Eq(r1, 0), func() {
+		t.Write(got, r0)
+	}, nil)
+	t.Read(r3, got)
+	t.AssertEq(r3, 7)
+	return b.Build()
+}
+
+// chanSendClosedPanic: the closer and the sender race on a buffered
+// channel. A send is always enabled on a buffered channel with a free
+// slot — and on a closed one, where it panics.
+func chanSendClosedPanic() model.Source {
+	b := progdsl.New("chan-send-closed-panic").AutoStart()
+	c := b.Chan("c", 1)
+	ok := b.Var("ok")
+	b.Thread().Close(c)
+	t := b.Thread()
+	t.SendConst(c, 1)
+	t.WriteConst(ok, 1) // unreachable in close-first schedules
+	return b.Build()
+}
+
+// chanLostWakeup: the producer publishes exactly one value; a thief
+// polls with a non-blocking receive while the rightful consumer blocks
+// on a plain receive. Thief-first schedules consume the value and the
+// consumer blocks forever — a deadlock violation; consumer-first
+// schedules complete cleanly.
+func chanLostWakeup() model.Source {
+	b := progdsl.New("chan-lost-wakeup").AutoStart()
+	c := b.Chan("c", 1)
+	stolen := b.Var("stolen")
+	b.Thread().SendConst(c, 5)
+	thief := b.Thread()
+	thief.TryRecv(r0, r1, c)
+	thief.If(progdsl.Eq(r1, 1), func() { thief.WriteConst(stolen, 1) }, nil)
+	b.Thread().Recv(r0, r1, c)
+	return b.Build()
+}
+
+// chanBufferedRace: both senders contend for the single buffer slot of
+// c; the consumer asserts it drained sender 1's value first, which
+// only the schedules where sender 1 wins the slot satisfy.
+func chanBufferedRace() model.Source {
+	b := progdsl.New("chan-buffered-race").AutoStart()
+	c := b.Chan("c", 1)
+	first := b.Var("first")
+	b.Thread().SendConst(c, 1)
+	b.Thread().SendConst(c, 2)
+	t := b.Thread()
+	t.Recv(r0, r1, c)
+	t.Write(first, r0)
+	t.Recv(r2, r1, c)
+	t.AssertEq(r0, 1)
+	return b.Build()
+}
+
+// chanMesh: two producers push two values each through one 2-slot
+// channel; two consumers drain two each into their own accumulators.
+// Sends and receives balance, so no schedule deadlocks — but every
+// operation conflicts on the one channel, giving the family's densest
+// interleaving space (no DPOR pruning applies).
+func chanMesh() model.Source {
+	b := progdsl.New("chan-mesh-2p2c").AutoStart()
+	c := b.Chan("c", 2)
+	s0 := b.Var("sum0")
+	s1 := b.Var("sum1")
+	b.Thread().SendConst(c, 1).SendConst(c, 2)
+	b.Thread().SendConst(c, 3).SendConst(c, 4)
+	t0 := b.Thread()
+	t0.Recv(r0, r1, c).Recv(r2, r1, c).Add(r0, r0, r2).Write(s0, r0)
+	t1 := b.Thread()
+	t1.Recv(r0, r1, c).Recv(r2, r1, c).Add(r0, r0, r2).Write(s1, r0)
+	return b.Build()
+}
+
+// chanRendezvous: request/reply over two unbuffered channels. The
+// request send is enabled only once the server's receive is pending
+// (and vice versa for the reply), so the handshake admits exactly the
+// alternating schedules and no violation.
+func chanRendezvous() model.Source {
+	b := progdsl.New("chan-rendezvous").AutoStart()
+	req := b.Chan("req", 0)
+	rep := b.Chan("rep", 0)
+	out := b.Var("out")
+	client := b.Thread()
+	client.SendConst(req, 4)
+	client.Recv(r0, r1, rep)
+	client.Write(out, r0)
+	client.AssertEq(r0, 8)
+	server := b.Thread()
+	server.Recv(r0, r1, req)
+	server.Add(r0, r0, r0)
+	server.Send(rep, r0)
+	return b.Build()
+}

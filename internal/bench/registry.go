@@ -1,11 +1,14 @@
-// Package bench provides the 79-program corpus used to reproduce the
+// Package bench provides the benchmark corpus used to reproduce the
 // paper's evaluation (Figures 2 and 3). The paper evaluated 79
 // open-source multithreaded Java benchmarks; those are not available
 // offline, so this corpus substitutes deterministic progdsl programs
 // spanning the same structural spectrum (see DESIGN.md §2): classic
 // SCT/DPOR benchmarks, coarse-grained-locking families where the lazy
 // HBR collapses equivalence classes, interference-heavy programs that
-// sit on the diagonal, and a seeded synthetic family.
+// sit on the diagonal, and a seeded synthetic family. The first 79
+// entries reproduce the paper's corpus size and keep their IDs
+// pinned; the channel family (IDs 80+) extends the evaluation to the
+// message-passing dependence rules the Java corpus could not exhibit.
 package bench
 
 import (
@@ -56,6 +59,9 @@ func allEntries() []entry {
 	es = append(es, lockEntries()...)
 	es = append(es, queueEntries()...)
 	es = append(es, syntheticEntries()...)
+	// New families append strictly after the paper's 79 so existing IDs
+	// never shift.
+	es = append(es, chanEntries()...)
 	return es
 }
 
@@ -77,8 +83,8 @@ func All() []Benchmark {
 	return out
 }
 
-// Count is the corpus size the paper mandates.
-const Count = 79
+// Count is the corpus size: the paper's 79 plus the channel family.
+const Count = 88
 
 // ByName returns the benchmark with the given name. It resolves both
 // the pinned 79-entry corpus and the hostile fault-injection programs

@@ -7,7 +7,8 @@ import (
 	"repro/internal/explore"
 )
 
-// TestCorpusSize pins the corpus to the paper's 79 benchmarks.
+// TestCorpusSize pins the corpus size: the paper's 79 plus the
+// channel family.
 func TestCorpusSize(t *testing.T) {
 	all := All()
 	if len(all) != Count {

@@ -7,7 +7,10 @@
 // irrelevant to partial-order reduction.
 package event
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Kind enumerates the visible operation kinds.
 type Kind uint8
@@ -41,6 +44,28 @@ const (
 	// in a trace: the machine intercepts it, fences the thread and
 	// marks the execution diverged.
 	KindDiverge
+	// KindSend sends Val on channel Obj. Enabled while the channel has
+	// buffer capacity free (unbuffered: while a receiver is pending);
+	// a send on a closed channel is enabled and fires a panic
+	// violation, like Go.
+	KindSend
+	// KindRecv receives from channel Obj. Enabled while the channel is
+	// non-empty or closed; receiving on a closed empty channel yields
+	// (0, ok=false). The packed result travels in Seen (see
+	// PackRecvResult).
+	KindRecv
+	// KindClose closes channel Obj. Always enabled; closing an
+	// already-closed channel fires a panic violation, like Go.
+	KindClose
+	// KindSelect is a multi-channel receive: Val encodes the case set
+	// and default flag (see MakeSelectVal). As a pending operation Obj
+	// is -1 (unresolved); the committed trace event carries the chosen
+	// channel in Obj (-1 when the default case fired) and the packed
+	// receive result in Seen (see PackSelectResult). The commit is
+	// deterministic — the lowest-numbered ready case wins — so case
+	// nondeterminism is explored through arrival interleavings, not a
+	// hidden coin flip.
+	KindSelect
 )
 
 var kindNames = [...]string{
@@ -54,6 +79,10 @@ var kindNames = [...]string{
 	KindAssert:  "assert",
 	KindPanic:   "panic",
 	KindDiverge: "diverge",
+	KindSend:    "send",
+	KindRecv:    "recv",
+	KindClose:   "close",
+	KindSelect:  "select",
 }
 
 // String returns the lower-case operation name.
@@ -71,6 +100,71 @@ func (k Kind) IsMutexOp() bool { return k == KindLock || k == KindUnlock }
 
 // IsVarOp reports whether k accesses a shared variable.
 func (k Kind) IsVarOp() bool { return k == KindRead || k == KindWrite }
+
+// IsChanOp reports whether k operates on a channel.
+func (k Kind) IsChanOp() bool {
+	return k == KindSend || k == KindRecv || k == KindClose || k == KindSelect
+}
+
+// Select case-set encoding. A select's Op.Val packs the set of case
+// channels as a bitmask (bit c = a receive case on channel c) plus a
+// default-case flag, which caps select-capable channels at
+// MaxSelectChans. Plain send/recv/close are not mask-limited.
+const (
+	// MaxSelectChans is the highest channel index addressable from a
+	// select case set.
+	MaxSelectChans = 62
+	selectDefault  = int64(1) << MaxSelectChans
+)
+
+// MakeSelectVal encodes a select case set for Op.Val.
+func MakeSelectVal(mask int64, hasDefault bool) int64 {
+	if hasDefault {
+		mask |= selectDefault
+	}
+	return mask
+}
+
+// SelectCases returns the case-channel bitmask of a select Op.Val.
+func SelectCases(v int64) int64 { return v &^ selectDefault }
+
+// SelectHasDefault reports whether a select Op.Val carries a default
+// case.
+func SelectHasDefault(v int64) bool { return v&selectDefault != 0 }
+
+// PackRecvResult packs a receive outcome into the single int64 a
+// coroutine Resume delivers: bit 0 is the ok flag (a real value was
+// drained, as opposed to the zero value of a closed empty channel) and
+// the remaining bits carry the value. Channel payloads are therefore
+// 63-bit.
+func PackRecvResult(val int64, ok bool) int64 {
+	r := val << 1
+	if ok {
+		r |= 1
+	}
+	return r
+}
+
+// UnpackRecvResult inverts PackRecvResult.
+func UnpackRecvResult(r int64) (val int64, ok bool) {
+	return r >> 1, r&1 != 0
+}
+
+// PackSelectResult packs a select commit outcome: the chosen channel
+// (-1 when the default case fired), the received value and the ok flag.
+// Bits 1..7 hold chosen+1, bit 0 the ok flag, the rest the value.
+func PackSelectResult(ch int32, val int64, ok bool) int64 {
+	r := val<<8 | int64(ch+1)<<1
+	if ok {
+		r |= 1
+	}
+	return r
+}
+
+// UnpackSelectResult inverts PackSelectResult.
+func UnpackSelectResult(r int64) (ch int32, val int64, ok bool) {
+	return int32((r>>1)&0x7f) - 1, r >> 8, r&1 != 0
+}
 
 // ThreadID identifies a thread; thread 0 is the initial thread.
 type ThreadID int32
@@ -111,6 +205,34 @@ func (o Op) String() string {
 		return "panic"
 	case KindDiverge:
 		return "diverge"
+	case KindSend:
+		return fmt.Sprintf("send(c%d)=%d", o.Obj, o.Val)
+	case KindRecv:
+		return fmt.Sprintf("recv(c%d)", o.Obj)
+	case KindClose:
+		return fmt.Sprintf("close(c%d)", o.Obj)
+	case KindSelect:
+		var b strings.Builder
+		b.WriteString("select(")
+		first := true
+		for c, mask := 0, SelectCases(o.Val); mask != 0; c, mask = c+1, mask>>1 {
+			if mask&1 == 0 {
+				continue
+			}
+			if !first {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "c%d", c)
+			first = false
+		}
+		if SelectHasDefault(o.Val) {
+			if !first {
+				b.WriteByte(',')
+			}
+			b.WriteString("default")
+		}
+		b.WriteByte(')')
+		return b.String()
 	}
 	return o.Kind.String()
 }
@@ -130,22 +252,77 @@ type Event struct {
 // String renders the event, e.g. "t1#3:read(v0)->5".
 func (e Event) String() string {
 	s := fmt.Sprintf("t%d#%d:%s", e.Thread, e.Index, e.Op)
-	if e.Kind == KindRead {
+	switch e.Kind {
+	case KindRead:
 		s += fmt.Sprintf("->%d", e.Seen)
+	case KindRecv:
+		if val, ok := UnpackRecvResult(e.Seen); ok {
+			s += fmt.Sprintf("->%d", val)
+		} else {
+			s += "->closed"
+		}
+	case KindSelect:
+		ch, val, ok := UnpackSelectResult(e.Seen)
+		switch {
+		case ch < 0:
+			s += "->default"
+		case ok:
+			s += fmt.Sprintf("->c%d:%d", ch, val)
+		default:
+			s += fmt.Sprintf("->c%d:closed", ch)
+		}
 	}
 	return s
+}
+
+// chanFootprint returns the set of channels an operation touches as a
+// bitmask: the singleton {Obj} for send/recv/close, the case set for a
+// select (pending or committed — a committed select observed the
+// readiness of every case channel when picking the lowest ready one,
+// so its footprint stays the full set). Returns 0 for non-channel
+// operations and for plain operations on channels beyond the mask
+// width (selects cannot name those; see MaxSelectChans).
+func chanFootprint(o Op) int64 {
+	switch o.Kind {
+	case KindSend, KindRecv, KindClose:
+		if o.Obj >= MaxSelectChans {
+			return 0
+		}
+		return 1 << o.Obj
+	case KindSelect:
+		return SelectCases(o.Val)
+	}
+	return 0
 }
 
 // Dependent reports whether two operations are dependent in the
 // partial-order-reduction sense: they do not commute. Operations of the
 // same thread are always dependent; this predicate addresses the
 // cross-thread case.
+//
+// Channel rules: operations on distinct channels are independent —
+// this is the reduction that makes pipeline- and fan-in-shaped
+// programs tractable. Any two operations touching a common channel are
+// dependent: send/send reorder the FIFO ring, send/recv changes what
+// is drained (and whether either blocks), close races with any send
+// (one order panics) and with any recv (one order observes closed),
+// and a select is dependent on whatever touches one of its case
+// channels — including a committed default, which observed every case
+// channel to be unready. Exception: two plain receives never observe
+// each other's order beyond what paired sends already order, but
+// keeping recv/recv dependent keeps the per-channel happens-before
+// total order exact, so they stay dependent (conservative).
 func Dependent(a, b Op) bool {
 	switch {
 	case a.Kind.IsVarOp() && b.Kind.IsVarOp():
 		return a.Obj == b.Obj && (a.Kind == KindWrite || b.Kind == KindWrite)
 	case a.Kind.IsMutexOp() && b.Kind.IsMutexOp():
 		return a.Obj == b.Obj
+	case a.Kind.IsChanOp() && b.Kind.IsChanOp():
+		if a.Kind != KindSelect && b.Kind != KindSelect {
+			return a.Obj == b.Obj
+		}
+		return chanFootprint(a)&chanFootprint(b) != 0
 	default:
 		return false
 	}
@@ -157,6 +334,11 @@ func Dependent(a, b Op) bool {
 // the unlocker; lock requires it free), nor can two unlocks of the same
 // mutex (only the holder may unlock). DPOR uses this to avoid useless
 // backtrack points.
+//
+// Every pair of channel operations may be co-enabled: closes are
+// always enabled, sends are enabled together while capacity remains
+// (or on a closed channel, where the panic fires), and two receives
+// are co-enabled whenever the channel is non-empty or closed.
 func MayBeCoEnabled(a, b Op) bool {
 	if a.Kind.IsMutexOp() && b.Kind.IsMutexOp() && a.Obj == b.Obj {
 		return a.Kind == KindLock && b.Kind == KindLock

@@ -169,7 +169,7 @@ func Run(src model.Source, ch Chooser, opt Options) Outcome {
 		maxSteps = DefaultMaxSteps
 	}
 	m := model.NewMachineCfg(src, model.MachineConfig{StallTimeout: opt.StallTimeout})
-	tr := hb.NewTracker(src.NumThreads(), src.NumVars(), src.NumMutexes())
+	tr := hb.NewTrackerChans(src.NumThreads(), src.NumVars(), src.NumMutexes(), model.NumChannels(src))
 	var out Outcome
 	var enabled []event.ThreadID
 	// Hoist the nil test out of the loop: with no caller context the

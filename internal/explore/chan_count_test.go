@@ -1,0 +1,169 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/progdsl"
+)
+
+// chanCountCase pins hand-counted schedule totals for exhaustive DFS
+// and DPOR on one channel program: the channel dependence rules must
+// prune exactly the commuting interleavings and nothing more.
+type chanCountCase struct {
+	name      string
+	build     func() model.Source
+	dfs, dpor int
+}
+
+// TestChanScheduleCountsHand pins the channel independence rules
+// against hand-enumerated schedule spaces. Counts are derived on
+// paper: n always-enabled straight-line threads interleave in
+// multinomial(lengths) ways under DFS, and DPOR explores one
+// representative per dependence-equivalence class.
+func TestChanScheduleCountsHand(t *testing.T) {
+	cases := []chanCountCase{
+		{
+			// t0: send c0; t1: send c1 — distinct channels commute.
+			// DFS: 2 interleavings. DPOR: the reversal is independent,
+			// so 1 schedule.
+			name: "distinct-channels-2",
+			build: func() model.Source {
+				b := progdsl.New("count-distinct-2").AutoStart()
+				c0 := b.Chan("c0", 1)
+				c1 := b.Chan("c1", 1)
+				b.Thread().SendConst(c0, 1)
+				b.Thread().SendConst(c1, 2)
+				return b.Build()
+			},
+			dfs: 2, dpor: 1,
+		},
+		{
+			// Three sends on three distinct channels: DFS 3! = 6, DPOR
+			// 1 — full pruning of pairwise-independent events.
+			name: "distinct-channels-3",
+			build: func() model.Source {
+				b := progdsl.New("count-distinct-3").AutoStart()
+				c0 := b.Chan("c0", 1)
+				c1 := b.Chan("c1", 1)
+				c2 := b.Chan("c2", 1)
+				b.Thread().SendConst(c0, 1)
+				b.Thread().SendConst(c1, 2)
+				b.Thread().SendConst(c2, 3)
+				return b.Build()
+			},
+			dfs: 6, dpor: 1,
+		},
+		{
+			// Two sends on the SAME channel (capacity 2, neither ever
+			// blocks): dependent — the buffer orders differ — so DPOR
+			// must keep both interleavings. No overpruning.
+			name: "same-channel-2",
+			build: func() model.Source {
+				b := progdsl.New("count-same-2").AutoStart()
+				c := b.Chan("c", 2)
+				b.Thread().SendConst(c, 1)
+				b.Thread().SendConst(c, 2)
+				return b.Build()
+			},
+			dfs: 2, dpor: 2,
+		},
+		{
+			// Send vs non-blocking receive on the same channel: the
+			// tryrecv observes emptiness or the sent value depending on
+			// the order — dependent, both orders kept.
+			name: "send-vs-tryrecv",
+			build: func() model.Source {
+				b := progdsl.New("count-send-tryrecv").AutoStart()
+				c := b.Chan("c", 1)
+				b.Thread().SendConst(c, 7)
+				b.Thread().TryRecv(0, 1, c)
+				return b.Build()
+			},
+			dfs: 2, dpor: 2,
+		},
+		{
+			// A defaulting select over {c0} vs a send on c1: footprints
+			// are disjoint, so the pair commutes and DPOR halves DFS.
+			name: "select-disjoint-send",
+			build: func() model.Source {
+				b := progdsl.New("count-select-disjoint").AutoStart()
+				c0 := b.Chan("c0", 1)
+				c1 := b.Chan("c1", 1)
+				b.Thread().TryRecv(0, 1, c0)
+				b.Thread().SendConst(c1, 2)
+				return b.Build()
+			},
+			dfs: 2, dpor: 1,
+		},
+		{
+			// The same select with c1 added to its case set: now the
+			// footprints intersect, the orders differ observably, and
+			// DPOR must keep both.
+			name: "select-overlapping-send",
+			build: func() model.Source {
+				b := progdsl.New("count-select-overlap").AutoStart()
+				c0 := b.Chan("c0", 1)
+				c1 := b.Chan("c1", 1)
+				b.Thread().Select(0, 1, 2, true, c0, c1)
+				b.Thread().SendConst(c1, 2)
+				return b.Build()
+			},
+			dfs: 2, dpor: 2,
+		},
+		{
+			// Close vs send on the same channel: the reversal flips a
+			// clean schedule into a send-on-closed panic — maximally
+			// dependent, both orders kept.
+			name: "close-vs-send",
+			build: func() model.Source {
+				b := progdsl.New("count-close-send").AutoStart()
+				c := b.Chan("c", 1)
+				b.Thread().Close(c)
+				b.Thread().SendConst(c, 1)
+				return b.Build()
+			},
+			dfs: 2, dpor: 2,
+		},
+		{
+			// Mixed universes stay independent too: a send on c0 and a
+			// lock-protected write share nothing. 2 threads, 3 events
+			// for the locked thread: DFS = C(4,1) = 4 placements of the
+			// send among lock/write/unlock; DPOR: 1.
+			name: "channel-vs-mutex",
+			build: func() model.Source {
+				b := progdsl.New("count-chan-mutex").AutoStart()
+				c := b.Chan("c", 1)
+				m := b.Mutex("m")
+				x := b.Var("x")
+				b.Thread().SendConst(c, 1)
+				b.Thread().Lock(m).WriteConst(x, 1).Unlock(m)
+				return b.Build()
+			},
+			dfs: 4, dpor: 1,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			opt := Options{MaxSteps: 200}
+			dfs := NewDFS().Explore(tc.build(), opt)
+			if dfs.HitLimit {
+				t.Fatal("dfs hit a limit on a hand-counted space")
+			}
+			if dfs.Schedules != tc.dfs {
+				t.Errorf("dfs explored %d schedules, hand count says %d", dfs.Schedules, tc.dfs)
+			}
+			dpor := NewDPOR(false).Explore(tc.build(), opt)
+			if dpor.Schedules != tc.dpor {
+				t.Errorf("dpor explored %d schedules, hand count says %d", dpor.Schedules, tc.dpor)
+			}
+			// The pruned schedules must all be redundant: both engines
+			// see the same violation classes and distinct lazy HBRs.
+			if (dfs.Panics > 0) != (dpor.Panics > 0) || (dfs.Deadlocks > 0) != (dpor.Deadlocks > 0) ||
+				(dfs.AssertFailures > 0) != (dpor.AssertFailures > 0) {
+				t.Errorf("dpor verdicts differ from dfs: dfs=%+v dpor=%+v", countersOf(dfs), countersOf(dpor))
+			}
+		})
+	}
+}

@@ -92,6 +92,11 @@ func summarizeCS(trace []event.Event, lockIdx int) csSummary {
 			return cs // unlock of a different mutex: nested sync
 		case event.KindLock, event.KindSpawn, event.KindJoin:
 			return cs // nested sync or thread structure: not clean
+		case event.KindSend, event.KindRecv, event.KindClose, event.KindSelect:
+			// Channel operations synchronise through their own clocks,
+			// outside the read/write footprint this summary models: any
+			// channel traffic inside the section disqualifies it.
+			return cs
 		case event.KindAssert:
 			// Thread-local; harmless.
 		}
@@ -212,6 +217,7 @@ type dporState struct {
 	varWrites [][]int32
 	varReads  [][]int32
 	muLocks   [][]int32
+	chOps     [][]int32
 }
 
 func newDPORState(src model.Source, opt Options) *dporState {
@@ -220,6 +226,7 @@ func newDPORState(src model.Source, opt Options) *dporState {
 		varWrites: make([][]int32, src.NumVars()),
 		varReads:  make([][]int32, src.NumVars()),
 		muLocks:   make([][]int32, src.NumMutexes()),
+		chOps:     make([][]int32, model.NumChannels(src)),
 	}
 }
 
@@ -234,6 +241,17 @@ func (s *dporState) step(t event.ThreadID) {
 		s.varReads[ev.Obj] = append(s.varReads[ev.Obj], idx)
 	case event.KindLock:
 		s.muLocks[ev.Obj] = append(s.muLocks[ev.Obj], idx)
+	case event.KindSend, event.KindRecv, event.KindClose:
+		s.chOps[ev.Obj] = append(s.chOps[ev.Obj], idx)
+	case event.KindSelect:
+		// A committed select observed (and republished the clock of)
+		// every case channel, so it joins each one's total order.
+		for mask, ch := event.SelectCases(ev.Val), 0; mask != 0; ch++ {
+			if mask&1 != 0 {
+				s.chOps[ch] = append(s.chOps[ch], idx)
+			}
+			mask >>= 1
+		}
 	}
 }
 
@@ -252,6 +270,7 @@ func (s *dporState) resetTo(d int) {
 	trunc(s.varWrites)
 	trunc(s.varReads)
 	trunc(s.muLocks)
+	trunc(s.chOps)
 }
 
 // lastDep returns the index of the most recent trace event that is
@@ -265,7 +284,12 @@ func (s *dporState) resetTo(d int) {
 //     write, else the last write;
 //   - pending lock: the last lock of the mutex (lock events of one
 //     mutex are totally ordered; unlocks are never co-enabled with
-//     locks).
+//     locks);
+//   - pending send/recv/close: the last operation on the channel (all
+//     operations on one channel, committed selects included, are
+//     totally ordered by the per-channel clock);
+//   - pending select: the latest such last-operation over its case
+//     channels.
 func (s *dporState) lastDep(p event.ThreadID, op event.Op) int {
 	notHB := func(i int32) bool { return !s.c.tr.HappensBeforeNext(s.c.trace[i], p) }
 	switch op.Kind {
@@ -291,6 +315,24 @@ func (s *dporState) lastDep(p event.ThreadID, op event.Op) int {
 		if ls := s.muLocks[op.Obj]; len(ls) > 0 && notHB(ls[len(ls)-1]) {
 			return int(ls[len(ls)-1])
 		}
+	case event.KindSend, event.KindRecv, event.KindClose:
+		if cs := s.chOps[op.Obj]; len(cs) > 0 && notHB(cs[len(cs)-1]) {
+			return int(cs[len(cs)-1])
+		}
+	case event.KindSelect:
+		// Per-channel total order makes only each case channel's last
+		// operation a candidate; events of distinct channels are
+		// mutually unordered, so take the latest not-ordered one.
+		best := -1
+		for mask, ch := event.SelectCases(op.Val), 0; mask != 0; ch++ {
+			if mask&1 != 0 {
+				if cs := s.chOps[ch]; len(cs) > 0 && int(cs[len(cs)-1]) > best && notHB(cs[len(cs)-1]) {
+					best = int(cs[len(cs)-1])
+				}
+			}
+			mask >>= 1
+		}
+		return best
 	}
 	return -1
 }

@@ -37,6 +37,9 @@ func soundnessZoo() []model.Source {
 		curatedSpawnJoinTree(),
 		curatedDeadlockable(),
 		curatedMixedMutexVar(),
+		curatedChanRace(),
+		curatedChanCloseRace(),
+		curatedChanSelect(),
 	)
 	probe := NewDFS()
 	for seed := int64(100); seed < 140 && len(zoo) < size; seed++ {

@@ -214,6 +214,48 @@ func curatedMixedMutexVar() *progdsl.Program {
 	return b.Build()
 }
 
+// curatedChanRace: two senders race for a 1-slot buffer while the
+// consumer drains both and mixes the first value into a shared store —
+// channel and variable dependence in one program.
+func curatedChanRace() *progdsl.Program {
+	b := progdsl.New("curated-chan-race").AutoStart()
+	c := b.Chan("c", 1)
+	out := b.Var("out")
+	b.Thread().SendConst(c, 1)
+	b.Thread().SendConst(c, 2)
+	t := b.Thread()
+	t.Recv(0, 1, c).Write(out, 0).Recv(2, 1, c)
+	return b.Build()
+}
+
+// curatedChanCloseRace: a close racing a send on a buffered channel
+// (panic in close-first schedules) with a receiver draining whichever
+// outcome — every channel verdict class in four events.
+func curatedChanCloseRace() *progdsl.Program {
+	b := progdsl.New("curated-chan-close-race").AutoStart()
+	c := b.Chan("c", 1)
+	b.Thread().SendConst(c, 3)
+	b.Thread().Close(c)
+	b.Thread().Recv(0, 1, c)
+	return b.Build()
+}
+
+// curatedChanSelect: a select multiplexing two producers on distinct
+// channels, then non-blocking drains of both — committed selects must
+// join every case channel's total order for the engines to agree.
+func curatedChanSelect() *progdsl.Program {
+	b := progdsl.New("curated-chan-select").AutoStart()
+	ca := b.Chan("ca", 1)
+	cb := b.Chan("cb", 1)
+	b.Thread().SendConst(ca, 1)
+	b.Thread().SendConst(cb, 2)
+	t := b.Thread()
+	t.Select(0, 1, 2, false, ca, cb)
+	t.TryRecv(0, 1, ca)
+	t.TryRecv(0, 1, cb)
+	return b.Build()
+}
+
 // genRandomProgram is the property-based generator: small programs
 // with well-nested critical sections, mixed private/shared accesses
 // and bounded length, guaranteed to terminate.

@@ -676,7 +676,7 @@ func newCursor(src model.Source, opt Options) *cursor {
 		backend:  resolved,
 		mcfg:     mcfg,
 		m:        model.NewMachineCfg(src, mcfg),
-		tr:       hb.NewTracker(src.NumThreads(), src.NumVars(), src.NumMutexes()),
+		tr:       hb.NewTrackerChans(src.NumThreads(), src.NumVars(), src.NumMutexes(), model.NumChannels(src)),
 	}
 	switch c.backend {
 	case BackendUndo:
@@ -695,9 +695,9 @@ func newCursor(src model.Source, opt Options) *cursor {
 	}
 	if seed := opt.TrackerSeed; seed != nil && len(opt.Prefix) > 1 {
 		nt, nv, nm := seed.Universe()
-		if nt != src.NumThreads() || nv != src.NumVars() || nm != src.NumMutexes() {
-			panic(fmt.Sprintf("explore: tracker seed universe (%d,%d,%d) does not match program %q (%d,%d,%d)",
-				nt, nv, nm, src.Name(), src.NumThreads(), src.NumVars(), src.NumMutexes()))
+		if nt != src.NumThreads() || nv != src.NumVars() || nm != src.NumMutexes() || seed.Channels() != model.NumChannels(src) {
+			panic(fmt.Sprintf("explore: tracker seed universe (%d,%d,%d,%d chans) does not match program %q (%d,%d,%d,%d chans)",
+				nt, nv, nm, seed.Channels(), src.Name(), src.NumThreads(), src.NumVars(), src.NumMutexes(), model.NumChannels(src)))
 		}
 		if seed.Events() != len(opt.Prefix)-1 {
 			panic(fmt.Sprintf("explore: tracker seed covers %d events, prefix wants %d",
@@ -886,7 +886,7 @@ func (c *cursor) resetTo(d int) {
 	default:
 		c.m.Abort()
 		c.m = model.NewMachineCfg(c.src, c.mcfg)
-		c.tr = hb.NewTracker(c.src.NumThreads(), c.src.NumVars(), c.src.NumMutexes())
+		c.tr = hb.NewTrackerChans(c.src.NumThreads(), c.src.NumVars(), c.src.NumMutexes(), model.NumChannels(c.src))
 		for i := 0; i < d; i++ {
 			ev := c.m.Step(c.choices[i])
 			c.tr.ApplyFast(ev)

@@ -173,6 +173,154 @@ func TestEngineEquivalenceCorpus(t *testing.T) {
 	}
 }
 
+// checkChanEquivalence is the message-passing differential oracle:
+// decode data with the channel decoder (sends, receives, closes,
+// selects over a small channel universe), then require exactly what
+// the healthy oracle requires — counting chain, byte-identical
+// counters across the four backends, full-coverage agreement with
+// exhaustive DFS — plus agreement on the channel-specific verdicts:
+// deadlocks (a blocked receive nobody serves) and panics (send on
+// closed, close of closed).
+func checkChanEquivalence(t *testing.T, data []byte) {
+	src := progdsl.ChanFromBytes("chan-fuzz", data)
+	if src == nil {
+		t.Skip("input too short to decode")
+	}
+	mkOpt := func(b BackendKind) Options {
+		return Options{ScheduleLimit: fuzzProbeLimit, MaxSteps: 500, RecordStates: true, Backend: b}
+	}
+
+	dfs := NewDFS().Explore(src, mkOpt(BackendUndo))
+	if err := dfs.CheckInvariant(); err != nil {
+		t.Fatalf("dfs: %v", err)
+	}
+	exhausted := !dfs.HitLimit && dfs.Truncated == 0
+
+	engines := []struct {
+		eng          Engine
+		fullCoverage bool
+	}{
+		{NewDFS(), true},
+		{NewDPOR(false), true},
+		{NewDPOR(true), true},
+		{NewLazyDPOR(), false},
+		{NewHBRCache(), false},
+		{NewLazyHBRCache(), false},
+	}
+	for _, e := range engines {
+		eng := e.eng
+		undo := eng.Explore(src, mkOpt(BackendUndo))
+		snap := eng.Explore(src, mkOpt(BackendSnapshot))
+		repl := eng.Explore(src, mkOpt(BackendReplay))
+		if err := undo.CheckInvariant(); err != nil {
+			t.Errorf("%s: %v", eng.Name(), err)
+		}
+		if got, want := countersOf(undo), countersOf(snap); got != want {
+			t.Errorf("%s: undo and snapshot backends disagree:\n undo=%+v\n snap=%+v", eng.Name(), got, want)
+		}
+		if got, want := countersOf(undo), countersOf(repl); got != want {
+			t.Errorf("%s: undo and replay backends disagree:\n undo=%+v\n repl=%+v", eng.Name(), got, want)
+		}
+		if got, want := countersOf(undo), countersOf(eng.Explore(src, mkOpt(BackendAuto))); got != want {
+			t.Errorf("%s: undo and auto backends disagree:\n undo=%+v\n auto=%+v", eng.Name(), got, want)
+		}
+		if exhausted && !undo.HitLimit {
+			if e.fullCoverage &&
+				(undo.DistinctHBRs != dfs.DistinctHBRs || undo.DistinctLazyHBRs != dfs.DistinctLazyHBRs) {
+				t.Errorf("%s HBR coverage disagrees with exhaustive DFS:\n %s=%+v\n dfs=%+v",
+					eng.Name(), eng.Name(), countersOf(undo), countersOf(dfs))
+			}
+			if undo.DistinctStates != dfs.DistinctStates || !reflect.DeepEqual(undo.States, dfs.States) {
+				t.Errorf("%s found a different state set than exhaustive DFS (%d vs %d states)",
+					eng.Name(), undo.DistinctStates, dfs.DistinctStates)
+			}
+			if (undo.AssertFailures > 0) != (dfs.AssertFailures > 0) ||
+				(undo.Panics > 0) != (dfs.Panics > 0) ||
+				(undo.Deadlocks > 0) != (dfs.Deadlocks > 0) ||
+				(undo.Races > 0) != (dfs.Races > 0) {
+				t.Errorf("%s safety verdicts disagree with exhaustive DFS", eng.Name())
+			}
+		}
+	}
+
+	// Samplers: counting invariant, exact backend identity, and
+	// verdict containment against the exhausted space.
+	for _, eng := range []Engine{
+		NewRandomWalk(3),
+		NewPCT(3, 2),
+		NewPOS(3),
+	} {
+		sOpt := func(b BackendKind) Options {
+			o := mkOpt(b)
+			o.ScheduleLimit = 40
+			return o
+		}
+		undo := eng.Explore(src, sOpt(BackendUndo))
+		if err := undo.CheckInvariant(); err != nil {
+			t.Errorf("%s: %v", eng.Name(), err)
+		}
+		if got, want := countersOf(undo), countersOf(eng.Explore(src, sOpt(BackendSnapshot))); got != want {
+			t.Errorf("%s: undo and snapshot backends disagree:\n undo=%+v\n snap=%+v", eng.Name(), got, want)
+		}
+		if got, want := countersOf(undo), countersOf(eng.Explore(src, sOpt(BackendReplay))); got != want {
+			t.Errorf("%s: undo and replay backends disagree:\n undo=%+v\n repl=%+v", eng.Name(), got, want)
+		}
+		if got, want := countersOf(undo), countersOf(eng.Explore(src, sOpt(BackendAuto))); got != want {
+			t.Errorf("%s: undo and auto backends disagree:\n undo=%+v\n auto=%+v", eng.Name(), got, want)
+		}
+		if exhausted {
+			dfsStates := make(map[string]bool, len(dfs.States))
+			for _, s := range dfs.States {
+				dfsStates[s] = true
+			}
+			for _, s := range undo.States {
+				if !dfsStates[s] {
+					t.Errorf("%s reached terminal state %q that exhaustive DFS never saw", eng.Name(), s)
+				}
+			}
+			if (undo.AssertFailures > 0 && dfs.AssertFailures == 0) ||
+				(undo.Panics > 0 && dfs.Panics == 0) ||
+				(undo.Deadlocks > 0 && dfs.Deadlocks == 0) ||
+				(undo.Races > 0 && dfs.Races == 0) {
+				t.Errorf("%s found a violation class exhaustive DFS says cannot occur", eng.Name())
+			}
+		}
+	}
+}
+
+// FuzzChanEquivalence is the native fuzz target behind the committed
+// corpus in testdata/fuzz/FuzzChanEquivalence: the channel-subsystem
+// twin of FuzzEngineEquivalence, over programs built from
+// send/recv/close/select.
+func FuzzChanEquivalence(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0})                       // lone send
+	f.Add([]byte{0, 0, 0, 0, 0, 1, 0})              // send vs blocking recv
+	f.Add([]byte{0, 1, 1, 0, 0, 0, 1, 3, 0, 1, 0})  // two channels, close racing a send
+	f.Add([]byte{1, 1, 2, 4, 0, 0, 0, 0, 1, 1, 0})  // select vs sends on both channels
+	f.Add([]byte{0, 0, 0, 2, 0, 1, 0, 0, 0})        // tryrecv theft then blocking recv
+	f.Add([]byte{1, 0, 0, 5, 0, 0, 16, 3, 0, 1, 0}) // recv-into-store, send, close, recv
+	f.Add([]byte{0, 1, 9, 4, 1, 4, 0, 0, 0, 3, 1})  // duelling selects with a default arm
+	for _, data := range progdsl.FuzzCorpus(8, 2025) {
+		f.Add(data)
+	}
+	f.Fuzz(checkChanEquivalence)
+}
+
+// TestChanEquivalenceCorpus replays a bounded deterministic slice of
+// the channel input space in the normal -short suite.
+func TestChanEquivalenceCorpus(t *testing.T) {
+	n := 120
+	if testing.Short() {
+		n = 30
+	}
+	for i, data := range progdsl.FuzzCorpus(n, 55) {
+		i, data := i, data
+		t.Run(fmt.Sprintf("corpus-%03d", i), func(t *testing.T) {
+			checkChanEquivalence(t, data)
+		})
+	}
+}
+
 // checkHostileEquivalence is the fault-containment differential
 // oracle: decode data with the hostile decoder (panicking and
 // diverging thread bodies allowed), then require that

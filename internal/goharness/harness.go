@@ -32,6 +32,9 @@ type Var int32
 // Mutex names a mutex of a harness program.
 type Mutex int32
 
+// Chan names a channel of a harness program.
+type Chan int32
+
 // ThreadRef names a declared thread.
 type ThreadRef event.ThreadID
 
@@ -45,14 +48,17 @@ type Program struct {
 	name      string
 	varNames  []string
 	muNames   []string
+	chanNames []string
+	chanCaps  []int32
 	bodies    []Body
 	init      map[Var]int64
 	autoStart bool
 }
 
 var (
-	_ model.Source     = (*Program)(nil)
-	_ model.InitStorer = (*Program)(nil)
+	_ model.Source        = (*Program)(nil)
+	_ model.InitStorer    = (*Program)(nil)
+	_ model.ChannelSource = (*Program)(nil)
 )
 
 // New returns an empty harness program.
@@ -86,6 +92,17 @@ func (p *Program) Mutex(name string) Mutex {
 	return Mutex(len(p.muNames) - 1)
 }
 
+// Chan declares a channel with the given buffer capacity; 0 means
+// unbuffered (rendezvous).
+func (p *Program) Chan(name string, capacity int) Chan {
+	if capacity < 0 {
+		panic(fmt.Sprintf("goharness: Chan %q capacity %d", name, capacity))
+	}
+	p.chanNames = append(p.chanNames, name)
+	p.chanCaps = append(p.chanCaps, int32(capacity))
+	return Chan(len(p.chanNames) - 1)
+}
+
 // Thread declares a thread running body. The first thread declared is
 // the initial thread.
 func (p *Program) Thread(body Body) ThreadRef {
@@ -104,6 +121,12 @@ func (p *Program) NumVars() int { return len(p.varNames) }
 
 // NumMutexes implements model.Source.
 func (p *Program) NumMutexes() int { return len(p.muNames) }
+
+// NumChannels implements model.ChannelSource.
+func (p *Program) NumChannels() int { return len(p.chanNames) }
+
+// ChannelCap implements model.ChannelSource.
+func (p *Program) ChannelCap(c int32) int { return int(p.chanCaps[c]) }
 
 // InitStore implements model.InitStorer.
 func (p *Program) InitStore(store []int64) {
@@ -379,6 +402,86 @@ func (g *G) Spawn(t ThreadRef) {
 // Join blocks until thread t has terminated.
 func (g *G) Join(t ThreadRef) {
 	g.visible(event.Op{Kind: event.KindJoin, Obj: int32(t)})
+}
+
+// Send sends x on channel c (a visible operation). It blocks while the
+// channel is full — unbuffered: until a receiver is pending — and
+// panics if the channel is closed, which the machine records as a
+// panic violation and terminates this thread.
+func (g *G) Send(c Chan, x int64) {
+	g.visible(event.Op{Kind: event.KindSend, Obj: int32(c), Val: x})
+}
+
+// Recv receives from channel c (a visible operation), blocking while
+// the channel is empty and open. On a closed empty channel it returns
+// (0, false); otherwise the drained value and true.
+func (g *G) Recv(c Chan) (int64, bool) {
+	return event.UnpackRecvResult(g.visible(event.Op{Kind: event.KindRecv, Obj: int32(c)}))
+}
+
+// TryRecv is a non-blocking receive — a single-case select with a
+// default. It returns (value, true) when a value was ready and
+// (0, false) otherwise (including a closed empty channel).
+func (g *G) TryRecv(c Chan) (int64, bool) {
+	r := g.visible(event.Op{
+		Kind: event.KindSelect, Obj: -1,
+		Val: event.MakeSelectVal(1<<int32(c), true),
+	})
+	_, val, ok := event.UnpackSelectResult(r)
+	return val, ok
+}
+
+// Close closes channel c (a visible operation). Closing an
+// already-closed channel panics, like Go.
+func (g *G) Close(c Chan) {
+	g.visible(event.Op{Kind: event.KindClose, Obj: int32(c)})
+}
+
+// Select blocks until one of the case channels is ready (non-empty or
+// closed) and receives from it — one visible operation. It returns the
+// index into cs of the chosen case, the received value, and the ok
+// flag (false when the chosen channel was closed and empty). The
+// machine commits deterministically to the lowest-numbered ready
+// channel; case nondeterminism is explored through arrival
+// interleavings. Case channels must be distinct.
+func (g *G) Select(cs ...Chan) (idx int, val int64, ok bool) {
+	ch, val, ok := g.selectOn(cs, false)
+	for i, c := range cs {
+		if int32(c) == ch {
+			return i, val, ok
+		}
+	}
+	panic(fmt.Sprintf("goharness: select committed to undeclared case channel c%d", ch))
+}
+
+// TrySelect is Select with a default case: when no case channel is
+// ready it returns idx = -1 immediately instead of blocking.
+func (g *G) TrySelect(cs ...Chan) (idx int, val int64, ok bool) {
+	ch, val, ok := g.selectOn(cs, true)
+	if ch < 0 {
+		return -1, 0, false
+	}
+	for i, c := range cs {
+		if int32(c) == ch {
+			return i, val, ok
+		}
+	}
+	panic(fmt.Sprintf("goharness: select committed to undeclared case channel c%d", ch))
+}
+
+func (g *G) selectOn(cs []Chan, hasDefault bool) (int32, int64, bool) {
+	if len(cs) == 0 {
+		panic("goharness: select with no cases")
+	}
+	var mask int64
+	for _, c := range cs {
+		if c < 0 || c >= event.MaxSelectChans {
+			panic(fmt.Sprintf("goharness: select case channel c%d out of mask range", c))
+		}
+		mask |= 1 << int32(c)
+	}
+	r := g.visible(event.Op{Kind: event.KindSelect, Obj: -1, Val: event.MakeSelectVal(mask, hasDefault)})
+	return event.UnpackSelectResult(r)
 }
 
 // Assert records ok as a visible assertion; a false value is a safety

@@ -18,6 +18,20 @@
 //     are unordered by this relation constitute data races; the tracker
 //     reports them FastTrack-style.
 //
+// Channel operations (send/recv/close/select) induce a per-channel
+// total order in all three relations, mirroring event.Dependent: any
+// two operations touching a common channel are dependent, so the
+// happens-before relation used for partial-order reduction must order
+// them. The per-channel clock subsumes the exact send→recv pairing and
+// close→recv edges (the k-th receive joins a clock that already
+// includes the k-th send, and any receive after a close joins the
+// close's clock). Unlike mutex edges, channel edges are KEPT by the
+// lazy relation: channels carry data, so their ordering is
+// value-relevant the way variable edges are, not schedule-incidental
+// the way lock handoffs are. A select joins and republishes the clocks
+// of every channel in its case set — committing (even to the default
+// case) observes the readiness of all of them.
+//
 // Each partial order is summarised by a canonical Fingerprint that is
 // invariant under linearization, so two schedules have equal
 // fingerprints iff they have equal (lazy) HBRs (up to hash collision
@@ -139,7 +153,7 @@ func (a *clockArena) alloc(n int) vclock.VC {
 // Tracker computes the three relations online. It is not safe for
 // concurrent use; explorations are single-threaded by construction.
 type Tracker struct {
-	nthreads, nvars, nmutexes int
+	nthreads, nvars, nmutexes, nchans int
 
 	// slab backs every clock-reference field below in one allocation,
 	// so Clone is a single copy. All clocks referenced from the slab
@@ -163,6 +177,11 @@ type Tracker struct {
 	// Per-mutex clock of the last lock/unlock event, for the regular
 	// and sync relations. The lazy relation has no mutex state.
 	mHB, mSync []vclock.VC
+
+	// Per-channel clock of the last channel operation, for all three
+	// relations: channel edges are data-carrying, so the lazy relation
+	// keeps them (only mutex edges are dropped).
+	chHB, chLazy, chSync []vclock.VC
 
 	// Last-access events per variable, for race reports; evSlab and
 	// hasSlab back the four views in one allocation each.
@@ -195,24 +214,32 @@ func (tr *Tracker) carve() {
 		s = s[n:]
 		return out
 	}
-	n, v, m := tr.nthreads, tr.nvars, tr.nmutexes
+	n, v, m, c := tr.nthreads, tr.nvars, tr.nmutexes, tr.nchans
 	tr.hbT, tr.lazyT, tr.syncT = take(n), take(n), take(n)
 	tr.wHB, tr.rHB = take(v), take(v)
 	tr.wLazy, tr.rLazy = take(v), take(v)
 	tr.wSync, tr.rSync = take(v), take(v)
 	tr.mHB, tr.mSync = take(m), take(m)
+	tr.chHB, tr.chLazy, tr.chSync = take(c), take(c), take(c)
 	tr.lastWriteEv, tr.lastReadEv = tr.evSlab[:v:v], tr.evSlab[v:]
 	tr.hasWriteEv, tr.hasReadEv = tr.hasSlab[:v:v], tr.hasSlab[v:]
 }
 
-// NewTracker creates a tracker for a program universe of the given
-// sizes.
+// NewTracker creates a tracker for a channel-free program universe of
+// the given sizes.
 func NewTracker(nthreads, nvars, nmutexes int) *Tracker {
+	return NewTrackerChans(nthreads, nvars, nmutexes, 0)
+}
+
+// NewTrackerChans creates a tracker for a program universe that
+// includes nchans channels.
+func NewTrackerChans(nthreads, nvars, nmutexes, nchans int) *Tracker {
 	tr := &Tracker{
 		nthreads: nthreads,
 		nvars:    nvars,
 		nmutexes: nmutexes,
-		slab:     make([]vclock.VC, 3*nthreads+6*nvars+2*nmutexes),
+		nchans:   nchans,
+		slab:     make([]vclock.VC, 3*nthreads+6*nvars+2*nmutexes+3*nchans),
 		evSlab:   make([]event.Event, 2*nvars),
 		hasSlab:  make([]bool, 2*nvars),
 	}
@@ -229,6 +256,11 @@ func (tr *Tracker) Events() int { return tr.events }
 func (tr *Tracker) Universe() (nthreads, nvars, nmutexes int) {
 	return tr.nthreads, tr.nvars, tr.nmutexes
 }
+
+// Channels returns the channel-universe size the tracker was created
+// for (the fourth Universe dimension, kept separate for
+// compatibility).
+func (tr *Tracker) Channels() int { return tr.nchans }
 
 // HBFingerprint returns the fingerprint of the regular HBR of the
 // event prefix applied so far.
@@ -399,6 +431,43 @@ func (tr *Tracker) apply(ev event.Event) (hbc, lazyc vclock.VC) {
 
 	case event.KindAssert, event.KindPanic:
 		// Thread-local: program order only.
+
+	case event.KindSend, event.KindRecv, event.KindClose:
+		// One total order per channel, in all three relations: every
+		// pair of same-channel operations is dependent (the ring order,
+		// the drained value, or a panic depends on their order), so all
+		// of them must be HB-ordered; the per-channel clock achieves
+		// exactly that and subsumes send→recv pairing and close→recv
+		// edges. Channel edges carry data, so the lazy relation keeps
+		// them (contrast KindLock/KindUnlock above).
+		c := ev.Obj
+		hb = hb.Join(tr.chHB[c])
+		lazy = lazy.Join(tr.chLazy[c])
+		sync = sync.Join(tr.chSync[c])
+		tr.chHB[c] = hb
+		tr.chLazy[c] = lazy
+		tr.chSync[c] = sync
+
+	case event.KindSelect:
+		// A commit observes every case channel (it picked the lowest
+		// ready one, or proved none ready for the default), so it joins
+		// and republishes all of their clocks.
+		for c, mask := int32(0), event.SelectCases(ev.Val); mask != 0; c, mask = c+1, mask>>1 {
+			if mask&1 == 0 {
+				continue
+			}
+			hb = hb.Join(tr.chHB[c])
+			lazy = lazy.Join(tr.chLazy[c])
+			sync = sync.Join(tr.chSync[c])
+		}
+		for c, mask := int32(0), event.SelectCases(ev.Val); mask != 0; c, mask = c+1, mask>>1 {
+			if mask&1 == 0 {
+				continue
+			}
+			tr.chHB[c] = hb
+			tr.chLazy[c] = lazy
+			tr.chSync[c] = sync
+		}
 	}
 
 	tr.hbT[t] = hb
@@ -439,7 +508,11 @@ func eventHash(ev event.Event, vc vclock.VC) uint64 {
 	mix32(uint32(ev.Index))
 	mixByte(byte(ev.Kind))
 	mix32(uint32(ev.Obj))
-	if ev.Kind == event.KindWrite || ev.Kind == event.KindAssert || ev.Kind == event.KindPanic {
+	switch ev.Kind {
+	case event.KindWrite, event.KindAssert, event.KindPanic,
+		event.KindSend, event.KindSelect:
+		// Val is part of the node's label: the written/sent value, the
+		// assert outcome, the panic code, or a select's case set.
 		mix32(uint32(uint64(ev.Val)))
 		mix32(uint32(uint64(ev.Val) >> 32))
 	}
@@ -464,6 +537,7 @@ func (tr *Tracker) Clone() *Tracker {
 		nthreads: tr.nthreads,
 		nvars:    tr.nvars,
 		nmutexes: tr.nmutexes,
+		nchans:   tr.nchans,
 		slab:     append([]vclock.VC(nil), tr.slab...),
 		evSlab:   append([]event.Event(nil), tr.evSlab...),
 		hasSlab:  append([]bool(nil), tr.hasSlab...),

@@ -20,10 +20,15 @@ import (
 // undoRec captures everything one apply mutates, keyed by the event's
 // kind. aux holds the kind-specific old references:
 //
-//	read v:         rHB[v], rLazy[v], rSync[v]
-//	write v:        wHB[v], rHB[v], wLazy[v], rLazy[v], wSync[v], rSync[v]
-//	lock/unlock mu: mHB[mu], mSync[mu]
-//	spawn c:        hbT[c], lazyT[c], syncT[c]
+//	read v:            rHB[v], rLazy[v], rSync[v]
+//	write v:           wHB[v], rHB[v], wLazy[v], rLazy[v], wSync[v], rSync[v]
+//	lock/unlock mu:    mHB[mu], mSync[mu]
+//	spawn c:           hbT[c], lazyT[c], syncT[c]
+//	send/recv/close c: chHB[c], chLazy[c], chSync[c]
+//
+// A select republishes the clocks of every channel in its case set, so
+// its record spills into auxSel (three references per case channel,
+// the only undo record that allocates).
 type undoRec struct {
 	thread event.ThreadID
 	kind   event.Kind
@@ -33,6 +38,12 @@ type undoRec struct {
 	hbT, lazyT, syncT vclock.VC
 
 	aux [6]vclock.VC
+
+	// Select case-set clocks: chHB, chLazy, chSync per case channel,
+	// ascending. val keeps the select's Op.Val so undo can re-walk the
+	// same case set.
+	auxSel []vclock.VC
+	val    int64
 
 	// Last-access metadata overwritten by variable events: lastReadEv
 	// for reads, lastWriteEv for writes, plus the has* flags.
@@ -86,6 +97,17 @@ func (tr *Tracker) record(ev event.Event) *undoRec {
 	case event.KindSpawn:
 		c := int(ev.Obj)
 		rec.aux[0], rec.aux[1], rec.aux[2] = tr.hbT[c], tr.lazyT[c], tr.syncT[c]
+	case event.KindSend, event.KindRecv, event.KindClose:
+		c := ev.Obj
+		rec.aux[0], rec.aux[1], rec.aux[2] = tr.chHB[c], tr.chLazy[c], tr.chSync[c]
+	case event.KindSelect:
+		rec.val = ev.Val
+		for c, mask := int32(0), event.SelectCases(ev.Val); mask != 0; c, mask = c+1, mask>>1 {
+			if mask&1 == 0 {
+				continue
+			}
+			rec.auxSel = append(rec.auxSel, tr.chHB[c], tr.chLazy[c], tr.chSync[c])
+		}
 	}
 	return rec
 }
@@ -115,6 +137,18 @@ func undoOne(dst *Tracker, r *undoRec) {
 	case event.KindSpawn:
 		c := int(r.obj)
 		dst.hbT[c], dst.lazyT[c], dst.syncT[c] = r.aux[0], r.aux[1], r.aux[2]
+	case event.KindSend, event.KindRecv, event.KindClose:
+		c := r.obj
+		dst.chHB[c], dst.chLazy[c], dst.chSync[c] = r.aux[0], r.aux[1], r.aux[2]
+	case event.KindSelect:
+		i := 0
+		for c, mask := int32(0), event.SelectCases(r.val); mask != 0; c, mask = c+1, mask>>1 {
+			if mask&1 == 0 {
+				continue
+			}
+			dst.chHB[c], dst.chLazy[c], dst.chSync[c] = r.auxSel[i], r.auxSel[i+1], r.auxSel[i+2]
+			i += 3
+		}
 	}
 	dst.hbFP[0] -= r.hbHash
 	dst.hbFP[1] ^= mix64(r.hbHash)

@@ -102,6 +102,25 @@ type InitStorer interface {
 	InitStore(store []int64)
 }
 
+// ChannelSource is optionally implemented by Sources whose programs
+// use channels. Sources without channels need not implement it.
+type ChannelSource interface {
+	// NumChannels returns the number of channels (indices 0..n-1).
+	NumChannels() int
+	// ChannelCap returns channel c's buffer capacity; 0 means
+	// unbuffered (rendezvous).
+	ChannelCap(c int32) int
+}
+
+// NumChannels returns src's channel-universe size: its ChannelSource
+// answer, or 0 when channels are not implemented.
+func NumChannels(src Source) int {
+	if cs, ok := src.(ChannelSource); ok {
+		return cs.NumChannels()
+	}
+	return 0
+}
+
 // Status is a thread's lifecycle state.
 type Status uint8
 
@@ -211,11 +230,27 @@ func ViolationKind(deadlocked bool, failures []Failure, raced bool) string {
 	return ""
 }
 
+// chanState is one channel of a machine: a FIFO ring of int64
+// payloads plus the closed flag. Unbuffered channels (capN == 0) use a
+// single ring slot as the rendezvous cell: the send deposits, the
+// paired receive drains. Blocking is not represented here — a channel
+// operation that cannot fire simply leaves its thread non-enabled, so
+// "waiter sets" are exactly the pending announcements the machine
+// already tracks.
+type chanState struct {
+	capN   int32 // declared capacity; 0 = unbuffered
+	head   int32 // ring index of the oldest value
+	count  int32 // values currently buffered
+	closed bool
+	buf    []int64 // len = max(capN, 1)
+}
+
 // Machine is one live execution instance of a Source.
 type Machine struct {
 	src      Source
 	store    []int64
 	owner    []event.ThreadID
+	chans    []chanState
 	status   []Status
 	cor      []Coroutine
 	steps    []int32
@@ -315,10 +350,28 @@ type undoRec struct {
 	spawned event.ThreadID // thread started by this step, or NoOwner
 	op      event.Op       // t's pending operation before the step
 	cor     Coroutine      // t's coroutine state before Resume
-	oldVal  int64          // overwritten store value (KindWrite)
+	oldVal  int64          // overwritten store value (KindWrite) or ring slot (KindSend)
 	oldOwn  event.ThreadID // previous mutex owner (KindLock/KindUnlock)
 	oldObs  uint64         // t's observation hash before the step (watchdog armed)
 	nfail   int32          // len(failures) before the step
+
+	// Channel reversal state: the mutated channel (-1 when the step
+	// touched none, e.g. a select that committed its default case) and
+	// its scalar state before the step. A drained value needs no copy:
+	// undo order is LIFO, so any later send that overwrote the slot is
+	// undone first and restores it through oldVal.
+	chObj    int32
+	chHead   int32
+	chCount  int32
+	chClosed bool
+}
+
+// saveChan captures channel c's scalar pre-state into the record.
+func (r *undoRec) saveChan(c int32, ch *chanState) {
+	r.chObj = c
+	r.chHead = ch.head
+	r.chCount = ch.count
+	r.chClosed = ch.closed
 }
 
 // NewMachine creates a machine at the initial state of src with the
@@ -344,6 +397,13 @@ func NewMachineCfg(src Source, cfg MachineConfig) *Machine {
 		havePend:  make([]bool, n),
 		stall:     cfg.StallTimeout,
 		divergedT: NoOwner,
+	}
+	if cs, ok := src.(ChannelSource); ok {
+		m.chans = make([]chanState, cs.NumChannels())
+		for c := range m.chans {
+			capN := cs.ChannelCap(int32(c))
+			m.chans[c] = chanState{capN: int32(capN), buf: make([]int64, max(capN, 1))}
+		}
 	}
 	if m.stall > 0 {
 		m.obsHash = make([]uint64, n)
@@ -454,6 +514,15 @@ func (m *Machine) Load(v int32) int64 { return m.store[v] }
 // Owner returns the holder of mutex mu, or NoOwner.
 func (m *Machine) Owner(mu int32) event.ThreadID { return m.owner[mu] }
 
+// NumChannels returns the channel-universe size.
+func (m *Machine) NumChannels() int { return len(m.chans) }
+
+// ChanLen returns the number of values buffered in channel c.
+func (m *Machine) ChanLen(c int32) int { return int(m.chans[c].count) }
+
+// ChanClosed reports whether channel c has been closed.
+func (m *Machine) ChanClosed(c int32) bool { return m.chans[c].closed }
+
 // Failures returns the safety violations recorded so far.
 func (m *Machine) Failures() []Failure { return m.failures }
 
@@ -478,9 +547,54 @@ func (m *Machine) Enabled(t event.ThreadID) bool {
 		return m.owner[op.Obj] == NoOwner
 	case event.KindJoin:
 		return m.status[op.Obj] == Done
+	case event.KindSend:
+		ch := &m.chans[op.Obj]
+		if ch.closed {
+			return true // fires the send-on-closed panic
+		}
+		if ch.capN > 0 {
+			return ch.count < ch.capN
+		}
+		// Unbuffered: the rendezvous slot must be free and a receiver
+		// must be committed to this channel. Only a dedicated pending
+		// recv gates the send — a pending select with a case on this
+		// channel may consume the value but does not enable the send,
+		// since it could commit to a different case and strand the
+		// deposit (documented v1 approximation).
+		return ch.count == 0 && m.recvPending(t, op.Obj)
+	case event.KindRecv:
+		ch := &m.chans[op.Obj]
+		return ch.count > 0 || ch.closed
+	case event.KindClose:
+		return true // close-of-closed fires a panic
+	case event.KindSelect:
+		if event.SelectHasDefault(op.Val) {
+			return true
+		}
+		for c, mask := int32(0), event.SelectCases(op.Val); mask != 0; c, mask = c+1, mask>>1 {
+			if mask&1 == 0 {
+				continue
+			}
+			if ch := &m.chans[c]; ch.count > 0 || ch.closed {
+				return true
+			}
+		}
+		return false
 	default:
 		return true
 	}
+}
+
+// recvPending reports whether some thread other than t has announced a
+// dedicated receive on channel c.
+func (m *Machine) recvPending(t event.ThreadID, c int32) bool {
+	for q := range m.pending {
+		if event.ThreadID(q) != t && m.havePend[q] &&
+			m.pending[q].Kind == event.KindRecv && m.pending[q].Obj == c {
+			return true
+		}
+	}
+	return false
 }
 
 // EnabledThreads appends the IDs of all enabled threads to buf (in
@@ -546,6 +660,7 @@ func (m *Machine) Step(t event.ThreadID) event.Event {
 			cor:     s.Snapshot(),
 			oldOwn:  NoOwner,
 			nfail:   int32(len(m.failures)),
+			chObj:   -1,
 		})
 		rec = &m.undo[len(m.undo)-1]
 		switch op.Kind {
@@ -553,9 +668,22 @@ func (m *Machine) Step(t event.ThreadID) event.Event {
 			rec.oldVal = m.store[op.Obj]
 		case event.KindLock, event.KindUnlock:
 			rec.oldOwn = m.owner[op.Obj]
+		case event.KindSend, event.KindRecv, event.KindClose:
+			ch := &m.chans[op.Obj]
+			rec.saveChan(op.Obj, ch)
+			if op.Kind == event.KindSend {
+				// The slot a deposit would overwrite; restoring it on
+				// undo is what keeps a later-undone receive's drained
+				// value alive (LIFO).
+				rec.oldVal = ch.buf[(ch.head+ch.count)%int32(len(ch.buf))]
+			}
+			// A select's mutated channel is only known after the
+			// commit; the execution branch fills the record then.
 		}
 	}
 	var result int64
+	killed := false
+	selChosen := int32(-1)
 	switch op.Kind {
 	case event.KindRead:
 		result = m.store[op.Obj]
@@ -586,14 +714,89 @@ func (m *Machine) Step(t event.ThreadID) event.Event {
 		}
 	case event.KindPanic:
 		m.fail(t, FailPanic, panicMessage(m.cor[t], op))
+	case event.KindSend:
+		ch := &m.chans[op.Obj]
+		if ch.closed {
+			m.fail(t, FailPanic, fmt.Sprintf("panic: send on closed channel c%d", op.Obj))
+			killed = true
+		} else {
+			ch.buf[(ch.head+ch.count)%int32(len(ch.buf))] = op.Val
+			ch.count++
+		}
+	case event.KindRecv:
+		ch := &m.chans[op.Obj]
+		if ch.count > 0 {
+			val := ch.buf[ch.head]
+			ch.head = (ch.head + 1) % int32(len(ch.buf))
+			ch.count--
+			result = event.PackRecvResult(val, true)
+		} else {
+			// Enabledness guarantees the channel is closed: yield the
+			// zero value with ok=false, like Go.
+			result = event.PackRecvResult(0, false)
+		}
+	case event.KindClose:
+		ch := &m.chans[op.Obj]
+		if ch.closed {
+			m.fail(t, FailPanic, fmt.Sprintf("panic: close of closed channel c%d", op.Obj))
+			killed = true
+		} else {
+			ch.closed = true
+		}
+	case event.KindSelect:
+		// Deterministic commit: the lowest-numbered ready case wins;
+		// the default fires only when no case is ready (enabledness
+		// guarantees a default exists in that situation).
+		for c, mask := int32(0), event.SelectCases(op.Val); mask != 0; c, mask = c+1, mask>>1 {
+			if mask&1 == 0 {
+				continue
+			}
+			if ch := &m.chans[c]; ch.count > 0 || ch.closed {
+				selChosen = c
+				break
+			}
+		}
+		if selChosen >= 0 {
+			ch := &m.chans[selChosen]
+			if rec != nil {
+				rec.saveChan(selChosen, ch)
+			}
+			if ch.count > 0 {
+				val := ch.buf[ch.head]
+				ch.head = (ch.head + 1) % int32(len(ch.buf))
+				ch.count--
+				result = event.PackSelectResult(selChosen, val, true)
+			} else {
+				result = event.PackSelectResult(selChosen, 0, false)
+			}
+		} else {
+			result = event.PackSelectResult(-1, 0, false)
+		}
 	}
 	ev := event.Event{Thread: t, Index: m.steps[t], Op: op, Seen: result}
 	if op.Kind == event.KindWrite {
 		ev.Seen = op.Val
 	}
+	if op.Kind == event.KindSelect {
+		// The committed event carries the chosen channel (-1 for the
+		// default case); the full case set stays in Val.
+		ev.Obj = selChosen
+	}
 	m.steps[t]++
 	m.executed++
 	m.havePend[t] = false
+	if killed {
+		// The operation panicked (send on closed, close of closed):
+		// the thread dies at this event, like a Go goroutine whose
+		// panic is the violation. Its coroutine never observes the
+		// result, so it is aborted rather than resumed; undo restores
+		// it from the record's snapshot.
+		if m.hints != nil && rec != nil {
+			rec.oldObs = m.obsHash[t]
+		}
+		m.killThread(t)
+		return ev
+	}
 	if m.hints != nil {
 		if rec != nil {
 			rec.oldObs = m.obsHash[t]
@@ -641,6 +844,20 @@ func (m *Machine) fail(t event.ThreadID, kind FailKind, msg string) {
 	m.failures = append(m.failures, Failure{Kind: kind, Thread: t, Index: m.steps[t], Msg: msg})
 }
 
+// killThread terminates thread t at a machine-detected panic (send on
+// closed, close of closed): the coroutine is released like an
+// abandoned execution's and the thread is Done.
+func (m *Machine) killThread(t event.ThreadID) {
+	if ta, ok := m.cor[t].(TimedAborter); ok && m.stall > 0 {
+		ta.AbortTimeout(m.stall)
+	} else if a, ok := m.cor[t].(Abortable); ok {
+		a.Abort()
+	}
+	m.status[t] = Done
+	m.cor[t] = nil
+	m.havePend[t] = false
+}
+
 // Abort releases external resources of all still-running coroutines.
 // The machine must not be used afterwards. With the watchdog armed,
 // coroutines that support timed aborts get the stall budget to comply
@@ -667,6 +884,7 @@ func (m *Machine) Snapshot() (*Machine, bool) {
 		src:       m.src,
 		store:     append([]int64(nil), m.store...),
 		owner:     append([]event.ThreadID(nil), m.owner...),
+		chans:     append([]chanState(nil), m.chans...),
 		status:    append([]Status(nil), m.status...),
 		cor:       make([]Coroutine, len(m.cor)),
 		steps:     append([]int32(nil), m.steps...),
@@ -678,6 +896,9 @@ func (m *Machine) Snapshot() (*Machine, bool) {
 		divergedT: m.divergedT,
 		obsHash:   append([]uint64(nil), m.obsHash...),
 		hints:     m.hints, // shared: hints are monotone program facts
+	}
+	for i := range cp.chans {
+		cp.chans[i].buf = append([]int64(nil), m.chans[i].buf...)
 	}
 	for t, c := range m.cor {
 		if c == nil {
@@ -739,6 +960,14 @@ func (m *Machine) UndoTo(mark int) {
 			m.store[r.op.Obj] = r.oldVal
 		case event.KindLock, event.KindUnlock:
 			m.owner[r.op.Obj] = r.oldOwn
+		case event.KindSend, event.KindRecv, event.KindClose, event.KindSelect:
+			if r.chObj >= 0 {
+				ch := &m.chans[r.chObj]
+				if r.op.Kind == event.KindSend {
+					ch.buf[(r.chHead+r.chCount)%int32(len(ch.buf))] = r.oldVal
+				}
+				ch.head, ch.count, ch.closed = r.chHead, r.chCount, r.chClosed
+			}
 		}
 		if r.spawned != NoOwner {
 			c := r.spawned
@@ -797,6 +1026,22 @@ func (m *Machine) sortedFailures() []Failure {
 func (m *Machine) StateKey() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "store=%v owners=%v status=%v", m.store, m.owner, m.status)
+	if len(m.chans) > 0 {
+		// Ring contents are rendered head-first: two rings holding the
+		// same values in the same FIFO order are the same logical
+		// state regardless of where the ring happens to start.
+		vals := make([][]int64, len(m.chans))
+		closed := make([]bool, len(m.chans))
+		for i := range m.chans {
+			ch := &m.chans[i]
+			vals[i] = make([]int64, 0, ch.count)
+			for k := int32(0); k < ch.count; k++ {
+				vals[i] = append(vals[i], ch.buf[(ch.head+k)%int32(len(ch.buf))])
+			}
+			closed[i] = ch.closed
+		}
+		fmt.Fprintf(&b, " chans=%v closed=%v", vals, closed)
+	}
 	if len(m.failures) > 0 {
 		fmt.Fprintf(&b, " failures=%v", m.sortedFailures())
 	}
@@ -836,6 +1081,20 @@ func (m *Machine) digestState(mix func(uint64)) {
 	}
 	for _, o := range m.owner {
 		mix(uint64(uint32(o)))
+	}
+	for i := range m.chans {
+		ch := &m.chans[i]
+		mix(uint64(uint32(ch.count)))
+		if ch.closed {
+			mix(1)
+		} else {
+			mix(0)
+		}
+		// Head-normalized: FIFO order from the ring head, so equal
+		// logical contents digest equally wherever the ring starts.
+		for k := int32(0); k < ch.count; k++ {
+			mix(uint64(ch.buf[(ch.head+k)%int32(len(ch.buf))]))
+		}
 	}
 	for _, s := range m.status {
 		mix(uint64(s))

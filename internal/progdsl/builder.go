@@ -13,6 +13,8 @@ type Builder struct {
 	name      string
 	varNames  []string
 	muNames   []string
+	chanNames []string
+	chanCaps  []int32
 	threads   []*ThreadBuilder
 	initStore map[Var]int64
 	autoStart bool
@@ -50,6 +52,18 @@ func (b *Builder) VarInit(name string, init int64) Var {
 func (b *Builder) Mutex(name string) Mutex {
 	b.muNames = append(b.muNames, name)
 	return Mutex(len(b.muNames) - 1)
+}
+
+// Chan declares a channel with the given buffer capacity; 0 means
+// unbuffered (rendezvous).
+func (b *Builder) Chan(name string, capacity int) Chan {
+	if capacity < 0 {
+		b.fail("Chan %q capacity %d", name, capacity)
+		capacity = 0
+	}
+	b.chanNames = append(b.chanNames, name)
+	b.chanCaps = append(b.chanCaps, int32(capacity))
+	return Chan(len(b.chanNames) - 1)
 }
 
 // VarArray is a contiguous block of shared variables addressable with a
@@ -152,6 +166,8 @@ func (b *Builder) Build() *Program {
 		nmutexes:  len(b.muNames),
 		varNames:  append([]string(nil), b.varNames...),
 		muNames:   append([]string(nil), b.muNames...),
+		chanNames: append([]string(nil), b.chanNames...),
+		chanCaps:  append([]int32(nil), b.chanCaps...),
 		autoStart: b.autoStart,
 	}
 	for v, x := range b.initStore {
@@ -183,6 +199,11 @@ func (b *Builder) validate(t *ThreadBuilder, pc int, in instr) {
 	checkMu := func(m int32) {
 		if m < 0 || int(m) >= len(b.muNames) {
 			b.fail("thread %d pc %d: mutex m%d undeclared", t.id, pc, m)
+		}
+	}
+	checkChan := func(c int32) {
+		if c < 0 || int(c) >= len(b.chanNames) {
+			b.fail("thread %d pc %d: channel c%d undeclared", t.id, pc, c)
 		}
 	}
 	checkTarget := func(x int32) {
@@ -229,6 +250,29 @@ func (b *Builder) validate(t *ThreadBuilder, pc int, in instr) {
 		}
 	case iPanic, iDiverge:
 		// No operands to validate.
+	case iSend:
+		checkChan(in.a)
+		checkReg(in.b)
+	case iSendI:
+		checkChan(in.a)
+	case iRecv:
+		checkReg(in.a)
+		checkChan(in.b)
+		checkReg(in.c)
+	case iClose:
+		checkChan(in.a)
+	case iSelect:
+		checkReg(in.a)
+		checkReg(in.b)
+		checkReg(in.c)
+		if event.SelectCases(in.imm) == 0 {
+			b.fail("thread %d pc %d: select with no cases", t.id, pc)
+		}
+		for c, mask := int32(0), event.SelectCases(in.imm); mask != 0; c, mask = c+1, mask>>1 {
+			if mask&1 != 0 {
+				checkChan(c)
+			}
+		}
 	case iConst:
 		checkReg(in.a)
 	case iMov:
@@ -356,6 +400,78 @@ func (t *ThreadBuilder) Spawn(other *ThreadBuilder) *ThreadBuilder {
 // Join appends a join on the other thread (blocks until it terminates).
 func (t *ThreadBuilder) Join(other *ThreadBuilder) *ThreadBuilder {
 	t.emit(instr{kind: iJoin, a: int32(other.id)})
+	return t
+}
+
+// Send appends "send(c) = src", a visible operation. It blocks while
+// the channel is full (unbuffered: until a receiver is pending) and
+// panics — a model.FailPanic violation — if the channel is closed.
+func (t *ThreadBuilder) Send(c Chan, src Reg) *ThreadBuilder {
+	t.touch(src)
+	t.emit(instr{kind: iSend, a: int32(c), b: int32(src)})
+	return t
+}
+
+// SendConst appends "send(c) = imm", a visible operation.
+func (t *ThreadBuilder) SendConst(c Chan, imm int64) *ThreadBuilder {
+	t.emit(instr{kind: iSendI, a: int32(c), imm: imm})
+	return t
+}
+
+// Recv appends "dst, ok = recv(c)", a visible operation. It blocks
+// while the channel is empty and open; on a closed empty channel it
+// yields dst=0, ok=0 (otherwise ok=1).
+func (t *ThreadBuilder) Recv(dst, ok Reg, c Chan) *ThreadBuilder {
+	t.touch(dst, ok)
+	t.emit(instr{kind: iRecv, a: int32(dst), b: int32(c), c: int32(ok)})
+	return t
+}
+
+// Close appends "close(c)", a visible operation. Closing an
+// already-closed channel panics, like Go.
+func (t *ThreadBuilder) Close(c Chan) *ThreadBuilder {
+	t.emit(instr{kind: iClose, a: int32(c)})
+	return t
+}
+
+// TryRecv appends a non-blocking receive — sugar for a single-case
+// select with a default: dst, ok = recv(c) when a value (or a closed
+// channel's zero) is ready, else dst=0, ok=0 without blocking. ok is 1
+// only when a real value was drained.
+func (t *ThreadBuilder) TryRecv(dst, ok Reg, c Chan) *ThreadBuilder {
+	t.touch(dst, ok)
+	t.emit(instr{
+		kind: iSelect, a: int32(dst), b: int32(ok), c: int32(ok),
+		imm: event.MakeSelectVal(1<<int32(c), true),
+	})
+	return t
+}
+
+// Select appends a multi-channel receive over the case channels cs, a
+// single visible operation. The machine commits it deterministically —
+// the lowest-numbered ready channel wins; case nondeterminism is
+// explored through arrival interleavings — writing the received value
+// to valDst, the chosen channel number to idxDst (-1 when the default
+// fired) and the ok flag to okDst. Without a default the select blocks
+// until some case channel is ready (non-empty or closed).
+func (t *ThreadBuilder) Select(valDst, idxDst, okDst Reg, hasDefault bool, cs ...Chan) *ThreadBuilder {
+	t.touch(valDst, idxDst, okDst)
+	if len(cs) == 0 {
+		t.prog.fail("thread %d: select with no cases", t.id)
+		cs = []Chan{0}
+	}
+	var mask int64
+	for _, c := range cs {
+		if c < 0 || c >= event.MaxSelectChans {
+			t.prog.fail("thread %d: select case channel c%d out of mask range", t.id, c)
+			continue
+		}
+		mask |= 1 << int32(c)
+	}
+	t.emit(instr{
+		kind: iSelect, a: int32(valDst), b: int32(idxDst), c: int32(okDst),
+		imm: event.MakeSelectVal(mask, hasDefault),
+	})
 	return t
 }
 
@@ -588,14 +704,17 @@ type Program struct {
 	nmutexes  int
 	varNames  []string
 	muNames   []string
+	chanNames []string
+	chanCaps  []int32
 	code      []threadCode
 	init      map[int32]int64
 	autoStart bool
 }
 
 var (
-	_ model.Source     = (*Program)(nil)
-	_ model.InitStorer = (*Program)(nil)
+	_ model.Source        = (*Program)(nil)
+	_ model.InitStorer    = (*Program)(nil)
+	_ model.ChannelSource = (*Program)(nil)
 )
 
 // Name implements model.Source.
@@ -615,6 +734,15 @@ func (p *Program) VarName(v int32) string { return p.varNames[v] }
 
 // MutexName returns the declared name of mutex m.
 func (p *Program) MutexName(m int32) string { return p.muNames[m] }
+
+// NumChannels implements model.ChannelSource.
+func (p *Program) NumChannels() int { return len(p.chanNames) }
+
+// ChannelCap implements model.ChannelSource.
+func (p *Program) ChannelCap(c int32) int { return int(p.chanCaps[c]) }
+
+// ChanName returns the declared name of channel c.
+func (p *Program) ChanName(c int32) string { return p.chanNames[c] }
 
 // InitStore implements model.InitStorer.
 func (p *Program) InitStore(store []int64) {

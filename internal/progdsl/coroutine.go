@@ -66,6 +66,18 @@ func (c *coroutine) Peek() (event.Op, bool) {
 			c.pending = event.Op{Kind: event.KindAssert, Val: v}
 		case iPanic:
 			c.pending = event.Op{Kind: event.KindPanic, Val: in.imm}
+		case iSend:
+			c.pending = event.Op{Kind: event.KindSend, Obj: in.a, Val: c.regs[in.b]}
+		case iSendI:
+			c.pending = event.Op{Kind: event.KindSend, Obj: in.a, Val: in.imm}
+		case iRecv:
+			c.pending = event.Op{Kind: event.KindRecv, Obj: in.b}
+		case iClose:
+			c.pending = event.Op{Kind: event.KindClose, Obj: in.a}
+		case iSelect:
+			// Obj = -1: unresolved; the machine commits to a concrete
+			// channel and delivers the packed outcome through Resume.
+			c.pending = event.Op{Kind: event.KindSelect, Obj: -1, Val: in.imm}
 		case iDiverge:
 			// The divergence sentinel: the machine fences the thread on
 			// sight and never Resumes it, so the interpreter models "stuck
@@ -129,8 +141,18 @@ func (c *coroutine) Resume(result int64) {
 		panic("progdsl: Resume without pending operation")
 	}
 	in := c.code.instrs[c.pc]
-	if in.kind == iRead || in.kind == iReadD {
+	switch in.kind {
+	case iRead, iReadD:
 		c.regs[in.a] = result
+	case iRecv:
+		val, ok := event.UnpackRecvResult(result)
+		c.regs[in.a] = val
+		c.regs[in.c] = b2i(ok)
+	case iSelect:
+		ch, val, ok := event.UnpackSelectResult(result)
+		c.regs[in.a] = val
+		c.regs[in.b] = int64(ch)
+		c.regs[in.c] = b2i(ok)
 	}
 	c.have = false
 	if in.kind == iPanic {
@@ -140,6 +162,13 @@ func (c *coroutine) Resume(result int64) {
 		return
 	}
 	c.pc++
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // dynObj resolves a dynamic-index operand: base + (index register

@@ -123,6 +123,62 @@ func HostileFromBytes(name string, data []byte) *Program {
 	return b.Build()
 }
 
+// ChanFromBytes decodes an arbitrary byte string like FromBytes but
+// over channel operations — sends, blocking and non-blocking receives,
+// closes, selects, plus a shared variable so channel and variable
+// dependence mix. Decoded programs are straight-line and so terminate
+// on every schedule, but they can deadlock (a blocking receive nobody
+// serves), panic (send on closed, close of closed) and race — the
+// violation classes the channel subsystem must agree on across every
+// engine and backend. It is a separate decoder (and a separate fuzz
+// corpus) so FromBytes keeps its documented contract and its existing
+// corpus byte-meanings stay stable.
+func ChanFromBytes(name string, data []byte) *Program {
+	if len(data) < 4 {
+		return nil
+	}
+	nthreads := 2 + int(data[0]%2)
+	nchans := 1 + int(data[1]%2)
+	b := New(name).AutoStart()
+	sink := b.Var("sink")
+	chans := make([]Chan, nchans)
+	for i := range chans {
+		// Capacity 0 (rendezvous), 1 or 2, drawn per channel from the
+		// third header byte.
+		chans[i] = b.Chan(fmt.Sprintf("c%d", i), int(data[2]>>(2*i))%3)
+	}
+	threads := make([]*ThreadBuilder, nthreads)
+	for i := range threads {
+		threads[i] = b.Thread()
+	}
+
+	const maxOps = 8
+	body := data[3:]
+	for k := 0; k+1 < len(body) && k/2 < maxOps; k += 2 {
+		op, arg := body[k], body[k+1]
+		th := threads[(k/2)%nthreads]
+		c := chans[int(arg)%nchans]
+		imm := int64(arg >> 4)
+		switch op % 6 {
+		case 0:
+			th.SendConst(c, imm)
+		case 1:
+			th.Recv(0, 1, c)
+		case 2:
+			th.TryRecv(0, 1, c)
+		case 3:
+			th.Close(c)
+		case 4:
+			th.Select(0, 1, 2, arg%2 == 0, chans...)
+		default:
+			// A drained value flowing into the store: channel and
+			// variable dependence interact.
+			th.Recv(0, 1, c).Write(sink, 0)
+		}
+	}
+	return b.Build()
+}
+
 // FuzzCorpus returns n deterministic FromBytes inputs derived from
 // seed — the shared program source for differential tests that need a
 // sizeable generated corpus without checking hundreds of files in.

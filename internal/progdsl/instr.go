@@ -10,7 +10,11 @@
 // the workhorse for the paper's large schedule-count experiments.
 package progdsl
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
 
 // Reg names a thread-local register. Registers are int64 and start at
 // zero.
@@ -21,6 +25,9 @@ type Var int32
 
 // Mutex names a mutex.
 type Mutex int32
+
+// Chan names a channel.
+type Chan int32
 
 type instrKind uint8
 
@@ -42,6 +49,11 @@ const (
 	iAssertC // assert cond(r[A] Cmp operand) — announced as a visible assert op
 	iPanic   // announce panic(Imm): the thread's final visible operation
 	iDiverge // announce divergence: the thread is stuck forever; the machine fences it
+	iSend    // send(Chan(A)) = r[B]
+	iSendI   // send(Chan(A)) = Imm
+	iRecv    // r[A], r[C] = recv(Chan(B)); r[C] gets the ok flag
+	iClose   // close(Chan(A))
+	iSelect  // r[A]=value, r[B]=chosen channel (-1: default), r[C]=ok; Imm = case set (event.MakeSelectVal)
 
 	// Thread-local operations (executed eagerly, never scheduling
 	// points).
@@ -128,6 +140,16 @@ func (in instr) String() string {
 		return fmt.Sprintf("panic %d", in.imm)
 	case iDiverge:
 		return "diverge"
+	case iSend:
+		return fmt.Sprintf("send c%d = r%d", in.a, in.b)
+	case iSendI:
+		return fmt.Sprintf("send c%d = %d", in.a, in.imm)
+	case iRecv:
+		return fmt.Sprintf("r%d, r%d = recv c%d", in.a, in.c, in.b)
+	case iClose:
+		return fmt.Sprintf("close c%d", in.a)
+	case iSelect:
+		return fmt.Sprintf("r%d, r%d, r%d = %v", in.a, in.b, in.c, event.Op{Kind: event.KindSelect, Obj: -1, Val: in.imm})
 	case iConst:
 		return fmt.Sprintf("r%d = %d", in.a, in.imm)
 	case iMov:

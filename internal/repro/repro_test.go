@@ -23,6 +23,8 @@ func buggyZoo() []model.Source {
 		racyAssertCounter(),
 		racyWriters(),
 		misuseUnlock(),
+		chanLostWakeupDeadlock(),
+		chanSendOnClosed(),
 	}
 }
 
@@ -65,6 +67,31 @@ func misuseUnlock() model.Source {
 	x := b.Var("x")
 	b.Thread().Lock(m).WriteConst(x, 1).Unlock(m)
 	b.Thread().Unlock(m)
+	return b.Build()
+}
+
+// chanLostWakeupDeadlock: a non-blocking receive can steal the single
+// buffered value a blocking receiver is owed; thief-first schedules
+// leave the receiver blocked forever — a channel deadlock.
+func chanLostWakeupDeadlock() model.Source {
+	b := progdsl.New("zoo-chan-lost-wakeup").AutoStart()
+	c := b.Chan("c", 1)
+	stolen := b.Var("stolen")
+	b.Thread().SendConst(c, 5)
+	thief := b.Thread()
+	thief.TryRecv(0, 1, c)
+	thief.If(progdsl.Eq(1, 1), func() { thief.WriteConst(stolen, 1) }, nil)
+	b.Thread().Recv(0, 1, c)
+	return b.Build()
+}
+
+// chanSendOnClosed: close racing a send on a buffered channel — the
+// close-first schedules make the send a panic violation.
+func chanSendOnClosed() model.Source {
+	b := progdsl.New("zoo-chan-send-closed").AutoStart()
+	c := b.Chan("c", 1)
+	b.Thread().Close(c)
+	b.Thread().SendConst(c, 1)
 	return b.Build()
 }
 

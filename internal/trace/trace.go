@@ -29,6 +29,7 @@ type Record struct {
 	Threads  int              `json:"threads"`
 	Vars     int              `json:"vars"`
 	Mutexes  int              `json:"mutexes"`
+	Chans    int              `json:"chans,omitempty"`
 	Kind     string           `json:"kind,omitempty"` // violation kind, if any
 	Choices  []event.ThreadID `json:"choices"`
 	StateKey string           `json:"state_key"`
@@ -54,6 +55,10 @@ var kindNames = map[event.Kind]string{
 	event.KindJoin:   "join",
 	event.KindAssert: "assert",
 	event.KindPanic:  "panic",
+	event.KindSend:   "send",
+	event.KindRecv:   "recv",
+	event.KindClose:  "close",
+	event.KindSelect: "select",
 }
 
 var kindByName = func() map[string]event.Kind {
@@ -72,6 +77,7 @@ func FromOutcome(src model.Source, out exec.Outcome, kind string) Record {
 		Threads:  src.NumThreads(),
 		Vars:     src.NumVars(),
 		Mutexes:  src.NumMutexes(),
+		Chans:    model.NumChannels(src),
 		Kind:     kind,
 		Choices:  append([]event.ThreadID(nil), out.Choices...),
 		StateKey: out.StateKey,
@@ -119,9 +125,9 @@ func (r Record) Matches(src model.Source) error {
 	if r.Program != src.Name() {
 		return fmt.Errorf("trace: recorded for program %q, replaying against %q", r.Program, src.Name())
 	}
-	if r.Threads != src.NumThreads() || r.Vars != src.NumVars() || r.Mutexes != src.NumMutexes() {
-		return fmt.Errorf("trace: universe mismatch: recorded %d/%d/%d threads/vars/mutexes, program has %d/%d/%d",
-			r.Threads, r.Vars, r.Mutexes, src.NumThreads(), src.NumVars(), src.NumMutexes())
+	if r.Threads != src.NumThreads() || r.Vars != src.NumVars() || r.Mutexes != src.NumMutexes() || r.Chans != model.NumChannels(src) {
+		return fmt.Errorf("trace: universe mismatch: recorded %d/%d/%d/%d threads/vars/mutexes/chans, program has %d/%d/%d/%d",
+			r.Threads, r.Vars, r.Mutexes, r.Chans, src.NumThreads(), src.NumVars(), src.NumMutexes(), model.NumChannels(src))
 	}
 	return nil
 }

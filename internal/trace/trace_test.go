@@ -47,6 +47,70 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// chanSample covers all four channel event kinds in one program: a
+// send and a close racing on c, a select multiplexing {c, d}, and a
+// drain of d.
+func chanSample() *progdsl.Program {
+	b := progdsl.New("chan-sample").AutoStart()
+	x := b.Var("x")
+	c := b.Chan("c", 1)
+	d := b.Chan("d", 1)
+	t1 := b.Thread()
+	t1.SendConst(c, 7).SendConst(d, 9).WriteConst(x, 1)
+	t2 := b.Thread()
+	t2.Select(0, 1, 2, true, c, d).TryRecv(0, 1, d).Close(c)
+	return b.Build()
+}
+
+// TestChanRoundTrip: a schedule over send/recv/close/select events
+// serialises, parses back and replays to the identical trace and
+// state — and the serialised form names the channel kinds (never
+// "invalid").
+func TestChanRoundTrip(t *testing.T) {
+	prog := chanSample()
+	out := exec.Run(prog, exec.NewRandom(3), exec.Options{})
+	rec := FromOutcome(prog, out, "")
+	if rec.Chans != 2 {
+		t.Errorf("record carries %d channels, program has 2", rec.Chans)
+	}
+	kinds := map[string]bool{}
+	for _, ev := range rec.Events {
+		if ev.Kind == "" {
+			t.Fatalf("event %+v serialised with an empty kind", ev)
+		}
+		kinds[ev.Kind] = true
+	}
+	if !kinds["send"] || !kinds["select"] {
+		t.Errorf("expected send and select events in the trace, got kinds %v", kinds)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := back.Replay(prog, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.StateKey != out.StateKey {
+		t.Error("replay reached a different state")
+	}
+
+	// A channel-free program with the same name and thread/var/mutex
+	// shape must be rejected on the channel universe alone.
+	plain := progdsl.New("chan-sample").AutoStart()
+	px := plain.Var("x")
+	plain.Thread().WriteConst(px, 1)
+	plain.Thread().WriteConst(px, 2)
+	if err := rec.Matches(plain.Build()); err == nil || !strings.Contains(err.Error(), "universe") {
+		t.Errorf("channel-universe mismatch must be rejected: %v", err)
+	}
+}
+
 func TestMatchesGuards(t *testing.T) {
 	prog := sample()
 	out := exec.Run(prog, exec.FirstEnabled{}, exec.Options{})
@@ -179,7 +243,7 @@ func TestKindNamesTotal(t *testing.T) {
 			t.Errorf("kind %v name %q does not round-trip", k, name)
 		}
 	}
-	if len(kindNames) != 8 {
+	if len(kindNames) != 12 {
 		t.Errorf("kindNames covers %d kinds; update the table when event kinds change", len(kindNames))
 	}
 }

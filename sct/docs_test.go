@@ -104,3 +104,46 @@ func TestObservabilityDocInSync(t *testing.T) {
 		}
 	}
 }
+
+// TestChannelDocInSync pins the channel documentation to the facade
+// API: docs/ENGINES.md must keep its "Channel dependence rules"
+// section naming every channel event kind, the README must keep the
+// channel quickstart, and every harness method both documents must
+// actually exist on sct.G / sct.Program (so the docs cannot outlive a
+// rename). Runs under make api-check.
+func TestChannelDocInSync(t *testing.T) {
+	engDoc, err := os.ReadFile("../docs/ENGINES.md")
+	if err != nil {
+		t.Fatalf("engine-author guide missing: %v", err)
+	}
+	if !strings.Contains(string(engDoc), "## Channel dependence rules") {
+		t.Error("docs/ENGINES.md has no '## Channel dependence rules' section")
+	}
+	for _, kind := range []string{"`send`", "`recv`", "`close`", "`select`"} {
+		if !strings.Contains(string(engDoc), kind) {
+			t.Errorf("docs/ENGINES.md channel section does not mention %s", kind)
+		}
+	}
+
+	readme, err := os.ReadFile("../README.md")
+	if err != nil {
+		t.Fatalf("README missing: %v", err)
+	}
+	for _, ref := range []string{"p.Chan(", "g.Send", "g.Recv", "g.TryRecv", "g.Close", "g.Select", "g.TrySelect"} {
+		if !strings.Contains(string(readme), ref) {
+			t.Errorf("README channel quickstart does not mention %s", ref)
+		}
+	}
+
+	// The documented surface must exist: Program.Chan plus the G
+	// channel methods.
+	if _, ok := reflect.TypeOf(&sct.Program{}).MethodByName("Chan"); !ok {
+		t.Error("documented method Program.Chan does not exist")
+	}
+	gt := reflect.TypeOf(&sct.G{})
+	for _, m := range []string{"Send", "Recv", "TryRecv", "Close", "Select", "TrySelect"} {
+		if _, ok := gt.MethodByName(m); !ok {
+			t.Errorf("documented method G.%s does not exist", m)
+		}
+	}
+}

@@ -27,6 +27,14 @@ type Var = goharness.Var
 // Mutex names a mutex of a program.
 type Mutex = goharness.Mutex
 
+// Chan names a channel of a program, declared with Program.Chan(name,
+// cap): cap 0 is unbuffered (rendezvous), cap > 0 a FIFO ring. Thread
+// bodies operate on it with G.Send/G.Recv/G.TryRecv/G.Close and
+// multiplex with G.Select/G.TrySelect; send on closed and close of
+// closed are panic violations, and all-threads-channel-blocked is a
+// deadlock, exactly as in Go.
+type Chan = goharness.Chan
+
 // ThreadRef names a declared thread, for G.Spawn/G.Join.
 type ThreadRef = goharness.ThreadRef
 
